@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Each benchmark module reproduces one of the paper's tables or figures: it
+computes the figure's data via the experiment drivers (sharing cached
+characterization runs across modules), prints the rows/series the paper
+reports, and registers a representative computation with pytest-benchmark so
+``pytest benchmarks/ --benchmark-only`` also reports stable timing numbers.
+"""
+
+import pytest
+
+from repro.experiments import common
+
+# One characterization length shared by every benchmark module.  Longer runs
+# sharpen the statistics but grow the (pure Python) run time roughly linearly.
+CHARACTERIZATION_DURATION = 15.0
+
+
+@pytest.fixture(scope="session")
+def duration():
+    return CHARACTERIZATION_DURATION
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_runs():
+    """Build the three per-mode characterization runs once for the whole session."""
+    common.all_mode_runs("car", duration=CHARACTERIZATION_DURATION)
+    yield
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

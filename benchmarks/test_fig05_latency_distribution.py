@@ -1,0 +1,37 @@
+"""Fig. 5: frontend/backend latency distribution and RSD in the three modes.
+
+Paper reference: the frontend accounts for 55 % (SLAM) to 83 % (VIO) of the
+end-to-end latency, and the backend's relative standard deviation exceeds the
+frontend's (most prominently in VIO: 47.3 % vs 81.1 %).
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig05_08_characterization import frontend_backend_by_mode
+
+
+def test_fig05_frontend_backend_distribution(benchmark, duration):
+    report = benchmark.pedantic(frontend_backend_by_mode, args=("car", duration), rounds=1, iterations=1)
+    print_banner("Fig. 5 — Frontend/backend latency share and RSD (baseline CPU)")
+    rows = []
+    for mode, shares in report.items():
+        rows.append([
+            mode,
+            shares["frontend"]["mean_ms"], shares["backend"]["mean_ms"],
+            shares["frontend"]["share_percent"], shares["backend"]["share_percent"],
+            shares["frontend"]["rsd_percent"], shares["backend"]["rsd_percent"],
+        ])
+    print(format_table(
+        ["mode", "frontend_ms", "backend_ms", "front_%", "back_%", "front_RSD%", "back_RSD%"],
+        rows,
+    ))
+    print("\nPaper: frontend share 55% (SLAM) – 83% (VIO); backend RSD > frontend RSD.")
+
+    for mode, shares in report.items():
+        assert shares["frontend"]["share_percent"] > 50.0
+        assert shares["backend"]["rsd_percent"] >= shares["frontend"]["rsd_percent"]
+    # SLAM has the heaviest backend, so its frontend share is the smallest.
+    assert report["slam"]["frontend"]["share_percent"] == min(
+        shares["frontend"]["share_percent"] for shares in report.values()
+    )

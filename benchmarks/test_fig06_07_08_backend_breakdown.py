@@ -1,0 +1,33 @@
+"""Figs. 6-8: latency breakdown inside each backend mode.
+
+Paper reference: the biggest contributors are camera-model projection in
+registration, the Kalman gain in VIO (~33 % of the VIO backend) and
+marginalization/the solver in SLAM.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig05_08_characterization import (
+    backend_breakdown_by_mode,
+    dominant_backend_kernel,
+)
+
+
+def test_fig06_07_08_backend_kernel_breakdown(benchmark, duration):
+    report = benchmark.pedantic(backend_breakdown_by_mode, args=("car", duration), rounds=1, iterations=1)
+    print_banner("Figs. 6-8 — Backend kernel latency breakdown (percent of backend time)")
+    figure_numbers = {"registration": 6, "vio": 7, "slam": 8}
+    for mode, kernels in report.items():
+        rows = sorted(kernels.items(), key=lambda kv: kv[1], reverse=True)
+        print(format_table(["kernel", "share_%"], rows,
+                           title=f"\n{mode} backend (Fig. {figure_numbers[mode]})"))
+
+    dominant = dominant_backend_kernel("car", duration)
+    print("\nDominant kernels (paper: projection / kalman_gain / marginalization+solver):", dominant)
+
+    assert dominant["registration"] == "projection"
+    assert dominant["vio"] == "kalman_gain"
+    assert dominant["slam"] in ("solver", "marginalization")
+    # The Kalman gain should be a large fraction of the VIO backend (paper ~33%).
+    assert report["vio"]["kalman_gain"] > 25.0

@@ -1,0 +1,42 @@
+"""Figs. 9-11: per-frame latency variation in registration, VIO and SLAM.
+
+Paper reference: the worst-case latency is over 4x the best case in SLAM
+mode and over 2x in registration mode; the backend's relative standard
+deviation exceeds the frontend's; one kernel dominates the variation in each
+mode (projection, Kalman gain, marginalization).
+"""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig09_11_variation import dominant_variation_kernel, variation_by_mode
+
+
+def test_fig09_10_11_latency_variation(benchmark, duration):
+    report = benchmark.pedantic(variation_by_mode, args=("car", duration), rounds=1, iterations=1)
+    print_banner("Figs. 9-11 — Per-frame latency variation (baseline CPU)")
+    rows = []
+    for mode, data in report.items():
+        total = np.array(data["frontend_series_ms"]) + np.array(data["backend_series_ms"])
+        rows.append([
+            mode, float(total.min()), float(total.max()), data["worst_to_best_ratio"],
+            data["frontend_rsd_percent"], data["backend_rsd_percent"],
+        ])
+    print(format_table(
+        ["mode", "best_ms", "worst_ms", "worst/best", "front_RSD%", "back_RSD%"], rows,
+    ))
+
+    print("\nPer-kernel latency standard deviation (ms):")
+    for mode, data in report.items():
+        kernel_rows = sorted(data["kernel_std_ms"].items(), key=lambda kv: kv[1], reverse=True)
+        print(format_table(["kernel", "std_ms"], kernel_rows, title=f"\n{mode}"))
+
+    dominant = dominant_variation_kernel("car", duration)
+    print("\nDominant variation kernels:", dominant)
+
+    for mode, data in report.items():
+        assert data["worst_to_best_ratio"] > 1.3
+        assert data["backend_rsd_percent"] >= data["frontend_rsd_percent"]
+    assert dominant["vio"] == "kalman_gain"
+    assert dominant["slam"] in ("marginalization", "solver")

@@ -1,0 +1,40 @@
+"""Fig. 16: backend kernel latency vs the size of the matrices it operates on.
+
+Paper reference: projection latency grows linearly with the number of map
+points; Kalman-gain and marginalization latencies grow super-linearly with
+the number of feature points — the relationship the runtime scheduler's
+regression models exploit.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig16_scaling import (
+    fit_quality,
+    kernel_scaling_curves,
+    measured_kalman_gain_curve,
+)
+
+
+def test_fig16_kernel_latency_scaling(benchmark):
+    curves = benchmark.pedantic(kernel_scaling_curves, rounds=1, iterations=1)
+
+    print_banner("Fig. 16 — Backend kernel latency vs matrix size (CPU cost model)")
+    for kernel, rows in curves.items():
+        print(format_table(["size", "latency_ms"],
+                           [[row["size"], row["latency_ms"]] for row in rows],
+                           title=f"\n{kernel}"))
+
+    measured = measured_kalman_gain_curve(feature_points=(10, 20, 40), repeats=1)
+    print(format_table(["feature_points", "latency_ms"],
+                       [[row["size"], row["latency_ms"]] for row in measured],
+                       title="\nKalman gain (measured Python implementation)"))
+
+    # Shape assertions: linear projection, quadratic Kalman gain / marginalization.
+    assert fit_quality(curves["projection"], degree=1) > 0.99
+    assert fit_quality(curves["kalman_gain"], degree=2) > 0.95
+    assert fit_quality(curves["marginalization"], degree=2) > 0.95
+    for rows in curves.values():
+        latencies = [row["latency_ms"] for row in rows]
+        assert all(b >= a for a, b in zip(latencies, latencies[1:]))
+    assert measured[-1]["latency_ms"] > measured[0]["latency_ms"]

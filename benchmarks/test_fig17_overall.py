@@ -1,0 +1,48 @@
+"""Fig. 17: overall latency and latency variation, baseline vs Eudoxus.
+
+Paper reference (EDX-CAR): end-to-end speedups of 2.5x / 2.1x / 2.0x in the
+registration / VIO / SLAM modes (2.1x overall) and a 58.4 % reduction in the
+latency standard deviation.  EDX-DRONE achieves 2.0x / 1.9x / 1.8x (1.9x
+overall) and a 42.7 % SD reduction.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig17_21_acceleration import acceleration_report
+
+
+def test_fig17_overall_latency_and_variation(benchmark, duration):
+    report = benchmark.pedantic(acceleration_report, args=("car", duration), rounds=1, iterations=1)
+
+    print_banner("Fig. 17a — EDX-CAR: latency and SD, baseline vs Eudoxus")
+    rows = []
+    for mode in ("registration", "vio", "slam", "overall"):
+        data = report[mode]
+        rows.append([
+            mode, data["baseline_latency_ms"], data["eudoxus_latency_ms"], data["speedup"],
+            data["baseline_sd_ms"], data["eudoxus_sd_ms"], data["sd_reduction_percent"],
+        ])
+    print(format_table(
+        ["mode", "base_ms", "edx_ms", "speedup", "base_sd", "edx_sd", "sd_red_%"], rows,
+    ))
+    print("\nPaper: speedups 2.5/2.1/2.0 (overall 2.1), SD reduction 58.4% on EDX-CAR.")
+
+    for mode in ("registration", "vio", "slam"):
+        assert report[mode]["speedup"] > 1.4
+        assert report[mode]["sd_reduction_percent"] > 10.0
+    assert 1.6 < report["overall"]["speedup"] < 3.2
+
+
+def test_fig17b_drone_overall(benchmark):
+    report = benchmark.pedantic(acceleration_report, args=("drone", 10.0), rounds=1, iterations=1)
+    print_banner("Fig. 17b — EDX-DRONE: latency and SD, baseline vs Eudoxus")
+    rows = [[mode, report[mode]["baseline_latency_ms"], report[mode]["eudoxus_latency_ms"],
+             report[mode]["speedup"], report[mode]["sd_reduction_percent"]]
+            for mode in ("registration", "vio", "slam", "overall")]
+    print(format_table(["mode", "base_ms", "edx_ms", "speedup", "sd_red_%"], rows))
+    print("\nPaper: speedups 2.0/1.9/1.8 (overall 1.9), SD reduction 42.7% on EDX-DRONE.")
+
+    for mode in ("registration", "vio", "slam"):
+        assert report[mode]["speedup"] > 1.2
+    assert report["overall"]["speedup"] > 1.4

@@ -1,0 +1,34 @@
+"""Fig. 18: throughput (FPS) with and without frontend/backend pipelining.
+
+Paper reference (EDX-CAR): the baseline runs at 8.6 FPS, Eudoxus reaches
+17.2 FPS without pipelining the frontend with the backend and 31.9 FPS with
+pipelining.  EDX-DRONE improves from 7.0 to 22.4 FPS.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig17_21_acceleration import acceleration_report
+
+
+def test_fig18_throughput(benchmark, duration):
+    car = benchmark.pedantic(acceleration_report, args=("car", duration), rounds=1, iterations=1)
+    drone = acceleration_report("drone", 10.0)
+
+    print_banner("Fig. 18 — Throughput (FPS): baseline vs Eudoxus, with/without pipelining")
+    rows = []
+    for name, report in (("car", car), ("drone", drone)):
+        overall = report["overall"]
+        rows.append([
+            name, overall["baseline_fps"], overall["eudoxus_fps_no_pipelining"],
+            overall["eudoxus_fps_pipelined"],
+        ])
+    print(format_table(["platform", "baseline_fps", "edx_fps_no_pipe", "edx_fps_pipelined"], rows))
+    print("\nPaper: car 8.6 -> 17.2 -> 31.9 FPS; drone 7.0 -> 22.4 FPS.")
+
+    for report in (car, drone):
+        overall = report["overall"]
+        assert overall["eudoxus_fps_no_pipelining"] > overall["baseline_fps"]
+        assert overall["eudoxus_fps_pipelined"] > overall["eudoxus_fps_no_pipelining"]
+    # Pipelined car throughput should approach real-time (30 FPS in the paper).
+    assert car["overall"]["eudoxus_fps_pipelined"] > 15.0

@@ -1,0 +1,35 @@
+"""Fig. 19: energy per frame, baseline vs Eudoxus.
+
+Paper reference: EDX-CAR reduces the energy per frame from 1.9 J to 0.5 J
+(73.7 % reduction); EDX-DRONE from 0.8 J to 0.4 J (47.4 %), with the smaller
+saving explained by the FPGA static power standing out once dynamic power
+shrinks.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig17_21_acceleration import acceleration_report
+
+
+def test_fig19_energy_per_frame(benchmark, duration):
+    car = benchmark.pedantic(acceleration_report, args=("car", duration), rounds=1, iterations=1)
+    drone = acceleration_report("drone", 10.0)
+
+    print_banner("Fig. 19 — Energy per frame (J), baseline vs Eudoxus")
+    rows = []
+    for name, report in (("car", car), ("drone", drone)):
+        overall = report["overall"]
+        rows.append([
+            name, overall["baseline_energy_j"], overall["eudoxus_energy_j"],
+            overall["energy_reduction_percent"],
+        ])
+    print(format_table(["platform", "baseline_J", "eudoxus_J", "reduction_%"], rows))
+    print("\nPaper: car 1.9 J -> 0.5 J (73.7%); drone 0.8 J -> 0.4 J (47.4%).")
+
+    assert car["overall"]["energy_reduction_percent"] > 40.0
+    assert drone["overall"]["energy_reduction_percent"] > 25.0
+    # The car baseline burns more energy per frame than the drone baseline.
+    assert car["overall"]["baseline_energy_j"] > drone["overall"]["baseline_energy_j"]
+    # The drone's relative saving is smaller (static FPGA power stands out).
+    assert car["overall"]["energy_reduction_percent"] > drone["overall"]["energy_reduction_percent"] - 5.0

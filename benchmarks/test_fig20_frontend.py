@@ -1,0 +1,44 @@
+"""Fig. 20: frontend acceleration results.
+
+Paper reference (EDX-CAR): the frontend latency drops from 92.4 ms to
+42.7 ms (2.2x); stereo matching dominates the accelerated frontend; FE/SM
+pipelining lifts the frontend throughput to 44 FPS (26.1 FPS without), which
+moves the system bottleneck from the frontend to the backend.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig17_21_acceleration import frontend_report
+
+
+def test_fig20_frontend_acceleration(benchmark, duration):
+    car = benchmark.pedantic(frontend_report, args=("car", duration), rounds=1, iterations=1)
+    drone = frontend_report("drone", 10.0)
+
+    print_banner("Fig. 20 — Frontend latency and throughput")
+    rows = []
+    for name, report in (("car", car), ("drone", drone)):
+        rows.append([
+            name, report["baseline_frontend_ms"], report["eudoxus_frontend_ms"],
+            report["feature_extraction_ms"], report["stereo_matching_ms"],
+            report["frontend_speedup"],
+        ])
+    print(format_table(
+        ["platform", "baseline_ms", "edx_ms", "FE_ms", "SM_ms", "speedup"], rows,
+    ))
+    fps_rows = [
+        [name, report["baseline_frontend_fps"], report["eudoxus_frontend_fps_no_pipelining"],
+         report["eudoxus_frontend_fps_pipelined"]]
+        for name, report in (("car", car), ("drone", drone))
+    ]
+    print(format_table(["platform", "baseline_fps", "no_pipelining_fps", "pipelined_fps"], fps_rows,
+                       title="\nFrontend throughput (Fig. 20b)"))
+    print("\nPaper: car frontend 92.4 -> 42.7 ms (2.2x); 26.1 -> 44.0 FPS with FE/SM pipelining.")
+
+    for report in (car, drone):
+        assert 1.5 < report["frontend_speedup"] < 4.0
+        # Stereo matching dominates the accelerated frontend (motivates the
+        # FE time-multiplexing decision).
+        assert report["stereo_matching_ms"] > report["feature_extraction_ms"]
+        assert report["eudoxus_frontend_fps_pipelined"] > report["eudoxus_frontend_fps_no_pipelining"]

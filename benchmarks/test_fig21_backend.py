@@ -1,0 +1,42 @@
+"""Fig. 21: backend acceleration results.
+
+Paper reference (EDX-CAR): the registration backend latency drops by 49.4 %
+(projection kernel accelerated by 95.3 %), the Kalman-gain kernel by 2.0x
+(16.3 % backend reduction) and marginalization by 2.4x (30.2 % backend
+reduction); backend SDs shrink substantially in all three modes.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.fig17_21_acceleration import backend_report
+
+
+def test_fig21_backend_acceleration(benchmark, duration):
+    car = benchmark.pedantic(backend_report, args=("car", duration), rounds=1, iterations=1)
+    drone = backend_report("drone", 10.0)
+
+    print_banner("Fig. 21 — Backend latency and variation, baseline vs Eudoxus")
+    for name, report in (("car", car), ("drone", drone)):
+        rows = []
+        for mode, data in report.items():
+            rows.append([
+                mode, data["baseline_backend_ms"], data["eudoxus_backend_ms"],
+                data["backend_latency_reduction_percent"],
+                data["baseline_backend_sd_ms"], data["eudoxus_backend_sd_ms"],
+                data["sd_reduction_percent"], data["accelerated_kernel"], data["kernel_speedup"],
+            ])
+        print(format_table(
+            ["mode", "base_ms", "edx_ms", "lat_red_%", "base_sd", "edx_sd", "sd_red_%",
+             "kernel", "kernel_speedup"],
+            rows, title=f"\nEDX-{name.upper()}",
+        ))
+    print("\nPaper (car): projection -95.3%, Kalman gain 2.0x, marginalization 2.4x.")
+
+    for report in (car, drone):
+        for mode, data in report.items():
+            assert data["kernel_speedup"] > 1.2
+            assert data["backend_latency_reduction_percent"] > 5.0
+            assert data["sd_reduction_percent"] > 0.0
+    # The projection kernel benefits the most (it is a single big matmul).
+    assert car["registration"]["kernel_speedup"] > car["vio"]["kernel_speedup"]

@@ -1,0 +1,43 @@
+"""Sec. VII-F: effectiveness of the runtime backend scheduler.
+
+Paper reference: the regression models reach R^2 of 0.83 / 0.82 / 0.98 for
+registration / VIO / SLAM; the runtime scheduler matches the oracle to
+within 0.001 %; almost all registration and VIO frames are offloaded while
+only 76.4 % of SLAM frames are; always offloading SLAM frames would increase
+latency by 8.3 %.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.sec7f_scheduler import scheduler_report
+
+
+def test_sec7f_runtime_scheduler(benchmark, duration):
+    report = benchmark.pedantic(scheduler_report, args=("car", duration), rounds=1, iterations=1)
+
+    print_banner("Sec. VII-F — Runtime scheduler effectiveness (EDX-CAR)")
+    rows = []
+    for mode, data in report.items():
+        rows.append([
+            mode, data["kernel"], data["training_r2"], data["offload_fraction"],
+            data["scheduler_mean_ms"], data["oracle_mean_ms"], data["gap_to_oracle_percent"],
+            data["always_offload_penalty_percent"],
+        ])
+    print(format_table(
+        ["mode", "kernel", "train_R2", "offload_frac", "sched_ms", "oracle_ms",
+         "gap_%", "always_penalty_%"],
+        rows,
+    ))
+    print("\nPaper: R^2 0.83/0.82/0.98; ~0% gap to oracle; SLAM offloads 76.4% of frames;"
+          " always offloading SLAM costs +8.3% latency.")
+
+    for mode, data in report.items():
+        assert data["training_r2"] > 0.6
+        assert data["gap_to_oracle_percent"] < 10.0
+    # Registration and VIO kernels are (almost) always worth offloading.
+    assert report["registration"]["offload_fraction"] > 0.9
+    assert report["vio"]["offload_fraction"] > 0.9
+    # SLAM marginalization is sometimes too small to offload.
+    assert report["slam"]["offload_fraction"] < 1.0
+    assert report["slam"]["always_offload_penalty_percent"] > 0.0

@@ -1,0 +1,36 @@
+"""Table I: the backend kernels decompose into five matrix building blocks.
+
+Paper reference: projection uses multiplication only; Kalman gain uses
+multiplication, decomposition, transpose and substitution; marginalization
+uses all five (adding the matrix inverse).
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.table1_blocks import building_block_matrix, expected_matrix, matches_paper
+from repro.linalg.primitives import BuildingBlock
+
+
+def test_table1_building_blocks(benchmark):
+    measured = benchmark.pedantic(building_block_matrix, rounds=1, iterations=1)
+    expected = expected_matrix()
+
+    print_banner("Table I — Kernel decomposition into matrix building blocks")
+    headers = ["building block", "projection", "kalman_gain", "marginalization"]
+    rows = []
+    for block in BuildingBlock:
+        rows.append([
+            block.value,
+            "X" if measured["projection"][block.value] else "",
+            "X" if measured["kalman_gain"][block.value] else "",
+            "X" if measured["marginalization"][block.value] else "",
+        ])
+    print(format_table(headers, rows))
+    print("\nMatches the paper's Table I:", matches_paper())
+
+    assert all(matches_paper().values())
+    # The inverse building block is exclusive to marginalization in the paper.
+    assert not expected["projection"][BuildingBlock.INVERSE.value]
+    assert not expected["kalman_gain"][BuildingBlock.INVERSE.value]
+    assert expected["marginalization"][BuildingBlock.INVERSE.value]

@@ -1,0 +1,50 @@
+"""Table II: FPGA resource consumption of EDX-CAR and EDX-DRONE.
+
+Paper reference values (used / utilization / no-sharing):
+EDX-CAR  — LUT 350671 (80.9 %), FF 239347 (27.6 %), DSP 1284 (35.6 %),
+           BRAM 5.0 MB (87.5 %); N.S. 795604 / 628346 / 3628 / 13.2.
+EDX-DRONE — LUT 231547 (84.5 %), FF 171314 (31.2 %), DSP 1072 (42.5 %),
+           BRAM 3.67 MB (92.3 %); N.S. 659485 / 459485 / 3064 / 10.6.
+Sharing the frontend and the backend building blocks is what makes the
+design fit: without sharing both devices overflow.
+"""
+
+import pytest
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.table2_resources import both_platform_reports
+
+PAPER_SHARED_LUT = {"car": 350671, "drone": 231547}
+
+
+def test_table2_fpga_resources(benchmark):
+    reports = benchmark.pedantic(both_platform_reports, rounds=1, iterations=1)
+
+    print_banner("Table II — FPGA resource consumption (shared vs no-sharing)")
+    for kind, report in reports.items():
+        rows = []
+        for resource in ("lut", "flip_flop", "dsp", "bram_mb"):
+            rows.append([
+                resource,
+                report["shared"][resource],
+                report["utilization_percent"][resource],
+                report["no_sharing"][resource],
+            ])
+        print(format_table(
+            ["resource", "used", "utilization_%", "no_sharing"], rows,
+            title=f"\n{report['platform']} on {report['device']}",
+        ))
+        print(f"  shared design fits: {report['shared_fits']}   "
+              f"no-sharing fits: {report['no_sharing_fits']}")
+        memory = report["memory_plan_mb"]
+        print(f"  on-chip memory: SPM {memory['scratchpad_mb']:.2f} MB, "
+              f"SB {memory['stencil_buffer_mb']:.2f} MB "
+              f"(would be {memory['stencil_buffer_unoptimized_mb']:.2f} MB without replication)")
+
+    for kind, report in reports.items():
+        assert report["shared"]["lut"] == pytest.approx(PAPER_SHARED_LUT[kind], rel=0.05)
+        assert report["shared_fits"]
+        assert not report["no_sharing_fits"]
+        assert report["no_sharing"]["lut"] > 1.8 * report["shared"]["lut"]
+        assert report["frontend_share_of_lut"] > 0.5

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Accelerator design study: characterize a workload and size EDX-CAR/EDX-DRONE.
+
+This example reproduces the paper's design flow end to end:
+
+1. Characterize the unified framework on the baseline CPU model to find the
+   latency and latency-variation bottlenecks (frontend; projection /
+   Kalman gain / marginalization).
+2. Apply the Eudoxus accelerator model (frontend pipeline + scheduled backend
+   kernel offload) and report speedup, variation reduction, throughput and
+   energy for both platform instantiations.
+3. Print the FPGA resource budget of each instantiation, including the
+   no-sharing ablation of Table II.
+
+Run with:  python examples/accelerator_study.py
+"""
+
+from repro.characterization.report import format_table
+from repro.experiments.fig05_08_characterization import dominant_backend_kernel, frontend_backend_by_mode
+from repro.experiments.fig17_21_acceleration import acceleration_report
+from repro.experiments.table2_resources import resource_report
+
+DURATION = 10.0
+
+
+def characterize(platform_kind: str) -> None:
+    print(f"\n--- Characterization on the {platform_kind} baseline CPU ---")
+    shares = frontend_backend_by_mode(platform_kind, duration=DURATION)
+    rows = [
+        [mode, data["frontend"]["share_percent"], data["backend"]["share_percent"],
+         data["backend"]["rsd_percent"]]
+        for mode, data in shares.items()
+    ]
+    print(format_table(["mode", "frontend_%", "backend_%", "backend_RSD_%"], rows))
+    print("Dominant backend kernels:", dominant_backend_kernel(platform_kind, duration=DURATION))
+
+
+def accelerate(platform_kind: str) -> None:
+    print(f"\n--- EDX-{platform_kind.upper()} accelerator model ---")
+    report = acceleration_report(platform_kind, duration=DURATION)
+    rows = [
+        [mode, data["baseline_latency_ms"], data["eudoxus_latency_ms"], data["speedup"],
+         data["sd_reduction_percent"], data["eudoxus_fps_pipelined"],
+         data["energy_reduction_percent"]]
+        for mode, data in report.items()
+    ]
+    print(format_table(
+        ["mode", "base_ms", "edx_ms", "speedup", "sd_red_%", "fps_pipelined", "energy_red_%"], rows,
+    ))
+
+
+def size_fpga(platform_kind: str) -> None:
+    report = resource_report(platform_kind)
+    print(f"\n--- {report['platform']} on {report['device']} ---")
+    rows = [
+        [resource, report["shared"][resource], report["utilization_percent"][resource],
+         report["no_sharing"][resource]]
+        for resource in ("lut", "flip_flop", "dsp", "bram_mb")
+    ]
+    print(format_table(["resource", "used", "util_%", "no_sharing"], rows))
+    print(f"Design fits: {report['shared_fits']}; without sharing it would fit: "
+          f"{report['no_sharing_fits']}")
+
+
+def main() -> None:
+    characterize("car")
+    for platform_kind in ("car", "drone"):
+        accelerate(platform_kind)
+        size_fpga(platform_kind)
+
+
+if __name__ == "__main__":
+    main()

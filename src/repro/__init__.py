@@ -1,0 +1,27 @@
+"""Eudoxus reproduction: unified localization framework and accelerator model.
+
+The package reproduces the system described in "Eudoxus: Characterizing and
+Accelerating Localization in Autonomous Machines" (HPCA 2021):
+
+* ``repro.common``, ``repro.sensors`` — geometry, camera and sensor-simulation
+  substrates replacing the paper's proprietary datasets.
+* ``repro.frontend`` — the shared vision frontend (FAST, ORB, stereo matching,
+  Lucas-Kanade tracking).
+* ``repro.backend`` — the three backend modes (registration, MSCKF VIO with
+  GPS fusion, bundle-adjustment SLAM) and their matrix kernels.
+* ``repro.core`` — the unified localization framework that fuses the three.
+* ``repro.linalg`` — the five matrix building blocks of Table I.
+* ``repro.hardware`` — the FPGA accelerator model (EDX-CAR / EDX-DRONE).
+* ``repro.scheduler`` — the runtime offload scheduler.
+* ``repro.baselines``, ``repro.characterization``, ``repro.metrics``,
+  ``repro.experiments`` — CPU/GPU cost models, latency characterization and
+  the per-figure experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.config import LocalizerConfig
+from repro.core.framework import EudoxusLocalizer
+from repro.core.modes import BackendMode
+
+__all__ = ["LocalizerConfig", "EudoxusLocalizer", "BackendMode", "__version__"]

@@ -1,0 +1,76 @@
+"""GPS fusion (the Fusion block, VIO mode only).
+
+The fusion block corrects the cumulative drift of the filtering block by
+integrating GPS position fixes through a loosely-coupled EKF (Sec. IV-A):
+the filter's pose estimate is treated as the propagated state and the GPS
+fix as a direct position observation.  The correction is expressed as a
+world-frame offset (position bias) applied on top of the VIO estimate so the
+filter itself is not destabilised — the standard loosely-coupled design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.config import FusionConfig
+from repro.common.geometry import Pose
+from repro.sensors.gps import GpsSample
+
+
+class GpsFusion:
+    """Loosely-coupled EKF fusing VIO poses with GPS position fixes."""
+
+    def __init__(self, config: Optional[FusionConfig] = None) -> None:
+        self.config = config or FusionConfig()
+        # State: 3-D offset between the VIO frame and the GPS/world frame.
+        self.offset = np.zeros(3)
+        self.covariance = np.eye(3) * 1.0
+        self.fix_count = 0
+        self._consecutive_rejects = 0
+
+    def reset(self) -> None:
+        self.offset = np.zeros(3)
+        self.covariance = np.eye(3) * 1.0
+        self.fix_count = 0
+        self._consecutive_rejects = 0
+
+    def predict(self) -> None:
+        """Random-walk prediction: drift between VIO and world grows slowly."""
+        self.covariance = self.covariance + np.eye(3) * self.config.process_noise**2
+
+    def update(self, vio_pose: Pose, gps: GpsSample) -> None:
+        """Fuse one GPS fix against the current VIO position estimate."""
+        if not gps.valid:
+            return
+        self.predict()
+        measurement = gps.position - vio_pose.translation
+        innovation = measurement - self.offset
+        noise = gps.covariance if gps.covariance is not None else np.eye(3) * self.config.gps_position_noise**2
+        innovation_cov = self.covariance + noise
+
+        # Gate out multipath glitches using the Mahalanobis distance.  A burst
+        # of consecutive rejections means the VIO drift itself is moving the
+        # innovation (not a glitch), so the gate re-opens after a few epochs.
+        try:
+            mahalanobis = float(innovation @ np.linalg.solve(innovation_cov, innovation))
+        except np.linalg.LinAlgError:
+            return
+        if mahalanobis > self.config.gate_threshold and self.fix_count > 3 and self._consecutive_rejects < 5:
+            self._consecutive_rejects += 1
+            return
+        self._consecutive_rejects = 0
+
+        gain = self.covariance @ np.linalg.inv(innovation_cov)
+        self.offset = self.offset + gain @ innovation
+        self.covariance = (np.eye(3) - gain) @ self.covariance
+        self.fix_count += 1
+
+    def corrected_pose(self, vio_pose: Pose) -> Pose:
+        """The VIO pose with the estimated world offset applied."""
+        return Pose(vio_pose.rotation.copy(), vio_pose.translation + self.offset)
+
+    @property
+    def has_converged(self) -> bool:
+        return self.fix_count >= 3

@@ -1,0 +1,361 @@
+"""Mapping block: sliding-window bundle adjustment (SLAM mode).
+
+The mapping block solves a non-linear least-squares problem over a window of
+keyframe poses and the landmarks they observe, minimizing the discrepancy
+between the stereo-measured body-frame points and the map (Sec. IV-A).  The
+problem is solved with Levenberg-Marquardt, mirroring the Ceres LM solver the
+paper targets, and uses the Schur complement over landmarks so the reduced
+system only involves keyframe poses.  When the window overflows, the oldest
+keyframe and its exclusive landmarks are marginalized into a prior — the
+SLAM mode's dominant latency-variation kernel (Fig. 8/11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.marginalization import MarginalizationResult, marginalize_schur
+from repro.common.config import MappingConfig
+from repro.common.geometry import Pose, skew, so3_exp
+from repro.common.timing import StopwatchCollector
+from repro.frontend.frontend import FrontendResult
+from repro.linalg.ops import matmul, transpose
+from repro.linalg.solvers import solve_cholesky, symmetric_inverse
+
+
+@dataclass
+class SlamWorkload:
+    """Problem sizes the SLAM backend kernels operated on this frame."""
+
+    keyframes: int = 0
+    landmarks: int = 0
+    observations: int = 0
+    solver_iterations: int = 0
+    hessian_dim: int = 0
+    marginalized_dim: int = 0
+    feature_points: int = 0
+
+
+@dataclass
+class Keyframe:
+    """One keyframe in the optimization window."""
+
+    frame_index: int
+    timestamp: float
+    pose: Pose
+    observations: Dict[int, np.ndarray] = field(default_factory=dict)  # track -> body point
+    observation_sigma: Dict[int, float] = field(default_factory=dict)  # track -> noise std
+
+    def sigma(self, track_id: int) -> float:
+        return self.observation_sigma.get(track_id, 0.1)
+
+
+class KeyframeMapper:
+    """Sliding-window bundle adjustment with Schur-complement marginalization."""
+
+    def __init__(self, config: Optional[MappingConfig] = None) -> None:
+        self.config = config or MappingConfig()
+        self.keyframes: List[Keyframe] = []
+        self.landmarks: Dict[int, np.ndarray] = {}
+        # Marginalization prior over the keyframe poses currently in the window.
+        self._prior_hessian: Optional[np.ndarray] = None
+        self._prior_gradient: Optional[np.ndarray] = None
+        self._prior_frames: List[int] = []
+        self.last_workload = SlamWorkload()
+        self.last_kernel_ms: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ interface
+
+    @property
+    def map_size(self) -> int:
+        return len(self.landmarks)
+
+    def landmark_positions(self) -> Dict[int, np.ndarray]:
+        return {track_id: position.copy() for track_id, position in self.landmarks.items()}
+
+    def latest_pose(self) -> Optional[Pose]:
+        if not self.keyframes:
+            return None
+        return self.keyframes[-1].pose.copy()
+
+    def should_insert_keyframe(self, pose: Pose) -> bool:
+        """Insert a keyframe when the pose moved enough since the last one."""
+        if not self.keyframes:
+            return True
+        last = self.keyframes[-1].pose
+        translation = float(np.linalg.norm(pose.translation - last.translation))
+        rotation = pose.rotation_angle_to(last)
+        return translation > self.config.keyframe_translation or rotation > self.config.keyframe_rotation
+
+    def insert_keyframe(self, frontend: FrontendResult, pose_guess: Pose) -> SlamWorkload:
+        """Add a keyframe, run the solver, and marginalize if needed."""
+        stopwatch = StopwatchCollector()
+        workload = SlamWorkload()
+
+        with stopwatch.measure("init"):
+            keyframe = Keyframe(
+                frame_index=frontend.frame_index,
+                timestamp=frontend.timestamp,
+                pose=pose_guess.copy(),
+                observations={obs.track_id: obs.point_body.copy() for obs in frontend.observations},
+                observation_sigma={obs.track_id: max(float(np.mean(obs.noise_std)), 1e-3)
+                                   for obs in frontend.observations},
+            )
+            self.keyframes.append(keyframe)
+            self._initialize_landmarks(keyframe)
+
+        with stopwatch.measure("solver"):
+            iterations = self._optimize(workload)
+            workload.solver_iterations = iterations
+
+        with stopwatch.measure("marginalization"):
+            if len(self.keyframes) > self.config.window_size:
+                self._marginalize_oldest(workload)
+
+        workload.keyframes = len(self.keyframes)
+        workload.landmarks = len(self.landmarks)
+        workload.observations = sum(len(kf.observations) for kf in self.keyframes)
+        self.last_workload = workload
+        self.last_kernel_ms = stopwatch.as_dict()
+        return workload
+
+    # ------------------------------------------------------------ internals
+
+    def _initialize_landmarks(self, keyframe: Keyframe) -> None:
+        for track_id, point_body in keyframe.observations.items():
+            if track_id not in self.landmarks:
+                self.landmarks[track_id] = keyframe.pose.transform_point(point_body)
+
+    def _window_landmark_ids(self) -> List[int]:
+        """Landmarks observed by at least two keyframes in the window."""
+        counts: Dict[int, int] = {}
+        for keyframe in self.keyframes:
+            for track_id in keyframe.observations:
+                counts[track_id] = counts.get(track_id, 0) + 1
+        return sorted(track_id for track_id, count in counts.items() if count >= 2 and track_id in self.landmarks)
+
+    def _optimize(self, workload: SlamWorkload) -> int:
+        """Levenberg-Marquardt over window poses and landmarks (Schur trick)."""
+        landmark_ids = self._window_landmark_ids()
+        if len(self.keyframes) < 2 or not landmark_ids:
+            return 0
+        damping = self.config.initial_damping
+        previous_cost = self._total_cost(landmark_ids)
+        iterations = 0
+        for _ in range(self.config.max_iterations):
+            iterations += 1
+            step = self._solve_normal_equations(landmark_ids, damping, workload)
+            if step is None:
+                break
+            pose_deltas, landmark_deltas = step
+            backup = self._snapshot()
+            self._apply_step(landmark_ids, pose_deltas, landmark_deltas)
+            cost = self._total_cost(landmark_ids)
+            if cost < previous_cost:
+                damping = max(damping * self.config.damping_down, 1e-9)
+                if previous_cost - cost < self.config.convergence_tolerance * max(previous_cost, 1.0):
+                    previous_cost = cost
+                    break
+                previous_cost = cost
+            else:
+                self._restore(backup)
+                damping *= self.config.damping_up
+        return iterations
+
+    def _snapshot(self):
+        return (
+            [(kf.pose.rotation.copy(), kf.pose.translation.copy()) for kf in self.keyframes],
+            {k: v.copy() for k, v in self.landmarks.items()},
+        )
+
+    def _restore(self, backup) -> None:
+        poses, landmarks = backup
+        for keyframe, (rotation, translation) in zip(self.keyframes, poses):
+            keyframe.pose = Pose(rotation, translation)
+        self.landmarks = landmarks
+
+    def _residual(self, keyframe: Keyframe, landmark: np.ndarray, measurement: np.ndarray) -> np.ndarray:
+        predicted = keyframe.pose.rotation.T @ (landmark - keyframe.pose.translation)
+        return measurement - predicted
+
+    def _huber_weight(self, residual: np.ndarray, sigma: float = 0.1) -> float:
+        """Inverse-variance weight with a Huber robustifier on the whitened norm."""
+        sigma = max(sigma, 1e-3)
+        base = 1.0 / sigma**2
+        norm = float(np.linalg.norm(residual)) / sigma
+        if norm <= self.config.huber_delta:
+            return base
+        return base * self.config.huber_delta / norm
+
+    def _total_cost(self, landmark_ids: List[int]) -> float:
+        cost = 0.0
+        landmark_set = set(landmark_ids)
+        for keyframe in self.keyframes:
+            for track_id, measurement in keyframe.observations.items():
+                if track_id not in landmark_set:
+                    continue
+                residual = self._residual(keyframe, self.landmarks[track_id], measurement)
+                weight = self._huber_weight(residual, keyframe.sigma(track_id))
+                cost += weight * float(residual @ residual)
+        return cost
+
+    def _solve_normal_equations(self, landmark_ids: List[int], damping: float,
+                                workload: SlamWorkload) -> Optional[Tuple[np.ndarray, Dict[int, np.ndarray]]]:
+        """Build and solve the damped normal equations with a Schur complement."""
+        pose_count = len(self.keyframes)
+        pose_dim = 6 * pose_count
+        landmark_index = {track_id: i for i, track_id in enumerate(landmark_ids)}
+        landmark_dim = 3 * len(landmark_ids)
+
+        h_pp = np.zeros((pose_dim, pose_dim))
+        h_pl = np.zeros((pose_dim, landmark_dim))
+        h_ll = np.zeros((landmark_dim, landmark_dim))
+        b_p = np.zeros(pose_dim)
+        b_l = np.zeros(landmark_dim)
+
+        landmark_set = set(landmark_ids)
+        for k_index, keyframe in enumerate(self.keyframes):
+            rotation_t = keyframe.pose.rotation.T
+            for track_id, measurement in keyframe.observations.items():
+                if track_id not in landmark_set:
+                    continue
+                landmark = self.landmarks[track_id]
+                residual = self._residual(keyframe, landmark, measurement)
+                weight = self._huber_weight(residual, keyframe.sigma(track_id))
+
+                # Jacobians of the residual w.r.t. pose error (rotation, translation)
+                # and w.r.t. the landmark position.
+                j_rotation = -rotation_t @ skew(landmark - keyframe.pose.translation)
+                j_translation = rotation_t
+                j_landmark = -rotation_t
+                j_pose = np.hstack([j_rotation, j_translation])  # 3 x 6
+
+                p0 = 6 * k_index
+                l0 = 3 * landmark_index[track_id]
+                h_pp[p0 : p0 + 6, p0 : p0 + 6] += weight * j_pose.T @ j_pose
+                h_pl[p0 : p0 + 6, l0 : l0 + 3] += weight * j_pose.T @ j_landmark
+                h_ll[l0 : l0 + 3, l0 : l0 + 3] += weight * j_landmark.T @ j_landmark
+                b_p[p0 : p0 + 6] += -weight * j_pose.T @ residual
+                b_l[l0 : l0 + 3] += -weight * j_landmark.T @ residual
+
+        # Gauge fixing: anchor the first keyframe with a strong prior.
+        h_pp[:6, :6] += np.eye(6) * 1e8
+        # Marginalization prior from previously removed keyframes.
+        self._apply_prior(h_pp, b_p)
+
+        h_pp += np.eye(pose_dim) * damping
+        h_ll += np.eye(landmark_dim) * damping
+
+        workload.hessian_dim = max(workload.hessian_dim, pose_dim + landmark_dim)
+
+        try:
+            # Schur complement over landmarks: H_ll is block diagonal (3x3).
+            h_ll_inv = np.zeros_like(h_ll)
+            for i in range(len(landmark_ids)):
+                block = h_ll[3 * i : 3 * i + 3, 3 * i : 3 * i + 3]
+                h_ll_inv[3 * i : 3 * i + 3, 3 * i : 3 * i + 3] = symmetric_inverse(block)
+            h_pl_h_ll_inv = matmul(h_pl, h_ll_inv)
+            reduced_h = h_pp - matmul(h_pl_h_ll_inv, transpose(h_pl))
+            reduced_b = b_p - h_pl_h_ll_inv @ b_l
+            pose_delta = solve_cholesky(reduced_h + np.eye(pose_dim) * 1e-9, reduced_b)
+            landmark_delta_vec = h_ll_inv @ (b_l - h_pl.T @ pose_delta)
+        except np.linalg.LinAlgError:
+            return None
+
+        landmark_deltas = {
+            track_id: landmark_delta_vec[3 * i : 3 * i + 3] for track_id, i in landmark_index.items()
+        }
+        return pose_delta, landmark_deltas
+
+    def _apply_step(self, landmark_ids: List[int], pose_delta: np.ndarray,
+                    landmark_deltas: Dict[int, np.ndarray]) -> None:
+        for k_index, keyframe in enumerate(self.keyframes):
+            delta = pose_delta[6 * k_index : 6 * k_index + 6]
+            keyframe.pose = Pose(
+                so3_exp(delta[:3]) @ keyframe.pose.rotation,
+                keyframe.pose.translation + delta[3:],
+            )
+        for track_id in landmark_ids:
+            self.landmarks[track_id] = self.landmarks[track_id] + landmark_deltas[track_id]
+
+    def _apply_prior(self, h_pp: np.ndarray, b_p: np.ndarray) -> None:
+        """Add the marginalization prior over the keyframes it references."""
+        if self._prior_hessian is None:
+            return
+        frame_to_slot = {kf.frame_index: i for i, kf in enumerate(self.keyframes)}
+        slots = [frame_to_slot.get(frame) for frame in self._prior_frames]
+        for a, slot_a in enumerate(slots):
+            if slot_a is None:
+                continue
+            b_p[6 * slot_a : 6 * slot_a + 6] += self._prior_gradient[6 * a : 6 * a + 6]
+            for b, slot_b in enumerate(slots):
+                if slot_b is None:
+                    continue
+                h_pp[6 * slot_a : 6 * slot_a + 6, 6 * slot_b : 6 * slot_b + 6] += self._prior_hessian[
+                    6 * a : 6 * a + 6, 6 * b : 6 * b + 6
+                ]
+
+    def _marginalize_oldest(self, workload: SlamWorkload) -> None:
+        """Marginalize the oldest keyframe and its exclusive landmarks."""
+        departing = self.keyframes[0]
+        remaining_frames = [kf.frame_index for kf in self.keyframes[1:]]
+
+        # Landmarks observed only by the departing keyframe are simply dropped
+        # (they carry no information about the remaining states); landmarks it
+        # shares with the window are marginalized through the Schur complement.
+        shared_landmarks = [
+            track_id for track_id in departing.observations
+            if track_id in self.landmarks
+            and any(track_id in kf.observations for kf in self.keyframes[1:])
+        ]
+        exclusive = [
+            track_id for track_id in departing.observations
+            if track_id in self.landmarks and track_id not in shared_landmarks
+        ]
+        workload.feature_points = len(departing.observations)
+
+        # Build a small linearized system over (departing pose, shared landmarks,
+        # remaining poses) and marginalize the first two groups.
+        pose_dim = 6 * len(self.keyframes)
+        landmark_dim = 3 * len(shared_landmarks)
+        total_dim = pose_dim + landmark_dim
+        hessian = np.zeros((total_dim, total_dim))
+        gradient = np.zeros(total_dim)
+        landmark_offset = {track_id: pose_dim + 3 * i for i, track_id in enumerate(shared_landmarks)}
+
+        for k_index, keyframe in enumerate(self.keyframes):
+            rotation_t = keyframe.pose.rotation.T
+            for track_id in shared_landmarks:
+                if track_id not in keyframe.observations:
+                    continue
+                measurement = keyframe.observations[track_id]
+                landmark = self.landmarks[track_id]
+                residual = self._residual(keyframe, landmark, measurement)
+                weight = self._huber_weight(residual, keyframe.sigma(track_id))
+                j_pose = np.hstack([-rotation_t @ skew(landmark - keyframe.pose.translation), rotation_t])
+                j_landmark = -rotation_t
+                p0 = 6 * k_index
+                l0 = landmark_offset[track_id]
+                hessian[p0 : p0 + 6, p0 : p0 + 6] += weight * j_pose.T @ j_pose
+                hessian[p0 : p0 + 6, l0 : l0 + 3] += weight * j_pose.T @ j_landmark
+                hessian[l0 : l0 + 3, p0 : p0 + 6] += weight * j_landmark.T @ j_pose
+                hessian[l0 : l0 + 3, l0 : l0 + 3] += weight * j_landmark.T @ j_landmark
+                gradient[p0 : p0 + 6] += -weight * j_pose.T @ residual
+                gradient[l0 : l0 + 3] += -weight * j_landmark.T @ residual
+
+        marginalize_indices = list(range(0, 6)) + list(range(pose_dim, total_dim))
+        result: MarginalizationResult = marginalize_schur(hessian, gradient, marginalize_indices)
+        workload.marginalized_dim = result.marginalized_dim
+
+        self._prior_hessian = result.hessian
+        self._prior_gradient = result.gradient
+        self._prior_frames = remaining_frames
+
+        for track_id in exclusive:
+            # Exclusive landmarks leave the active map but stay available to
+            # the tracking block as part of the persisted map.
+            pass
+        self.keyframes.pop(0)

@@ -1,0 +1,328 @@
+"""Multi-State Constraint Kalman Filter (the Filtering block of VIO mode).
+
+The MSCKF keeps a sliding window of past camera poses (clones) rather than
+just the most recent state (Sec. IV-A).  IMU samples drive the propagation;
+stereo feature tracks that finish (or grow too long) drive the update.  The
+measurement model uses the stereo-triangulated 3-D point of each observation
+expressed in the body frame of the observing clone, which matches the stereo
+MSCKF the paper builds on.
+
+The Kalman-gain computation — the VIO mode's dominant latency-variation
+kernel (Fig. 7/10) — is implemented exactly as the accelerator executes it:
+form ``S = H P H^T + R`` exploiting symmetry, Cholesky-decompose ``S`` and
+forward/backward-substitute to solve ``S K^T = H P`` (Equ. 1a/1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.state import CLONE_ERROR_DIM, IMU_ERROR_DIM, MsckfState
+from repro.common.config import MSCKFConfig
+from repro.common.geometry import Pose, skew, so3_exp
+from repro.common.timing import StopwatchCollector
+from repro.frontend.frontend import FrontendResult, TrackObservation
+from repro.linalg.decompositions import qr_decompose
+from repro.linalg.ops import matmul, quadratic_form, transpose
+from repro.linalg.solvers import solve_cholesky
+from repro.sensors.imu import GRAVITY, ImuSample
+
+
+@dataclass
+class VioWorkload:
+    """Matrix sizes the VIO backend kernels operated on this frame."""
+
+    imu_samples: int = 0
+    clone_count: int = 0
+    state_dim: int = IMU_ERROR_DIM
+    features_used: int = 0
+    jacobian_rows: int = 0
+    kalman_gain_dim: int = 0
+    qr_rows: int = 0
+
+    @property
+    def feature_points(self) -> int:
+        """Number of feature points driving the update (Fig. 16b x-axis)."""
+        return self.features_used
+
+
+@dataclass
+class _TrackRecord:
+    """Accumulated body-frame observations of one track across clones."""
+
+    track_id: int
+    observations: List[Tuple[int, np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    def add(self, frame_index: int, point_body: np.ndarray, noise_std: np.ndarray) -> None:
+        self.observations.append(
+            (
+                frame_index,
+                np.asarray(point_body, dtype=float).reshape(3),
+                np.asarray(noise_std, dtype=float).reshape(3),
+            )
+        )
+
+    @property
+    def length(self) -> int:
+        return len(self.observations)
+
+
+class Msckf:
+    """Stereo MSCKF with body-frame point measurements."""
+
+    def __init__(self, config: Optional[MSCKFConfig] = None) -> None:
+        self.config = config or MSCKFConfig()
+        self.state = MsckfState(window_size=self.config.window_size)
+        self._tracks: Dict[int, _TrackRecord] = {}
+        self._initialized = False
+        self.last_workload = VioWorkload()
+        self.last_kernel_ms: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def initialize(self, pose: Pose, velocity: Optional[np.ndarray] = None) -> None:
+        """Initialize the filter at a known pose (first frame of a segment)."""
+        self.state = MsckfState(window_size=self.config.window_size)
+        self.state.imu.rotation = pose.rotation.copy()
+        self.state.imu.position = pose.translation.copy()
+        self.state.imu.velocity = (
+            np.asarray(velocity, dtype=float).reshape(3) if velocity is not None else np.zeros(3)
+        )
+        self._tracks = {}
+        self._initialized = True
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def pose(self) -> Pose:
+        return self.state.imu.pose()
+
+    # ----------------------------------------------------------- processing
+
+    def process_frame(self, frontend: FrontendResult, imu_samples: List[ImuSample]) -> Pose:
+        """Propagate with the IMU batch, then update with finished tracks."""
+        if not self._initialized:
+            raise RuntimeError("Msckf.initialize must be called before process_frame")
+        stopwatch = StopwatchCollector()
+        workload = VioWorkload()
+
+        with stopwatch.measure("imu_processing"):
+            self._propagate(imu_samples)
+            workload.imu_samples = len(imu_samples)
+
+        with stopwatch.measure("covariance"):
+            self.state.augment(frontend.frame_index, frontend.timestamp)
+            self.state.prune_oldest(self.config.window_size)
+            workload.clone_count = len(self.state.clones)
+            workload.state_dim = self.state.error_dim
+
+        self._record_observations(frontend)
+        finished = self._select_update_tracks(frontend)
+        if finished:
+            self._update(finished, stopwatch, workload)
+
+        self.last_workload = workload
+        self.last_kernel_ms = stopwatch.as_dict()
+        return self.pose()
+
+    # ---------------------------------------------------------- propagation
+
+    def _propagate(self, imu_samples: List[ImuSample]) -> None:
+        if len(imu_samples) < 2:
+            return
+        imu = self.state.imu
+        cfg = self.config
+        for i in range(len(imu_samples) - 1):
+            dt = imu_samples[i + 1].timestamp - imu_samples[i].timestamp
+            if dt <= 0:
+                continue
+            gyro = imu_samples[i].angular_velocity - imu.gyro_bias
+            accel = imu_samples[i].linear_acceleration - imu.accel_bias
+
+            rotation = imu.rotation
+            accel_world = rotation @ accel + GRAVITY
+
+            # Error-state transition (world-frame rotation error convention).
+            state_dim = self.state.error_dim
+            phi_imu = np.eye(IMU_ERROR_DIM)
+            phi_imu[0:3, 9:12] = -rotation * dt
+            phi_imu[3:6, 6:9] = np.eye(3) * dt
+            phi_imu[6:9, 0:3] = -skew(rotation @ accel) * dt
+            phi_imu[6:9, 12:15] = -rotation * dt
+
+            noise = np.zeros((IMU_ERROR_DIM, IMU_ERROR_DIM))
+            noise[0:3, 0:3] = np.eye(3) * cfg.imu_gyro_noise**2 * dt
+            noise[6:9, 6:9] = np.eye(3) * cfg.imu_accel_noise**2 * dt
+            noise[9:12, 9:12] = np.eye(3) * cfg.imu_gyro_bias_noise**2 * dt
+            noise[12:15, 12:15] = np.eye(3) * cfg.imu_accel_bias_noise**2 * dt
+
+            cov = self.state.covariance
+            cov[:IMU_ERROR_DIM, :IMU_ERROR_DIM] = (
+                phi_imu @ cov[:IMU_ERROR_DIM, :IMU_ERROR_DIM] @ phi_imu.T + noise
+            )
+            if state_dim > IMU_ERROR_DIM:
+                cov[:IMU_ERROR_DIM, IMU_ERROR_DIM:] = phi_imu @ cov[:IMU_ERROR_DIM, IMU_ERROR_DIM:]
+                cov[IMU_ERROR_DIM:, :IMU_ERROR_DIM] = cov[:IMU_ERROR_DIM, IMU_ERROR_DIM:].T
+
+            # Nominal state integration.
+            imu.rotation = rotation @ so3_exp(gyro * dt)
+            imu.position = imu.position + imu.velocity * dt + 0.5 * accel_world * dt * dt
+            imu.velocity = imu.velocity + accel_world * dt
+        self.state.symmetrize()
+
+    # -------------------------------------------------------------- updates
+
+    def _record_observations(self, frontend: FrontendResult) -> None:
+        for obs in frontend.observations:
+            record = self._tracks.setdefault(obs.track_id, _TrackRecord(obs.track_id))
+            record.add(frontend.frame_index, obs.point_body, obs.noise_std)
+
+    def _select_update_tracks(self, frontend: FrontendResult) -> List[_TrackRecord]:
+        """Tracks that are lost this frame or have spanned the full window."""
+        current_ids = set(frontend.track_ids)
+        clone_frames = {clone.frame_index for clone in self.state.clones}
+        finished: List[_TrackRecord] = []
+        for track_id in list(self._tracks.keys()):
+            record = self._tracks[track_id]
+            # Keep only observations that still have a clone in the window.
+            record.observations = [
+                (frame, point, noise) for frame, point, noise in record.observations
+                if frame in clone_frames
+            ]
+            if not record.observations:
+                del self._tracks[track_id]
+                continue
+            lost = track_id not in current_ids
+            saturated = record.length >= self.config.window_size
+            if (lost or saturated) and record.length >= self.config.min_track_for_update:
+                finished.append(record)
+                del self._tracks[track_id]
+        finished.sort(key=lambda r: r.length, reverse=True)
+        return finished[: self.config.max_features_per_update]
+
+    def _triangulate_track(self, record: _TrackRecord) -> Optional[np.ndarray]:
+        """Estimate the world-frame feature position from clone observations.
+
+        Observations are combined with inverse-variance weights so close-range
+        (accurate) stereo points dominate over distant (noisy) ones.
+        """
+        points = []
+        weights = []
+        for frame_index, point_body, noise_std in record.observations:
+            if not self.state.has_clone(frame_index):
+                continue
+            clone = self.state.clone_by_frame(frame_index)
+            points.append(clone.rotation @ point_body + clone.position)
+            weights.append(1.0 / float(noise_std[0] ** 2))
+        if not points:
+            return None
+        points = np.asarray(points)
+        weights = np.asarray(weights).reshape(-1, 1)
+        return (points * weights).sum(axis=0) / weights.sum()
+
+    def _update(self, tracks: List[_TrackRecord], stopwatch: StopwatchCollector,
+                workload: VioWorkload) -> None:
+        state_dim = self.state.error_dim
+
+        with stopwatch.measure("jacobian"):
+            rows: List[np.ndarray] = []
+            residuals: List[np.ndarray] = []
+            for record in tracks:
+                block = self._feature_jacobian(record)
+                if block is None:
+                    continue
+                h_block, r_block = block
+                rows.append(h_block)
+                residuals.append(r_block)
+            if not rows:
+                return
+            h_stack = np.vstack(rows)
+            r_stack = np.concatenate(residuals)
+            workload.features_used = len(rows)
+
+        with stopwatch.measure("qr"):
+            # Compress the stacked Jacobian when it is taller than the state.
+            workload.qr_rows = h_stack.shape[0]
+            if h_stack.shape[0] > state_dim:
+                q, r_upper = qr_decompose(h_stack)
+                h_stack = r_upper
+                r_stack = q.T @ r_stack
+            workload.jacobian_rows = h_stack.shape[0]
+
+        with stopwatch.measure("kalman_gain"):
+            noise = np.eye(h_stack.shape[0]) * self.config.observation_noise**2
+            covariance = self.state.covariance
+            s_matrix = quadratic_form(h_stack, covariance) + noise
+            ph_t = matmul(covariance, transpose(h_stack))
+            # Solve S K^T = H P  =>  K = (S^-1 H P)^T, via Cholesky + substitution.
+            k_transposed = solve_cholesky(s_matrix, transpose(ph_t))
+            kalman_gain = k_transposed.T
+            workload.kalman_gain_dim = s_matrix.shape[0]
+
+        with stopwatch.measure("covariance"):
+            correction = kalman_gain @ r_stack
+            identity = np.eye(state_dim)
+            ikh = identity - kalman_gain @ h_stack
+            self.state.covariance = (
+                ikh @ self.state.covariance @ ikh.T + kalman_gain @ noise @ kalman_gain.T
+            )
+            self.state.symmetrize()
+            self.state.apply_correction(correction)
+
+    def _feature_jacobian(self, record: _TrackRecord) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Build the nullspace-projected Jacobian and residual for one track."""
+        feature_world = self._triangulate_track(record)
+        if feature_world is None:
+            return None
+        state_dim = self.state.error_dim
+
+        h_x_rows: List[np.ndarray] = []
+        h_f_rows: List[np.ndarray] = []
+        residuals: List[np.ndarray] = []
+        for frame_index, point_body, noise_std in record.observations:
+            if not self.state.has_clone(frame_index):
+                continue
+            clone_index = next(
+                i for i, clone in enumerate(self.state.clones) if clone.frame_index == frame_index
+            )
+            clone = self.state.clones[clone_index]
+            predicted = clone.rotation.T @ (feature_world - clone.position)
+            residual = point_body - predicted
+
+            h_x = np.zeros((3, state_dim))
+            offset = self.state.clone_offset(clone_index)
+            h_x[:, offset : offset + 3] = clone.rotation.T @ skew(feature_world - clone.position)
+            h_x[:, offset + 3 : offset + 6] = -clone.rotation.T
+            h_f = clone.rotation.T
+
+            # Whiten by the per-axis stereo noise so the update can use an
+            # identity measurement covariance (scaled by observation_noise).
+            whitening = 1.0 / noise_std
+            h_x = whitening[:, None] * h_x
+            h_f = whitening[:, None] * h_f
+            residual = whitening * residual
+
+            h_x_rows.append(h_x)
+            h_f_rows.append(h_f)
+            residuals.append(residual)
+
+        if len(residuals) < 2:
+            return None
+        h_x_stack = np.vstack(h_x_rows)
+        h_f_stack = np.vstack(h_f_rows)
+        residual_stack = np.concatenate(residuals)
+
+        # Project onto the left nullspace of H_f to remove the feature error.
+        q_full, _ = np.linalg.qr(h_f_stack, mode="complete")
+        nullspace = q_full[:, 3:]
+        projected_h = nullspace.T @ h_x_stack
+        projected_r = nullspace.T @ residual_stack
+
+        # Chi-square style gating on the residual magnitude.
+        if np.linalg.norm(projected_r) > 10.0 * self.config.observation_noise * np.sqrt(len(projected_r)):
+            return None
+        return projected_h, projected_r

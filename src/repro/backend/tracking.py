@@ -1,0 +1,269 @@
+"""Tracking block: pose estimation against a map (registration and SLAM).
+
+Given the current frame's stereo features and a map of 3-D points, the
+tracking block estimates the absolute pose.  Its pipeline follows the
+registration-mode breakdown of Fig. 6:
+
+* **Projection** — project every map point through the camera model at the
+  pose prior (the ``C @ X`` matrix multiplication whose latency scales with
+  the number of map points, Fig. 16a).
+* **Match** — associate current observations with projected map points
+  (by persistent identity in sparse mode, by descriptor otherwise), with the
+  bag-of-words database used for relocalization when the prior is unreliable.
+* **Pose optimization** — closed-form absolute orientation (Horn/SVD) on the
+  3-D/3-D correspondences followed by robust re-weighted refinement.
+* **Update** — refresh map statistics and the keyframe database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.bow import BinaryVocabulary, KeyframeDatabase
+from repro.common.camera import PinholeCamera
+from repro.common.config import TrackingConfig
+from repro.common.geometry import Pose, homogeneous
+from repro.common.timing import StopwatchCollector
+from repro.frontend.frontend import FrontendResult, synthetic_descriptors_for_tracks
+from repro.frontend.orb import descriptor_from_seed, hamming_distance_matrix
+from repro.linalg.ops import matmul
+from repro.sensors.world import LandmarkWorld, camera_frame_from_body
+
+
+@dataclass
+class RegistrationWorkload:
+    """Problem sizes the registration-mode kernels operated on this frame."""
+
+    map_points: int = 0
+    projected_points: int = 0
+    matches: int = 0
+    inliers: int = 0
+    pose_iterations: int = 0
+
+    @property
+    def projection_points(self) -> int:
+        """The Fig. 16a x-axis: number of points pushed through projection."""
+        return self.map_points
+
+
+@dataclass
+class MapPoint:
+    """One point of a localization map."""
+
+    point_id: int
+    position: np.ndarray
+    descriptor: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).reshape(3)
+
+
+class LocalizationMap:
+    """A map of 3-D points plus a keyframe database for place recognition."""
+
+    def __init__(self, points: Optional[List[MapPoint]] = None,
+                 vocabulary: Optional[BinaryVocabulary] = None) -> None:
+        self.points: Dict[int, MapPoint] = {p.point_id: p for p in (points or [])}
+        self.vocabulary = vocabulary
+        self.database = KeyframeDatabase()
+        self.keyframe_poses: Dict[int, Pose] = {}
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def positions(self) -> np.ndarray:
+        if not self.points:
+            return np.zeros((0, 3))
+        return np.array([p.position for p in self.points.values()])
+
+    @property
+    def point_ids(self) -> List[int]:
+        return list(self.points.keys())
+
+    def descriptors(self) -> np.ndarray:
+        items = [p.descriptor for p in self.points.values() if p.descriptor is not None]
+        if not items:
+            return np.zeros((0, 32), dtype=np.uint8)
+        return np.stack(items)
+
+    def add_point(self, point: MapPoint) -> None:
+        self.points[point.point_id] = point
+
+    def update_point(self, point_id: int, position: np.ndarray) -> None:
+        if point_id in self.points:
+            self.points[point_id].position = np.asarray(position, dtype=float).reshape(3)
+        else:
+            self.add_point(MapPoint(point_id, position))
+
+    def add_keyframe(self, keyframe_id: int, pose: Pose, descriptors: np.ndarray) -> None:
+        self.keyframe_poses[keyframe_id] = pose.copy()
+        if self.vocabulary is not None and self.vocabulary.trained and descriptors.shape[0] > 0:
+            self.database.add(keyframe_id, self.vocabulary.transform(descriptors))
+
+    @classmethod
+    def from_world(cls, world: LandmarkWorld, position_noise: float = 0.05,
+                   vocabulary_words: int = 64, seed: int = 0) -> "LocalizationMap":
+        """Build a pre-constructed map from a simulated landmark world.
+
+        This models the paper's "known environment": the environment has been
+        mapped on a previous traversal, so the map is accurate up to a small
+        survey noise.
+        """
+        rng = np.random.default_rng(seed)
+        points = []
+        descriptors = []
+        for landmark in world.landmarks:
+            noisy = landmark.position + rng.normal(0.0, position_noise, size=3)
+            descriptor = descriptor_from_seed(landmark.landmark_id * 2654435761 % (2**31))
+            points.append(MapPoint(landmark.landmark_id, noisy, descriptor))
+            descriptors.append(descriptor)
+        vocabulary = BinaryVocabulary(num_words=min(vocabulary_words, max(2, len(points) // 2)), seed=seed)
+        if len(descriptors) >= vocabulary.num_words:
+            vocabulary.train(np.stack(descriptors))
+        return cls(points, vocabulary)
+
+    @classmethod
+    def from_landmark_positions(cls, positions: Dict[int, np.ndarray]) -> "LocalizationMap":
+        """Build a map from the SLAM mapper's current landmark estimates."""
+        return cls([MapPoint(pid, pos) for pid, pos in positions.items()])
+
+
+class MapTracker:
+    """Estimates the pose of each frame against a :class:`LocalizationMap`."""
+
+    def __init__(self, config: Optional[TrackingConfig] = None,
+                 camera: Optional[PinholeCamera] = None) -> None:
+        self.config = config or TrackingConfig()
+        self.camera = camera
+        self.last_workload = RegistrationWorkload()
+        self.last_kernel_ms: Dict[str, float] = {}
+
+    def track(self, frontend: FrontendResult, localization_map: LocalizationMap,
+              prior_pose: Optional[Pose] = None) -> Tuple[Optional[Pose], RegistrationWorkload]:
+        """Estimate the frame pose; returns (pose, workload)."""
+        stopwatch = StopwatchCollector()
+        workload = RegistrationWorkload(map_points=len(localization_map))
+        prior = prior_pose or Pose.identity()
+
+        with stopwatch.measure("projection"):
+            projected = self._project_map(localization_map, prior)
+            workload.projected_points = projected.shape[1] if projected.size else 0
+
+        with stopwatch.measure("match"):
+            correspondences = self._match(frontend, localization_map)
+            workload.matches = len(correspondences)
+
+        pose: Optional[Pose] = None
+        with stopwatch.measure("pose_optimization"):
+            if len(correspondences) >= self.config.min_inliers:
+                pose, inliers, iterations = self._estimate_pose(correspondences)
+                workload.inliers = inliers
+                workload.pose_iterations = iterations
+
+        with stopwatch.measure("update"):
+            if pose is not None and localization_map.vocabulary is not None and localization_map.vocabulary.trained:
+                descriptors = synthetic_descriptors_for_tracks(frontend.observations)
+                if descriptors.shape[0] > 0:
+                    localization_map.add_keyframe(frontend.frame_index, pose, descriptors)
+
+        self.last_workload = workload
+        self.last_kernel_ms = stopwatch.as_dict()
+        return pose, workload
+
+    # ------------------------------------------------------------ internals
+
+    def _project_map(self, localization_map: LocalizationMap, prior: Pose) -> np.ndarray:
+        """Project all map points through the camera model at the prior pose.
+
+        This is the registration-mode Projection kernel: a 3x4 camera matrix
+        multiplied with a 4xM homogeneous point matrix (Sec. VI-A).
+        """
+        positions = localization_map.positions
+        if positions.shape[0] == 0:
+            return np.zeros((3, 0))
+        camera = self.camera or PinholeCamera.from_fov(640, 480, 90.0)
+        points_body = (positions - prior.translation) @ prior.rotation
+        points_camera = camera_frame_from_body(points_body)
+        homogeneous_points = homogeneous(points_camera).T  # 4 x M
+        return matmul(camera.projection_matrix, homogeneous_points)
+
+    def _match(self, frontend: FrontendResult,
+               localization_map: LocalizationMap) -> List[Tuple[np.ndarray, np.ndarray, float]]:
+        """Associate observations to map points.
+
+        Returns (body point, map point, noise std) triples, where the noise
+        std summarises the stereo triangulation uncertainty of the body point.
+        """
+        correspondences: List[Tuple[np.ndarray, np.ndarray, float]] = []
+        matched_by_id = 0
+        for obs in frontend.observations:
+            map_point = localization_map.points.get(obs.track_id)
+            if map_point is not None:
+                correspondences.append((obs.point_body, map_point.position, obs.depth_std))
+                matched_by_id += 1
+        if matched_by_id >= self.config.min_inliers:
+            return correspondences
+
+        # Fall back to descriptor matching (needed when track identities do not
+        # align with map identities, e.g. dense-frontend relocalization).
+        descriptors = synthetic_descriptors_for_tracks(frontend.observations)
+        map_descriptors = localization_map.descriptors()
+        if descriptors.shape[0] == 0 or map_descriptors.shape[0] == 0:
+            return correspondences
+        distances = hamming_distance_matrix(descriptors, map_descriptors)
+        map_ids = [p.point_id for p in localization_map.points.values()]
+        for i, obs in enumerate(frontend.observations):
+            j = int(np.argmin(distances[i]))
+            if distances[i, j] <= 64:
+                correspondences.append(
+                    (obs.point_body, localization_map.points[map_ids[j]].position, obs.depth_std)
+                )
+        return correspondences
+
+    def _estimate_pose(self, correspondences: List[Tuple[np.ndarray, np.ndarray, float]]) -> Tuple[Pose, int, int]:
+        """Robust absolute-orientation estimation from 3-D/3-D matches."""
+        body = np.array([c[0] for c in correspondences])
+        world = np.array([c[1] for c in correspondences])
+        sigma = np.maximum(np.array([c[2] for c in correspondences]), 1e-3)
+        base_weights = 1.0 / sigma**2
+        weights = base_weights.copy()
+        pose = Pose.identity()
+        iterations = 0
+        inliers = len(correspondences)
+        for iteration in range(self.config.pnp_iterations):
+            iterations += 1
+            pose = _weighted_horn(body, world, weights)
+            predicted = pose.transform_points(body)
+            errors = np.linalg.norm(predicted - world, axis=1)
+            threshold = self.config.pnp_inlier_threshold * np.maximum(sigma, 0.05)
+            inlier_mask = errors <= threshold
+            inliers = int(inlier_mask.sum())
+            new_weights = base_weights * inlier_mask.astype(float)
+            if inliers < self.config.min_inliers:
+                new_weights = base_weights
+                inliers = len(correspondences)
+            if np.allclose(new_weights, weights):
+                break
+            weights = new_weights
+        return pose, inliers, iterations
+
+
+def _weighted_horn(body: np.ndarray, world: np.ndarray, weights: np.ndarray) -> Pose:
+    """Weighted Horn's method: find R, t with ``world ~= R @ body + t``."""
+    weights = np.asarray(weights, dtype=float)
+    total = max(weights.sum(), 1e-9)
+    body_centroid = (weights[:, None] * body).sum(axis=0) / total
+    world_centroid = (weights[:, None] * world).sum(axis=0) / total
+    body_centered = body - body_centroid
+    world_centered = world - world_centroid
+    covariance = (weights[:, None] * body_centered).T @ world_centered
+    u, _, vt = np.linalg.svd(covariance)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, d])
+    rotation = vt.T @ correction @ u.T
+    translation = world_centroid - rotation @ body_centroid
+    return Pose(rotation, translation)

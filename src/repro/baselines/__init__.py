@@ -1,0 +1,40 @@
+"""CPU/GPU/DSP baseline platform cost models.
+
+The paper's baselines are optimized multi-core CPU implementations (Intel
+Kaby Lake for the car, ARM Cortex-A57 for the drone), plus single-core,
+ROS-overhead, GPU and DSP variants in Table III.  Since we cannot run those
+platforms, the models here translate per-frame frontend/backend workloads
+into milliseconds using calibrated per-operation costs, preserving the
+paper's latency distribution (Fig. 5-11) and relative platform ordering
+(Table III).
+"""
+
+from repro.baselines.platforms import (
+    PlatformSpec,
+    KABY_LAKE_MULTI,
+    KABY_LAKE_MULTI_ROS,
+    KABY_LAKE_SINGLE,
+    KABY_LAKE_SINGLE_ROS,
+    ARM_A57_MULTI,
+    ADRENO_GPU,
+    HEXAGON_DSP,
+    MAXWELL_GPU,
+    TABLE_III_PLATFORMS,
+)
+from repro.baselines.cpu import BackendCostModel, CpuLatencyModel, FrontendCostModel
+
+__all__ = [
+    "PlatformSpec",
+    "KABY_LAKE_MULTI",
+    "KABY_LAKE_MULTI_ROS",
+    "KABY_LAKE_SINGLE",
+    "KABY_LAKE_SINGLE_ROS",
+    "ARM_A57_MULTI",
+    "ADRENO_GPU",
+    "HEXAGON_DSP",
+    "MAXWELL_GPU",
+    "TABLE_III_PLATFORMS",
+    "FrontendCostModel",
+    "BackendCostModel",
+    "CpuLatencyModel",
+]

@@ -1,0 +1,123 @@
+"""Baseline platform specifications.
+
+Each platform is described by a speed factor relative to the paper's primary
+baseline (four-core Intel Kaby Lake, multi-core + SIMD, without ROS) and by
+fixed per-frame overheads.  The factors are calibrated so the Table III
+speedups of EDX-CAR over each platform are reproduced:
+
+==============================  =================
+Baseline                        EDX-CAR speedup
+==============================  =================
+Single-core w/ ROS              3.5x
+Single-core w/o ROS             3.3x
+Multi-core w/ ROS               2.2x
+Multi-core w/o ROS (baseline)   2.1x
+Adreno 530 GPU + CPU            4.4x
+Hexagon 680 DSP + CPU           2.5x
+Maxwell mobile GPU + CPU        2.5x
+==============================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A general-purpose compute platform running the localization software."""
+
+    name: str
+    # Multiplier on every compute kernel relative to the Kaby Lake multi-core
+    # baseline (larger = slower platform).
+    speed_factor: float
+    # Fixed per-frame overhead in milliseconds (e.g. ROS message passing,
+    # GPU kernel launch and setup).
+    fixed_overhead_ms: float = 0.0
+    # Average power draw in watts while running localization (used by the
+    # energy model, Fig. 19).
+    power_watts: float = 16.0
+    description: str = ""
+
+
+# The paper's primary baseline: localization on a four-core Kaby Lake with
+# multi-threading and SIMD, without ROS (Sec. VII-A / Table III).
+KABY_LAKE_MULTI = PlatformSpec(
+    name="multi-core w/o ROS",
+    speed_factor=1.0,
+    fixed_overhead_ms=0.0,
+    power_watts=16.3,
+    description="Four-core Intel Kaby Lake, multi-threaded + SIMD (paper baseline)",
+)
+
+# ROS adds messaging/serialization overhead of a few percent (Sec. IV-A says
+# removing ROS made the framework ~4% faster) plus scheduling jitter.
+KABY_LAKE_MULTI_ROS = PlatformSpec(
+    name="multi-core w/ ROS",
+    speed_factor=1.04,
+    fixed_overhead_ms=1.0,
+    power_watts=16.8,
+    description="Paper baseline plus ROS runtime overheads",
+)
+
+KABY_LAKE_SINGLE = PlatformSpec(
+    name="single-core w/o ROS",
+    speed_factor=1.57,
+    fixed_overhead_ms=0.0,
+    power_watts=12.0,
+    description="Single Kaby Lake core, SIMD only",
+)
+
+KABY_LAKE_SINGLE_ROS = PlatformSpec(
+    name="single-core w/ ROS",
+    speed_factor=1.63,
+    fixed_overhead_ms=1.5,
+    power_watts=12.5,
+    description="Single core plus ROS runtime overheads",
+)
+
+# The drone baseline: quad-core ARM Cortex-A57 on the NVIDIA TX1 module.
+ARM_A57_MULTI = PlatformSpec(
+    name="arm-a57 multi-core",
+    speed_factor=2.3,
+    fixed_overhead_ms=0.0,
+    power_watts=7.5,
+    description="Quad-core ARM Cortex-A57 (TX1), multi-threaded + NEON",
+)
+
+# GPU/DSP offload baselines of Table III.  GPUs lose on kernel launch/setup
+# time (about 40 ms per frame on Adreno, no batching) and on sparse matrices.
+ADRENO_GPU = PlatformSpec(
+    name="adreno-530 gpu + cpu",
+    speed_factor=1.55,
+    fixed_overhead_ms=40.0,
+    power_watts=11.0,
+    description="Adreno 530 mobile GPU offload with CPU fallback",
+)
+
+HEXAGON_DSP = PlatformSpec(
+    name="hexagon-680 dsp + cpu",
+    speed_factor=1.15,
+    fixed_overhead_ms=8.0,
+    power_watts=9.0,
+    description="Hexagon 680 DSP offload with CPU fallback",
+)
+
+MAXWELL_GPU = PlatformSpec(
+    name="maxwell gpu + cpu",
+    speed_factor=1.12,
+    fixed_overhead_ms=10.0,
+    power_watts=14.0,
+    description="Maxwell mobile GPU offload with CPU fallback",
+)
+
+TABLE_III_PLATFORMS: Dict[str, PlatformSpec] = {
+    "single_core_ros": KABY_LAKE_SINGLE_ROS,
+    "single_core": KABY_LAKE_SINGLE,
+    "multi_core_ros": KABY_LAKE_MULTI_ROS,
+    "multi_core": KABY_LAKE_MULTI,
+    "adreno_gpu": ADRENO_GPU,
+    "hexagon_dsp": HEXAGON_DSP,
+    "maxwell_gpu": MAXWELL_GPU,
+}

@@ -1,0 +1,31 @@
+"""Shared substrates: geometry, camera models, configuration and timing.
+
+These modules are the lowest layer of the Eudoxus reproduction.  Every other
+subpackage (sensors, frontend, backend, hardware) builds on the SE(3)
+utilities, camera models and timing records defined here.
+"""
+
+from repro.common.geometry import (
+    Pose,
+    quaternion_to_rotation,
+    rotation_to_quaternion,
+    skew,
+    so3_exp,
+    so3_log,
+)
+from repro.common.camera import PinholeCamera, StereoRig
+from repro.common.timing import KernelTiming, LatencyRecord, TimingStats
+
+__all__ = [
+    "Pose",
+    "PinholeCamera",
+    "StereoRig",
+    "KernelTiming",
+    "LatencyRecord",
+    "TimingStats",
+    "quaternion_to_rotation",
+    "rotation_to_quaternion",
+    "skew",
+    "so3_exp",
+    "so3_log",
+]

@@ -1,0 +1,20 @@
+"""The unified localization framework (the paper's primary contribution).
+
+:class:`EudoxusLocalizer` wires the shared visual frontend to the three
+backend modes and selects the mode per operating scenario, reproducing the
+dataflow of Fig. 4.  Results are collected into :class:`TrajectoryResult`
+objects that carry the pose estimates, per-frame workloads and measured
+latencies consumed by the characterization, baseline and accelerator models.
+"""
+
+from repro.core.modes import BackendMode, ModeSelector
+from repro.core.result import PoseEstimate, TrajectoryResult
+from repro.core.framework import EudoxusLocalizer
+
+__all__ = [
+    "BackendMode",
+    "ModeSelector",
+    "PoseEstimate",
+    "TrajectoryResult",
+    "EudoxusLocalizer",
+]

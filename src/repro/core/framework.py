@@ -1,0 +1,122 @@
+"""EudoxusLocalizer: the unified frontend + multi-mode backend pipeline.
+
+This is the software framework of Fig. 4: a shared vision frontend that is
+always active, and an optimization backend that is dynamically configured
+into one of three modes (registration, VIO, SLAM) depending on the operating
+scenario.  The per-frame dataflow is::
+
+    camera/IMU/GPS -> VisualFrontend -> correspondences -> active backend -> 6-DoF pose
+
+The localizer records, for every frame, the frontend workload, the backend
+workload and the measured Python latencies, which downstream models translate
+into platform latencies (CPU baseline) and accelerator latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.backend.base import BackendResult
+from repro.backend.registration import RegistrationBackend
+from repro.backend.slam import SlamBackend
+from repro.backend.vio import VioBackend
+from repro.common.config import LocalizerConfig
+from repro.common.geometry import Pose
+from repro.common.timing import LatencyRecord
+from repro.core.modes import BackendMode, ModeSelector
+from repro.core.result import PoseEstimate, TrajectoryResult
+from repro.frontend.frontend import FrontendResult, VisualFrontend
+from repro.sensors.dataset import Frame, SyntheticSequence
+
+
+class EudoxusLocalizer:
+    """The unified localization framework."""
+
+    def __init__(self, config: Optional[LocalizerConfig] = None,
+                 mode_override: Optional[BackendMode] = None) -> None:
+        self.config = config or LocalizerConfig()
+        self.mode_selector = ModeSelector(override=mode_override)
+        self.frontend: Optional[VisualFrontend] = None
+        self.registration: Optional[RegistrationBackend] = None
+        self.vio: Optional[VioBackend] = None
+        self.slam: Optional[SlamBackend] = None
+
+    # -------------------------------------------------------------- set-up
+
+    def prepare(self, sequence: SyntheticSequence) -> None:
+        """Instantiate the frontend and backends for one sequence segment."""
+        self.frontend = VisualFrontend(
+            config=self.config.frontend,
+            rig=sequence.rig,
+            sparse=self.config.use_sparse_frontend,
+        )
+        self.vio = VioBackend(self.config.backend, use_gps=True)
+        self.slam = SlamBackend(self.config.backend, camera=sequence.rig.camera)
+        if sequence.has_prebuilt_map:
+            self.registration = RegistrationBackend.from_world(
+                sequence.world, config=self.config.backend.tracking, camera=sequence.rig.camera
+            )
+        else:
+            self.registration = None
+
+    # ---------------------------------------------------------- processing
+
+    def process_frame(self, frame: Frame, sequence: SyntheticSequence) -> PoseEstimate:
+        """Process a single frame through the frontend and the selected backend."""
+        if self.frontend is None:
+            raise RuntimeError("prepare() must be called before processing frames")
+        frontend_result = self.frontend.process(frame, rig=sequence.rig)
+        mode = self.mode_selector.select(frame, has_map=sequence.has_prebuilt_map)
+        backend_result = self._run_backend(mode, frontend_result, frame)
+        estimate = PoseEstimate(
+            frame_index=frame.index,
+            timestamp=frame.timestamp,
+            pose=backend_result.pose,
+            mode=backend_result.mode,
+            ground_truth=frame.ground_truth,
+        )
+        self._last_frontend_result = frontend_result
+        self._last_backend_result = backend_result
+        return estimate
+
+    def process_sequence(self, sequence: SyntheticSequence,
+                         reset: bool = True) -> TrajectoryResult:
+        """Run the framework over an entire sequence segment."""
+        if reset or self.frontend is None:
+            self.prepare(sequence)
+        result = TrajectoryResult(scenario=sequence.scenario.value)
+        for frame in sequence.frames:
+            estimate = self.process_frame(frame, sequence)
+            frontend_result = self._last_frontend_result
+            backend_result = self._last_backend_result
+            record = LatencyRecord(frame_index=frame.index, mode=backend_result.mode)
+            for name, value in frontend_result.measured_ms.items():
+                record.add_frontend(name, value)
+            for name, value in backend_result.kernel_ms.items():
+                record.add_backend(name, value)
+            result.estimates.append(estimate)
+            result.frontend_results.append(frontend_result)
+            result.backend_results.append(backend_result)
+            result.latency_records.append(record)
+        return result
+
+    def process_mixed(self, segments: List[SyntheticSequence]) -> TrajectoryResult:
+        """Run over a mixed deployment (multiple back-to-back segments)."""
+        combined = TrajectoryResult(scenario="mixed")
+        for segment in segments:
+            combined.extend(self.process_sequence(segment, reset=True))
+        return combined
+
+    # ------------------------------------------------------------ internals
+
+    def _run_backend(self, mode: BackendMode, frontend_result: FrontendResult,
+                     frame: Frame) -> BackendResult:
+        if mode is BackendMode.REGISTRATION and self.registration is not None:
+            return self.registration.process(frontend_result, frame)
+        if mode is BackendMode.VIO:
+            return self.vio.process(frontend_result, frame)
+        if mode is BackendMode.REGISTRATION and self.registration is None:
+            # No map is actually available: fall back to SLAM, which is what a
+            # real deployment does when the survey map is missing.
+            mode = BackendMode.SLAM
+        return self.slam.process(frontend_result, frame)

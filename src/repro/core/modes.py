@@ -1,0 +1,45 @@
+"""Backend mode selection (the Fig. 2 mapping from environment to algorithm)."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.sensors.dataset import Frame
+from repro.sensors.scenarios import ScenarioKind
+
+
+class BackendMode(str, Enum):
+    """The three backend modes of the unified framework."""
+
+    REGISTRATION = "registration"
+    VIO = "vio"
+    SLAM = "slam"
+
+
+class ModeSelector:
+    """Selects the backend mode for each frame.
+
+    The selection follows the paper's taxonomy: outdoor environments (stable
+    GPS) run VIO+GPS; indoor environments run registration when a map is
+    available and SLAM otherwise.  A manual override pins the framework to a
+    single mode, which the characterization experiments use to isolate each
+    backend.
+    """
+
+    def __init__(self, override: Optional[BackendMode] = None) -> None:
+        self.override = override
+
+    def select(self, frame: Frame, has_map: bool) -> BackendMode:
+        if self.override is not None:
+            return self.override
+        return self.select_for_scenario(frame.scenario, has_map)
+
+    @staticmethod
+    def select_for_scenario(scenario: ScenarioKind, has_map: Optional[bool] = None) -> BackendMode:
+        map_available = scenario.has_map if has_map is None else has_map
+        if scenario.has_gps:
+            return BackendMode.VIO
+        if map_available:
+            return BackendMode.REGISTRATION
+        return BackendMode.SLAM

@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver returns plain Python data structures (dicts/lists) so the same
+code backs the benchmark harness, the examples and the tests.  Expensive
+localization runs are cached per process (see :mod:`repro.experiments.common`)
+so a full benchmark session re-uses each characterization run across figures.
+"""
+
+from repro.experiments import common
+from repro.experiments.fig03_accuracy import accuracy_vs_framerate
+from repro.experiments.fig05_08_characterization import (
+    backend_breakdown_by_mode,
+    frontend_backend_by_mode,
+)
+from repro.experiments.fig09_11_variation import variation_by_mode
+from repro.experiments.fig16_scaling import kernel_scaling_curves
+from repro.experiments.fig17_21_acceleration import acceleration_report
+from repro.experiments.sec7f_scheduler import scheduler_report
+from repro.experiments.table1_blocks import building_block_matrix
+from repro.experiments.table2_resources import resource_report
+from repro.experiments.table3_platforms import platform_speedups
+
+__all__ = [
+    "common",
+    "accuracy_vs_framerate",
+    "frontend_backend_by_mode",
+    "backend_breakdown_by_mode",
+    "variation_by_mode",
+    "kernel_scaling_curves",
+    "acceleration_report",
+    "scheduler_report",
+    "building_block_matrix",
+    "resource_report",
+    "platform_speedups",
+]

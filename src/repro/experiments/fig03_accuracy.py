@@ -1,0 +1,70 @@
+"""Fig. 3: localization error vs frame rate across the four scenarios.
+
+For each operating environment the three primitive algorithms (registration,
+VIO, SLAM) are run at several camera frame rates, and the RMSE against
+ground truth is reported.  The reproduction target is the *ordering*: SLAM
+wins in unknown indoor environments, registration wins in known indoor
+environments, VIO (+GPS) wins outdoors, and registration does not apply
+without a map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import EudoxusLocalizer
+from repro.core.modes import BackendMode
+from repro.experiments.common import build_sequence, localizer_config_for
+from repro.sensors.scenarios import ScenarioKind
+
+
+def _applicable_modes(scenario: ScenarioKind) -> List[BackendMode]:
+    modes = [BackendMode.VIO, BackendMode.SLAM]
+    if scenario.has_map:
+        modes.insert(0, BackendMode.REGISTRATION)
+    return modes
+
+
+def accuracy_vs_framerate(frame_rates: Sequence[float] = (5.0, 10.0),
+                          duration: float = 15.0,
+                          platform_kind: str = "drone",
+                          scenarios: Optional[Sequence[ScenarioKind]] = None,
+                          landmark_count: int = 250) -> Dict[str, List[Dict]]:
+    """Return, per scenario, rows of (algorithm, fps, rmse_m).
+
+    Registration is skipped for scenarios without a map, matching the paper's
+    note that it does not apply there.
+    """
+    scenarios = list(scenarios) if scenarios is not None else list(ScenarioKind)
+    report: Dict[str, List[Dict]] = {}
+    for scenario in scenarios:
+        rows: List[Dict] = []
+        for rate in frame_rates:
+            sequence = build_sequence(
+                scenario, platform_kind=platform_kind, duration=duration,
+                camera_rate_hz=rate, landmark_count=landmark_count,
+            )
+            for mode in _applicable_modes(scenario):
+                localizer = EudoxusLocalizer(localizer_config_for(platform_kind), mode_override=mode)
+                result = localizer.process_sequence(sequence)
+                rows.append(
+                    {
+                        "algorithm": mode.value,
+                        "frame_rate_fps": rate,
+                        "rmse_m": result.rmse_error(),
+                        "relative_error_percent": result.relative_error_percent(),
+                    }
+                )
+        report[scenario.value] = rows
+    return report
+
+
+def best_algorithm_per_scenario(report: Dict[str, List[Dict]]) -> Dict[str, str]:
+    """The algorithm with the lowest mean error in each scenario."""
+    best: Dict[str, str] = {}
+    for scenario, rows in report.items():
+        means: Dict[str, List[float]] = {}
+        for row in rows:
+            means.setdefault(row["algorithm"], []).append(row["rmse_m"])
+        best[scenario] = min(means, key=lambda algorithm: sum(means[algorithm]) / len(means[algorithm]))
+    return best

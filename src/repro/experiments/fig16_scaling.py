@@ -1,0 +1,89 @@
+"""Fig. 16: backend kernel latency as a function of the matrix sizes.
+
+The figure motivates the runtime scheduler: projection latency grows
+linearly with the number of map points, while Kalman-gain and
+marginalization latencies grow (roughly quadratically) with the number of
+feature points.  The curves are produced by sweeping the workload sizes
+through the baseline CPU cost model and, for the measured variant, through
+the actual Python kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.backend.mapping import SlamWorkload
+from repro.backend.msckf import VioWorkload
+from repro.backend.tracking import RegistrationWorkload
+from repro.baselines.cpu import BackendCostModel
+from repro.linalg.ops import matmul, quadratic_form, transpose
+from repro.linalg.solvers import solve_cholesky
+from repro.scheduler.regression import PolynomialRegression
+
+
+def kernel_scaling_curves(
+    projection_points: Sequence[int] = (200, 500, 1000, 2000, 4000, 8000),
+    feature_points: Sequence[int] = (20, 40, 80, 120, 160, 200),
+) -> Dict[str, List[Dict]]:
+    """Model-predicted latency of each kernel across workload sizes."""
+    model = BackendCostModel()
+    projection_rows = []
+    for points in projection_points:
+        workload = RegistrationWorkload(map_points=points, matches=min(points, 150), pose_iterations=5)
+        projection_rows.append({"size": points, "latency_ms": model.registration_ms(workload)["projection"]})
+
+    kalman_rows = []
+    for features in feature_points:
+        workload = VioWorkload(
+            features_used=features, jacobian_rows=min(3 * features, 195),
+            kalman_gain_dim=min(3 * features, 195), state_dim=195, qr_rows=3 * features,
+            imu_samples=10,
+        )
+        kalman_rows.append({"size": features, "latency_ms": model.vio_ms(workload)["kalman_gain"]})
+
+    marginalization_rows = []
+    for features in feature_points:
+        workload = SlamWorkload(
+            feature_points=features, marginalized_dim=3 * features // 2 + 6,
+            keyframes=8, observations=8 * features, solver_iterations=5,
+        )
+        marginalization_rows.append(
+            {"size": features, "latency_ms": model.slam_ms(workload)["marginalization"]}
+        )
+
+    return {
+        "projection": projection_rows,
+        "kalman_gain": kalman_rows,
+        "marginalization": marginalization_rows,
+    }
+
+
+def measured_kalman_gain_curve(feature_points: Sequence[int] = (10, 20, 40, 60),
+                               state_dim: int = 105, repeats: int = 2,
+                               seed: int = 0) -> List[Dict]:
+    """Wall-clock latency of the reference Kalman-gain implementation."""
+    rng = np.random.default_rng(seed)
+    rows: List[Dict] = []
+    for features in feature_points:
+        measurement_rows = min(3 * features, state_dim)
+        h = rng.normal(size=(measurement_rows, state_dim))
+        p = rng.normal(size=(state_dim, state_dim))
+        p = p @ p.T + np.eye(state_dim)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            s = quadratic_form(h, p) + np.eye(measurement_rows)
+            solve_cholesky(s, transpose(matmul(p, transpose(h))))
+        elapsed_ms = (time.perf_counter() - start) * 1000.0 / repeats
+        rows.append({"size": features, "latency_ms": elapsed_ms})
+    return rows
+
+
+def fit_quality(rows: List[Dict], degree: int) -> float:
+    """R^2 of a polynomial fit to a latency curve (supports Sec. VII-F)."""
+    sizes = [row["size"] for row in rows]
+    latencies = [row["latency_ms"] for row in rows]
+    model = PolynomialRegression(degree=degree).fit(sizes, latencies)
+    return model.score(sizes, latencies)

@@ -1,0 +1,127 @@
+"""Figs. 17-21: end-to-end acceleration results.
+
+These drivers apply the accelerator model (frontend pipeline plus scheduled
+backend kernel offload) to the characterized runs and report:
+
+* Fig. 17 — overall latency and standard deviation, baseline vs Eudoxus,
+  per mode and overall, for both platforms.
+* Fig. 18 — throughput (FPS) of the baseline and of Eudoxus with and without
+  frontend/backend pipelining.
+* Fig. 19 — energy per frame.
+* Fig. 20 — frontend latency breakdown (feature extraction vs stereo
+  matching) and frontend throughput with/without FE-SM pipelining.
+* Fig. 21 — backend latency and standard deviation per mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.timing import TimingStats
+from repro.core.modes import BackendMode
+from repro.experiments.common import accelerator_for, all_mode_runs
+from repro.hardware.accelerator import AccelerationSummary
+
+
+def _accelerate_all(platform_kind: str, duration: float) -> Dict[str, AccelerationSummary]:
+    """Accelerated summaries per mode plus the pooled 'overall' summary."""
+    runs = all_mode_runs(platform_kind, duration)
+    accelerator = accelerator_for(platform_kind)
+    summaries: Dict[str, AccelerationSummary] = {}
+    overall = AccelerationSummary()
+    for mode, result in runs.items():
+        summary = accelerator.accelerate(result)
+        summaries[mode.value] = summary
+        overall.frames.extend(summary.frames)
+    summaries["overall"] = overall
+    return summaries
+
+
+def acceleration_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, Dict]:
+    """Fig. 17/18/19 quantities for one platform."""
+    summaries = _accelerate_all(platform_kind, duration)
+    report: Dict[str, Dict] = {}
+    for name, summary in summaries.items():
+        base = summary.baseline_stats()
+        accel = summary.accelerated_stats()
+        report[name] = {
+            "baseline_latency_ms": base.mean,
+            "eudoxus_latency_ms": accel.mean,
+            "speedup": summary.speedup(),
+            "baseline_sd_ms": base.std,
+            "eudoxus_sd_ms": accel.std,
+            "sd_reduction_percent": summary.sd_reduction_percent(),
+            "baseline_fps": summary.baseline_fps(),
+            "eudoxus_fps_no_pipelining": summary.accelerated_fps(pipelined=False),
+            "eudoxus_fps_pipelined": summary.accelerated_fps(pipelined=True),
+            "baseline_energy_j": summary.mean_baseline_energy_j(),
+            "eudoxus_energy_j": summary.mean_accelerated_energy_j(),
+            "energy_reduction_percent": summary.energy_reduction_percent(),
+            "offload_fraction": summary.offload_fraction(),
+        }
+    return report
+
+
+def frontend_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, float]:
+    """Fig. 20 quantities: frontend latency breakdown and throughput."""
+    runs = all_mode_runs(platform_kind, duration)
+    accelerator = accelerator_for(platform_kind)
+    frontend_model = accelerator.frontend_model
+    cpu_model = accelerator.cpu_model
+
+    fe_ms: List[float] = []
+    sm_ms: List[float] = []
+    tm_ms: List[float] = []
+    baseline_ms: List[float] = []
+    for result in runs.values():
+        for frontend_result in result.frontend_results:
+            latency = frontend_model.frame_latency(frontend_result.workload)
+            fe_ms.append(latency.feature_extraction_ms)
+            sm_ms.append(latency.stereo_matching_ms)
+            tm_ms.append(latency.temporal_matching_ms)
+            baseline_ms.append(cpu_model.frontend.total_ms(frontend_result.workload)
+                               * cpu_model.platform.speed_factor)
+
+    accel_total = TimingStats(np.array(fe_ms) + np.array(sm_ms))
+    pipelined_interval = TimingStats(np.maximum(np.maximum(fe_ms, sm_ms), tm_ms))
+    return {
+        "baseline_frontend_ms": float(np.mean(baseline_ms)),
+        "eudoxus_frontend_ms": accel_total.mean,
+        "feature_extraction_ms": float(np.mean(fe_ms)),
+        "stereo_matching_ms": float(np.mean(sm_ms)),
+        "temporal_matching_ms": float(np.mean(tm_ms)),
+        "frontend_speedup": float(np.mean(baseline_ms)) / max(accel_total.mean, 1e-9),
+        "baseline_frontend_fps": 1000.0 / max(float(np.mean(baseline_ms)), 1e-9),
+        "eudoxus_frontend_fps_no_pipelining": 1000.0 / max(accel_total.mean, 1e-9),
+        "eudoxus_frontend_fps_pipelined": 1000.0 / max(pipelined_interval.mean, 1e-9),
+    }
+
+
+def backend_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, Dict[str, float]]:
+    """Fig. 21 quantities: backend latency and SD per mode, baseline vs Eudoxus."""
+    summaries = _accelerate_all(platform_kind, duration)
+    report: Dict[str, Dict[str, float]] = {}
+    for mode in (BackendMode.REGISTRATION.value, BackendMode.VIO.value, BackendMode.SLAM.value):
+        summary = summaries[mode]
+        baseline_backend = TimingStats(f.baseline_record.backend_total for f in summary.frames)
+        accel_backend = TimingStats(f.accelerated_record.backend_total for f in summary.frames)
+        kernel = accelerator_for(platform_kind).backend_model.accelerated_kernel_name(mode)
+        baseline_kernel = TimingStats(f.baseline_record.backend.get(kernel, 0.0) for f in summary.frames)
+        accel_kernel = TimingStats(f.accelerated_record.backend.get(kernel, 0.0) for f in summary.frames)
+        report[mode] = {
+            "baseline_backend_ms": baseline_backend.mean,
+            "eudoxus_backend_ms": accel_backend.mean,
+            "backend_latency_reduction_percent": 100.0 * (baseline_backend.mean - accel_backend.mean)
+            / max(baseline_backend.mean, 1e-9),
+            "baseline_backend_sd_ms": baseline_backend.std,
+            "eudoxus_backend_sd_ms": accel_backend.std,
+            "sd_reduction_percent": 100.0 * (baseline_backend.std - accel_backend.std)
+            / max(baseline_backend.std, 1e-9),
+            "accelerated_kernel": kernel,
+            "kernel_baseline_ms": baseline_kernel.mean,
+            "kernel_eudoxus_ms": accel_kernel.mean,
+            "kernel_speedup": baseline_kernel.mean / max(accel_kernel.mean, 1e-9),
+        }
+    return report

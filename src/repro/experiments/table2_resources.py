@@ -1,0 +1,40 @@
+"""Table II: FPGA resource consumption of EDX-CAR and EDX-DRONE.
+
+Reports, for each platform, the resource usage of the shared Eudoxus design,
+its utilization of the target FPGA, and the hypothetical usage without
+sharing the frontend and the backend building blocks ("N.S."), which exceeds
+both devices.  Also reports the on-chip memory plan, including the stencil
+buffer sizes with and without the pixel-replication optimization
+(Sec. V-C / VII-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import platform_for
+
+
+def resource_report(platform_kind: str = "car") -> Dict[str, Dict]:
+    """Full Table II style report for one platform."""
+    platform = platform_for(platform_kind)
+    model = platform.resource_model()
+    usage = model.total()
+    no_sharing = model.total_no_sharing()
+    memory = platform.memory_plan()
+    return {
+        "platform": platform.name,
+        "device": platform.device.name,
+        "shared": usage.as_dict(),
+        "utilization_percent": platform.device.utilization(usage),
+        "no_sharing": no_sharing.as_dict(),
+        "no_sharing_fits": platform.device.fits(no_sharing),
+        "shared_fits": platform.device.fits(usage),
+        "frontend_share_of_lut": model.frontend().lut / usage.lut,
+        "feature_extraction_share_of_frontend": model.feature_extraction().lut / model.frontend().lut,
+        "memory_plan_mb": memory.summary(),
+    }
+
+
+def both_platform_reports() -> Dict[str, Dict]:
+    return {kind: resource_report(kind) for kind in ("car", "drone")}

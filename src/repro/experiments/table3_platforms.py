@@ -1,0 +1,49 @@
+"""Table III: EDX-CAR speedup over CPU/GPU/DSP baselines.
+
+The end-to-end frame latency of each platform variant is obtained by
+applying that platform's cost model (speed factor plus fixed per-frame
+overhead) to the characterized workloads; the speedup is measured against
+the accelerated EDX-CAR latency.  The reproduction target is the ordering —
+the paper's own multi-core no-ROS baseline is the strongest (smallest
+speedup), the mobile GPU with its launch overhead is the weakest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.cpu import CpuLatencyModel
+from repro.baselines.platforms import TABLE_III_PLATFORMS
+from repro.experiments.common import accelerator_for, all_mode_runs
+
+
+def platform_speedups(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, Dict[str, float]]:
+    """Speedup of Eudoxus over each Table III baseline platform."""
+    runs = all_mode_runs(platform_kind, duration)
+    accelerator = accelerator_for(platform_kind)
+
+    # Eudoxus latency: accelerate every mode and pool the frames.
+    eudoxus_ms: list = []
+    for result in runs.values():
+        summary = accelerator.accelerate(result)
+        eudoxus_ms.extend(f.accelerated_record.total for f in summary.frames)
+    eudoxus_mean = float(np.mean(eudoxus_ms))
+
+    report: Dict[str, Dict[str, float]] = {}
+    for key, platform in TABLE_III_PLATFORMS.items():
+        model = CpuLatencyModel(platform=platform)
+        totals: list = []
+        for result in runs.values():
+            for record in model.records_from_results(result):
+                totals.append(record.total)
+        mean_ms = float(np.mean(totals))
+        report[key] = {
+            "platform": platform.name,
+            "mean_latency_ms": mean_ms,
+            "speedup_over_platform": mean_ms / max(eudoxus_mean, 1e-9),
+        }
+    report["eudoxus"] = {"platform": "EDX-" + platform_kind.upper(), "mean_latency_ms": eudoxus_mean,
+                         "speedup_over_platform": 1.0}
+    return report

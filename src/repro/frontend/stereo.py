@@ -1,0 +1,132 @@
+"""Stereo matching: descriptor matching plus disparity refinement.
+
+The stereo-matching block establishes spatial correspondences between the
+left and right images (Sec. IV-A).  It runs in two stages, matching the
+accelerator's task split (Sec. V-B):
+
+* **Matching optimization (MO)** — initial correspondences by comparing
+  Hamming distances between ORB descriptors along the epipolar line.
+* **Disparity refinement (DR)** — block matching (sum of absolute
+  differences) around the initial match, with sub-pixel parabola fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.frontend.fast import Keypoint
+from repro.frontend.orb import hamming_distance_matrix
+
+
+@dataclass
+class StereoMatch:
+    """A spatial correspondence between the left and right image."""
+
+    left_index: int
+    right_index: int
+    disparity: float
+    hamming: int
+
+    def __post_init__(self) -> None:
+        self.disparity = float(self.disparity)
+
+
+class StereoMatcher:
+    """Matches keypoints between a rectified stereo pair."""
+
+    def __init__(self, max_hamming: int = 80, max_disparity: float = 64.0,
+                 max_vertical_offset: float = 2.0, block_size: int = 7,
+                 refine_range: int = 3) -> None:
+        self.max_hamming = int(max_hamming)
+        self.max_disparity = float(max_disparity)
+        self.max_vertical_offset = float(max_vertical_offset)
+        self.block_size = int(block_size)
+        self.refine_range = int(refine_range)
+
+    def match(self, left_keypoints: List[Keypoint], left_descriptors: np.ndarray,
+              right_keypoints: List[Keypoint], right_descriptors: np.ndarray,
+              left_image: Optional[np.ndarray] = None,
+              right_image: Optional[np.ndarray] = None) -> List[StereoMatch]:
+        """Return spatial correspondences.
+
+        When images are provided the initial descriptor matches are refined by
+        SAD block matching; otherwise the descriptor disparity is used as-is.
+        """
+        if not left_keypoints or not right_keypoints:
+            return []
+        distances = hamming_distance_matrix(left_descriptors, right_descriptors)
+
+        left_xy = np.array([[kp.x, kp.y] for kp in left_keypoints])
+        right_xy = np.array([[kp.x, kp.y] for kp in right_keypoints])
+
+        # Epipolar gating: rows must agree, disparity must be positive and bounded.
+        row_diff = np.abs(left_xy[:, 1:2] - right_xy[None, :, 1].reshape(1, -1))
+        disparity = left_xy[:, 0:1] - right_xy[None, :, 0].reshape(1, -1)
+        feasible = (
+            (row_diff <= self.max_vertical_offset)
+            & (disparity > 0.0)
+            & (disparity <= self.max_disparity)
+        )
+        gated = np.where(feasible, distances, np.iinfo(np.int32).max)
+
+        matches: List[StereoMatch] = []
+        used_right: set = set()
+        order = np.argsort(gated.min(axis=1))
+        for left_index in order:
+            right_index = int(np.argmin(gated[left_index]))
+            best = gated[left_index, right_index]
+            if best > self.max_hamming:
+                continue
+            if right_index in used_right:
+                continue
+            used_right.add(right_index)
+            match_disparity = float(left_xy[left_index, 0] - right_xy[right_index, 0])
+            if left_image is not None and right_image is not None:
+                match_disparity = self._refine(
+                    left_image, right_image,
+                    left_xy[left_index], match_disparity,
+                )
+            matches.append(
+                StereoMatch(
+                    left_index=int(left_index),
+                    right_index=right_index,
+                    disparity=match_disparity,
+                    hamming=int(distances[left_index, right_index]),
+                )
+            )
+        return matches
+
+    def _refine(self, left_image: np.ndarray, right_image: np.ndarray,
+                left_point: np.ndarray, initial_disparity: float) -> float:
+        """SAD block matching around the initial disparity with sub-pixel fit."""
+        half = self.block_size // 2
+        x, y = int(round(left_point[0])), int(round(left_point[1]))
+        height, width = left_image.shape
+        if not (half <= y < height - half and half <= x < width - half):
+            return initial_disparity
+        template = left_image[y - half : y + half + 1, x - half : x + half + 1]
+
+        costs = []
+        offsets = range(-self.refine_range, self.refine_range + 1)
+        for offset in offsets:
+            rx = int(round(x - initial_disparity)) + offset
+            if not (half <= rx < width - half):
+                costs.append(np.inf)
+                continue
+            candidate = right_image[y - half : y + half + 1, rx - half : rx + half + 1]
+            costs.append(float(np.abs(template - candidate).sum()))
+        costs = np.asarray(costs)
+        if not np.isfinite(costs).any():
+            return initial_disparity
+        best = int(np.argmin(costs))
+        refined = initial_disparity - list(offsets)[best]
+
+        # Sub-pixel parabola fit over the three samples around the minimum.
+        if 0 < best < len(costs) - 1 and np.isfinite(costs[best - 1]) and np.isfinite(costs[best + 1]):
+            denom = costs[best - 1] - 2.0 * costs[best] + costs[best + 1]
+            if abs(denom) > 1e-9:
+                refined -= 0.5 * (costs[best + 1] - costs[best - 1]) / denom
+        return max(refined, 1e-3)

@@ -1,0 +1,50 @@
+"""FPGA accelerator model: EDX-CAR and EDX-DRONE.
+
+The paper implements Eudoxus as two FPGA prototypes.  Because we cannot
+synthesize RTL here, this subpackage provides an analytical/cycle-level model
+of the accelerator with the same structure:
+
+* :mod:`repro.hardware.platform` — the two platform instantiations
+  (Virtex-7 based EDX-CAR, Zynq based EDX-DRONE) and their host CPUs.
+* :mod:`repro.hardware.resources` — FPGA resource accounting (LUT/FF/DSP/
+  BRAM) for the shared design and the hypothetical no-sharing design
+  (Table II).
+* :mod:`repro.hardware.memory` — on-chip memory sizing: stencil buffers with
+  the pixel-replication optimization (Fig. 13/14), FIFOs and scratchpads.
+* :mod:`repro.hardware.frontend_accel` — the frontend pipeline cycle model
+  (feature extraction, stereo matching, temporal matching; FE time
+  multiplexing and FE/SM pipelining of Sec. V-B).
+* :mod:`repro.hardware.backend_accel` — the backend matrix-block engine
+  (Table I building blocks, Sec. VI-A) and its DMA transfer costs.
+* :mod:`repro.hardware.energy` — per-frame energy for baseline and
+  accelerated execution (Fig. 19).
+* :mod:`repro.hardware.accelerator` — ties everything together and produces
+  accelerated latency records from characterized workloads.
+"""
+
+from repro.hardware.platform import EDX_CAR, EDX_DRONE, EudoxusPlatform
+from repro.hardware.resources import FpgaDevice, ResourceUsage, ResourceModel
+from repro.hardware.memory import StencilBufferSpec, FrontendMemoryPlan
+from repro.hardware.frontend_accel import FrontendAcceleratorModel, FrontendAccelLatency
+from repro.hardware.backend_accel import BackendAcceleratorModel
+from repro.hardware.dma import DmaModel
+from repro.hardware.energy import EnergyModel
+from repro.hardware.accelerator import AcceleratedFrame, EudoxusAccelerator
+
+__all__ = [
+    "EDX_CAR",
+    "EDX_DRONE",
+    "EudoxusPlatform",
+    "FpgaDevice",
+    "ResourceUsage",
+    "ResourceModel",
+    "StencilBufferSpec",
+    "FrontendMemoryPlan",
+    "FrontendAcceleratorModel",
+    "FrontendAccelLatency",
+    "BackendAcceleratorModel",
+    "DmaModel",
+    "EnergyModel",
+    "AcceleratedFrame",
+    "EudoxusAccelerator",
+]

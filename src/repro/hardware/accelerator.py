@@ -1,0 +1,221 @@
+"""The full Eudoxus accelerator: frontend pipeline + backend matrix engine.
+
+:class:`EudoxusAccelerator` consumes the per-frame workloads recorded by the
+localization framework, together with the baseline CPU latency records, and
+produces the accelerated execution: the frontend always runs on the FPGA,
+while each mode's variation-contributing backend kernel is offloaded only
+when the runtime scheduler predicts a benefit.  The result is a set of
+accelerated latency records, per-frame energies, and throughput figures with
+and without frontend/backend pipelining — everything Figs. 17-21 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.cpu import CpuLatencyModel
+from repro.common.timing import LatencyRecord, TimingStats
+from repro.core.result import TrajectoryResult
+from repro.hardware.platform import EudoxusPlatform
+from repro.scheduler.scheduler import OracleScheduler, RuntimeScheduler, train_test_split
+
+
+@dataclass
+class AcceleratedFrame:
+    """Latency/energy of one frame executed on the Eudoxus system."""
+
+    frame_index: int
+    mode: str
+    baseline_record: LatencyRecord
+    accelerated_record: LatencyRecord
+    fpga_active_ms: float
+    offloaded: bool
+    baseline_energy_j: float
+    accelerated_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        if self.accelerated_record.total <= 0:
+            return 0.0
+        return self.baseline_record.total / self.accelerated_record.total
+
+    @property
+    def pipelined_interval_ms(self) -> float:
+        """Frame interval when the frontend and backend are pipelined."""
+        return max(self.accelerated_record.frontend_total, self.accelerated_record.backend_total)
+
+
+@dataclass
+class AccelerationSummary:
+    """Aggregate statistics over a sequence of accelerated frames."""
+
+    frames: List[AcceleratedFrame] = field(default_factory=list)
+
+    def baseline_stats(self) -> TimingStats:
+        return TimingStats(f.baseline_record.total for f in self.frames)
+
+    def accelerated_stats(self) -> TimingStats:
+        return TimingStats(f.accelerated_record.total for f in self.frames)
+
+    def speedup(self) -> float:
+        base = self.baseline_stats().mean
+        accel = self.accelerated_stats().mean
+        return base / accel if accel > 0 else 0.0
+
+    def sd_reduction_percent(self) -> float:
+        base = self.baseline_stats().std
+        accel = self.accelerated_stats().std
+        if base <= 0:
+            return 0.0
+        return 100.0 * (base - accel) / base
+
+    def baseline_fps(self) -> float:
+        mean = self.baseline_stats().mean
+        return 1000.0 / mean if mean > 0 else 0.0
+
+    def accelerated_fps(self, pipelined: bool = False) -> float:
+        if not self.frames:
+            return 0.0
+        if pipelined:
+            interval = float(np.mean([f.pipelined_interval_ms for f in self.frames]))
+        else:
+            interval = self.accelerated_stats().mean
+        return 1000.0 / interval if interval > 0 else 0.0
+
+    def mean_baseline_energy_j(self) -> float:
+        return float(np.mean([f.baseline_energy_j for f in self.frames])) if self.frames else 0.0
+
+    def mean_accelerated_energy_j(self) -> float:
+        return float(np.mean([f.accelerated_energy_j for f in self.frames])) if self.frames else 0.0
+
+    def energy_reduction_percent(self) -> float:
+        base = self.mean_baseline_energy_j()
+        accel = self.mean_accelerated_energy_j()
+        if base <= 0:
+            return 0.0
+        return 100.0 * (base - accel) / base
+
+    def offload_fraction(self) -> float:
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.offloaded for f in self.frames]))
+
+    def per_mode(self) -> Dict[str, "AccelerationSummary"]:
+        by_mode: Dict[str, AccelerationSummary] = {}
+        for frame in self.frames:
+            by_mode.setdefault(frame.mode, AccelerationSummary()).frames.append(frame)
+        return by_mode
+
+
+class EudoxusAccelerator:
+    """Applies the accelerator model to a characterized localization run."""
+
+    def __init__(self, platform: EudoxusPlatform, cpu_model: Optional[CpuLatencyModel] = None,
+                 use_scheduler: bool = True) -> None:
+        self.platform = platform
+        self.cpu_model = cpu_model or CpuLatencyModel(platform=platform.host)
+        self.frontend_model = platform.frontend_model()
+        self.backend_model = platform.backend_model()
+        self.energy_model = platform.energy_model()
+        self.use_scheduler = bool(use_scheduler)
+        self.scheduler = RuntimeScheduler(self.backend_model)
+        self.oracle = OracleScheduler(self.backend_model)
+
+    # ------------------------------------------------------------- training
+
+    def train_scheduler(self, result: TrajectoryResult, train_fraction: float = 0.25,
+                        seed: int = 0) -> Dict[str, float]:
+        """Fit the scheduler's CPU-latency regressions on a fraction of frames.
+
+        Returns the per-mode training R^2 values (Sec. VII-F reports 0.83,
+        0.82 and 0.98 for registration, VIO and SLAM).
+        """
+        per_mode: Dict[str, List] = {}
+        for frontend_result, backend_result in zip(result.frontend_results, result.backend_results):
+            record = self.cpu_model.frame_record(
+                frontend_result.frame_index, backend_result.mode,
+                frontend_result.workload, backend_result.workload,
+            )
+            kernel = self.backend_model.accelerated_kernel_name(backend_result.mode)
+            per_mode.setdefault(backend_result.mode, []).append(
+                (backend_result.workload, record.backend.get(kernel, 0.0))
+            )
+        r2: Dict[str, float] = {}
+        for mode, samples in per_mode.items():
+            train, _ = train_test_split(samples, train_fraction=train_fraction, seed=seed)
+            if len(train) < 4:
+                train = samples
+            workloads = [s[0] for s in train]
+            cpu_ms = [s[1] for s in train]
+            r2[mode] = self.scheduler.train_from_frames(mode, workloads, cpu_ms)
+        return r2
+
+    # ------------------------------------------------------------ execution
+
+    def accelerate_frame(self, frontend_result, backend_result,
+                         scheduler: Optional[str] = None) -> AcceleratedFrame:
+        """Produce the accelerated execution of one frame.
+
+        ``scheduler`` selects the offload policy: ``"runtime"`` (default),
+        ``"oracle"``, ``"always"`` or ``"never"``.
+        """
+        baseline = self.cpu_model.frame_record(
+            frontend_result.frame_index, backend_result.mode,
+            frontend_result.workload, backend_result.workload,
+        )
+
+        accel_frontend = self.frontend_model.frame_latency(frontend_result.workload)
+        accelerated = LatencyRecord(frame_index=frontend_result.frame_index, mode=backend_result.mode)
+        for name, value in accel_frontend.as_dict().items():
+            accelerated.add_frontend(name, value)
+
+        kernel_name = self.backend_model.accelerated_kernel_name(backend_result.mode)
+        cpu_kernel_ms = baseline.backend.get(kernel_name, 0.0)
+        policy = scheduler or ("runtime" if self.use_scheduler else "always")
+        if policy == "always":
+            offload = True
+        elif policy == "never":
+            offload = False
+        elif policy == "oracle":
+            offload = self.oracle.decide(backend_result.mode, backend_result.workload, cpu_kernel_ms).offload
+        else:
+            offload = self.scheduler.decide(
+                backend_result.mode, backend_result.workload, cpu_kernel_ms
+            ).offload
+
+        accel_kernel_ms = self.backend_model.kernel_ms(
+            backend_result.mode, backend_result.workload, include_dma=True
+        )
+        fpga_active_ms = accel_frontend.critical_path_ms
+        for name, value in baseline.backend.items():
+            if name == kernel_name and offload:
+                accelerated.add_backend(name, accel_kernel_ms)
+                fpga_active_ms += accel_kernel_ms
+            else:
+                accelerated.add_backend(name, value)
+
+        baseline_energy = self.energy_model.baseline_energy_joules(baseline)
+        accelerated_energy = self.energy_model.accelerated_energy_joules(accelerated, fpga_active_ms)
+        return AcceleratedFrame(
+            frame_index=frontend_result.frame_index,
+            mode=backend_result.mode,
+            baseline_record=baseline,
+            accelerated_record=accelerated,
+            fpga_active_ms=fpga_active_ms,
+            offloaded=offload,
+            baseline_energy_j=baseline_energy,
+            accelerated_energy_j=accelerated_energy,
+        )
+
+    def accelerate(self, result: TrajectoryResult, scheduler: Optional[str] = None,
+                   train: bool = True) -> AccelerationSummary:
+        """Accelerate an entire characterized run."""
+        if train and (scheduler is None or scheduler == "runtime"):
+            self.train_scheduler(result)
+        summary = AccelerationSummary()
+        for frontend_result, backend_result in zip(result.frontend_results, result.backend_results):
+            summary.frames.append(self.accelerate_frame(frontend_result, backend_result, scheduler))
+        return summary

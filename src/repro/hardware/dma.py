@@ -1,0 +1,37 @@
+"""Host <-> FPGA data transfer model.
+
+EDX-CAR reads data from the PC over PCIe 3.0 (7.9 GB/s max) while EDX-DRONE
+uses the on-chip AXI4 bus (1.2 GB/s max) (Sec. VII-A).  The host and the
+accelerator communicate three times per frame: frontend results + IMU/GPS to
+the host, backend kernel inputs to the FPGA, backend results back to the
+host.  Offloading is therefore not free, which is exactly why the runtime
+scheduler exists (Sec. VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DmaModel:
+    """Simple bandwidth + fixed-latency transfer model."""
+
+    bandwidth_gbps: float
+    fixed_latency_us: float = 10.0
+    efficiency: float = 0.8
+
+    def transfer_ms(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` across the link, in milliseconds."""
+        if num_bytes <= 0:
+            return 0.0
+        effective = self.bandwidth_gbps * 1e9 * self.efficiency
+        return self.fixed_latency_us / 1000.0 + (num_bytes / effective) * 1000.0
+
+    def round_trip_ms(self, bytes_to_device: float, bytes_from_device: float) -> float:
+        """Input transfer plus result transfer for one kernel offload."""
+        return self.transfer_ms(bytes_to_device) + self.transfer_ms(bytes_from_device)
+
+
+PCIE_3 = DmaModel(bandwidth_gbps=7.9, fixed_latency_us=15.0)
+AXI4 = DmaModel(bandwidth_gbps=1.2, fixed_latency_us=5.0)

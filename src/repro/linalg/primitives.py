@@ -1,0 +1,141 @@
+"""Matrix-primitive taxonomy and operation tracing.
+
+Table I of the paper decomposes the three backend kernels into five matrix
+building blocks.  :class:`BuildingBlock` names those blocks;
+:class:`OperationTrace` records every primitive invocation (with operand
+shapes) so tests can verify the decomposition and the hardware model can
+translate a kernel execution into accelerator cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class BuildingBlock(str, Enum):
+    """The five matrix primitives of Table I."""
+
+    MULTIPLICATION = "matrix_multiplication"
+    DECOMPOSITION = "matrix_decomposition"
+    INVERSE = "matrix_inverse"
+    TRANSPOSE = "matrix_transpose"
+    SUBSTITUTION = "fwd_bwd_substitution"
+
+
+@dataclass
+class PrimitiveCall:
+    """A single invocation of a building block on operands of a given shape."""
+
+    block: BuildingBlock
+    shape_a: Tuple[int, ...]
+    shape_b: Optional[Tuple[int, ...]] = None
+
+    @property
+    def flops(self) -> float:
+        """Rough floating-point operation count for the call."""
+        if self.block is BuildingBlock.MULTIPLICATION and self.shape_b is not None:
+            m, k = self.shape_a[0], self.shape_a[-1]
+            n = self.shape_b[-1] if len(self.shape_b) > 1 else 1
+            return 2.0 * m * k * n
+        if self.block is BuildingBlock.DECOMPOSITION:
+            n = self.shape_a[0]
+            return (2.0 / 3.0) * n**3
+        if self.block is BuildingBlock.INVERSE:
+            n = self.shape_a[0]
+            return 2.0 * n**3
+        if self.block is BuildingBlock.TRANSPOSE:
+            rows = self.shape_a[0]
+            cols = self.shape_a[1] if len(self.shape_a) > 1 else 1
+            return float(rows * cols)
+        if self.block is BuildingBlock.SUBSTITUTION:
+            n = self.shape_a[0]
+            rhs = self.shape_b[-1] if self.shape_b is not None and len(self.shape_b) > 1 else 1
+            return float(n * n * rhs)
+        return 0.0
+
+
+class OperationTrace:
+    """Accumulates primitive calls issued while the trace is active."""
+
+    def __init__(self) -> None:
+        self.calls: List[PrimitiveCall] = []
+
+    def record(self, block: BuildingBlock, shape_a: Tuple[int, ...],
+               shape_b: Optional[Tuple[int, ...]] = None) -> None:
+        self.calls.append(PrimitiveCall(block, tuple(shape_a), tuple(shape_b) if shape_b else None))
+
+    def blocks_used(self) -> Dict[BuildingBlock, int]:
+        counts: Dict[BuildingBlock, int] = {}
+        for call in self.calls:
+            counts[call.block] = counts.get(call.block, 0) + 1
+        return counts
+
+    def total_flops(self) -> float:
+        return float(sum(call.flops for call in self.calls))
+
+    def calls_for(self, block: BuildingBlock) -> List[PrimitiveCall]:
+        return [call for call in self.calls if call.block is block]
+
+    def clear(self) -> None:
+        self.calls = []
+
+
+_local = threading.local()
+
+
+def _active_traces() -> List[OperationTrace]:
+    if not hasattr(_local, "traces"):
+        _local.traces = []
+    return _local.traces
+
+
+@contextmanager
+def traced(trace: Optional[OperationTrace] = None):
+    """Context manager that records matrix-primitive calls into ``trace``.
+
+    Usage::
+
+        trace = OperationTrace()
+        with traced(trace):
+            kalman_gain(...)
+        assert BuildingBlock.DECOMPOSITION in trace.blocks_used()
+    """
+    trace = trace or OperationTrace()
+    stack = _active_traces()
+    stack.append(trace)
+    try:
+        yield trace
+    finally:
+        stack.pop()
+
+
+def record_primitive(block: BuildingBlock, shape_a: Tuple[int, ...],
+                     shape_b: Optional[Tuple[int, ...]] = None) -> None:
+    """Record a primitive invocation into every active trace."""
+    for trace in _active_traces():
+        trace.record(block, shape_a, shape_b)
+
+
+# Static decomposition of the variation-contributing kernels (Table I).
+TABLE_I_DECOMPOSITION: Dict[str, List[BuildingBlock]] = {
+    "projection": [
+        BuildingBlock.MULTIPLICATION,
+    ],
+    "kalman_gain": [
+        BuildingBlock.MULTIPLICATION,
+        BuildingBlock.DECOMPOSITION,
+        BuildingBlock.TRANSPOSE,
+        BuildingBlock.SUBSTITUTION,
+    ],
+    "marginalization": [
+        BuildingBlock.MULTIPLICATION,
+        BuildingBlock.DECOMPOSITION,
+        BuildingBlock.INVERSE,
+        BuildingBlock.TRANSPOSE,
+        BuildingBlock.SUBSTITUTION,
+    ],
+}

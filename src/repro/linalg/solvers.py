@@ -1,0 +1,131 @@
+"""Triangular solves, linear solves and symmetric inversion.
+
+Forward/backward substitution is the fifth building block of Table I.  The
+solvers here are the software counterparts of the accelerator's F/B
+substitution unit and of the specialized 6x6-plus-diagonal inverse unit used
+for the marginalization ``A_mm`` block (Sec. VI-A, "Optimization").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.decompositions import cholesky, lu_decompose
+from repro.linalg.primitives import BuildingBlock, record_primitive
+
+
+def forward_substitution(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L``."""
+    lower = np.asarray(lower, dtype=float)
+    b = np.asarray(rhs, dtype=float)
+    squeeze = b.ndim == 1
+    if squeeze:
+        b = b.reshape(-1, 1)
+    n = lower.shape[0]
+    if lower.shape != (n, n) or b.shape[0] != n:
+        raise ValueError(f"shape mismatch: L {lower.shape}, b {b.shape}")
+    record_primitive(BuildingBlock.SUBSTITUTION, lower.shape, b.shape)
+
+    x = np.zeros_like(b)
+    for i in range(n):
+        pivot = lower[i, i]
+        if abs(pivot) < 1e-14:
+            raise np.linalg.LinAlgError("singular triangular matrix")
+        x[i] = (b[i] - lower[i, :i] @ x[:i]) / pivot
+    return x.reshape(-1) if squeeze else x
+
+
+def backward_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U``."""
+    upper = np.asarray(upper, dtype=float)
+    b = np.asarray(rhs, dtype=float)
+    squeeze = b.ndim == 1
+    if squeeze:
+        b = b.reshape(-1, 1)
+    n = upper.shape[0]
+    if upper.shape != (n, n) or b.shape[0] != n:
+        raise ValueError(f"shape mismatch: U {upper.shape}, b {b.shape}")
+    record_primitive(BuildingBlock.SUBSTITUTION, upper.shape, b.shape)
+
+    x = np.zeros_like(b)
+    for i in range(n - 1, -1, -1):
+        pivot = upper[i, i]
+        if abs(pivot) < 1e-14:
+            raise np.linalg.LinAlgError("singular triangular matrix")
+        x[i] = (b[i] - upper[i, i + 1 :] @ x[i + 1 :]) / pivot
+    return x.reshape(-1) if squeeze else x
+
+
+def solve_cholesky(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` for symmetric positive-definite ``A``.
+
+    This is exactly how the accelerator computes the Kalman gain: decompose
+    ``S``, then forward- and backward-substitute (Equ. 1b).
+    """
+    lower = cholesky(matrix)
+    y = forward_substitution(lower, rhs)
+    return backward_substitution(lower.T, y)
+
+
+def solve_linear(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve a general square system via LU with partial pivoting."""
+    a = np.asarray(matrix, dtype=float)
+    b = np.asarray(rhs, dtype=float)
+    permutation, lower, upper = lu_decompose(a)
+    permuted = b[permutation] if b.ndim == 1 else b[permutation, :]
+    y = forward_substitution(lower, permuted)
+    return backward_substitution(upper, y)
+
+
+def symmetric_inverse(matrix: np.ndarray) -> np.ndarray:
+    """Invert a symmetric positive-definite matrix via Cholesky."""
+    a = np.asarray(matrix, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"symmetric_inverse requires a square matrix, got {a.shape}")
+    record_primitive(BuildingBlock.INVERSE, a.shape)
+    lower = cholesky(a)
+    identity = np.eye(a.shape[0])
+    y = forward_substitution(lower, identity)
+    return backward_substitution(lower.T, y)
+
+
+def block_diag_plus_dense_inverse(diagonal: np.ndarray, dense: np.ndarray,
+                                  off_diagonal: np.ndarray) -> np.ndarray:
+    """Invert a symmetric matrix with the paper's ``A_mm`` structure.
+
+    ``A_mm = [[A, B], [B^T, D]]`` where ``A`` is diagonal and ``D`` is a small
+    6x6 pose block.  The inversion uses the block-matrix inverse formula so the
+    heavy lifting reduces to reciprocals of the diagonal plus a 6x6 inverse —
+    the same specialization the backend accelerator hardware makes.
+
+    Parameters
+    ----------
+    diagonal:
+        The diagonal entries of ``A`` (length ``m``).
+    dense:
+        The dense ``D`` block (``d x d``; 6x6 in the paper).
+    off_diagonal:
+        The ``B`` block (``m x d``).
+    """
+    diag = np.asarray(diagonal, dtype=float).reshape(-1)
+    d_block = np.asarray(dense, dtype=float)
+    b_block = np.asarray(off_diagonal, dtype=float)
+    m = diag.size
+    d = d_block.shape[0]
+    if d_block.shape != (d, d) or b_block.shape != (m, d):
+        raise ValueError("inconsistent block shapes for structured inverse")
+    record_primitive(BuildingBlock.INVERSE, (m + d, m + d))
+
+    inv_diag = 1.0 / np.where(np.abs(diag) < 1e-14, 1e-14, diag)
+    # Schur complement of A: D - B^T A^-1 B  (d x d, cheap to invert).
+    schur = d_block - b_block.T @ (inv_diag[:, None] * b_block)
+    schur_inv = symmetric_inverse(schur)
+
+    top_left = np.diag(inv_diag) + (inv_diag[:, None] * b_block) @ schur_inv @ (b_block.T * inv_diag[None, :])
+    top_right = -(inv_diag[:, None] * b_block) @ schur_inv
+    out = np.zeros((m + d, m + d))
+    out[:m, :m] = top_left
+    out[:m, m:] = top_right
+    out[m:, :m] = top_right.T
+    out[m:, m:] = schur_inv
+    return out

@@ -1,0 +1,15 @@
+"""Trajectory accuracy metrics (RMSE ATE, relative trajectory error)."""
+
+from repro.metrics.trajectory import (
+    absolute_trajectory_error,
+    relative_trajectory_error_percent,
+    rmse,
+    umeyama_alignment,
+)
+
+__all__ = [
+    "absolute_trajectory_error",
+    "relative_trajectory_error_percent",
+    "rmse",
+    "umeyama_alignment",
+]

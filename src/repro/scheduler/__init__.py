@@ -1,0 +1,20 @@
+"""Runtime scheduling of backend kernel offloads (Sec. VI-B).
+
+Offloading a backend kernel is only worthwhile when its CPU time would
+exceed the accelerator time (compute plus DMA).  The scheduler predicts the
+CPU time from the kernel's workload size with simple regression models fit
+offline — linear for projection, quadratic for Kalman gain and
+marginalization — and triggers the accelerator only when the prediction
+exceeds the accelerator estimate.
+"""
+
+from repro.scheduler.regression import PolynomialRegression, r_squared
+from repro.scheduler.scheduler import OracleScheduler, RuntimeScheduler, SchedulerEvaluation
+
+__all__ = [
+    "PolynomialRegression",
+    "r_squared",
+    "RuntimeScheduler",
+    "OracleScheduler",
+    "SchedulerEvaluation",
+]

@@ -1,0 +1,233 @@
+"""Synthetic dataset generation: frames, sequences and builders.
+
+A :class:`SyntheticSequence` plays the role of a KITTI/EuRoC/in-house
+recording: a list of :class:`Frame` objects carrying noisy landmark
+observations, IMU batches, optional GPS fixes and (optionally) rendered
+stereo images, plus the ground-truth trajectory and the landmark world the
+sequence was generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.camera import PinholeCamera, StereoRig, world_to_camera
+from repro.common.config import SensorConfig
+from repro.common.geometry import Pose
+from repro.sensors.gps import GpsSample, GpsSimulator
+from repro.sensors.imaging import ImageRenderer
+from repro.sensors.imu import ImuSample, ImuSimulator
+from repro.sensors.scenarios import OperatingScenario, ScenarioKind
+from repro.sensors.trajectory import TrajectorySample
+from repro.sensors.world import LandmarkWorld, camera_frame_from_body
+
+
+@dataclass
+class StereoObservation:
+    """Noisy pixel observation of one landmark in both cameras."""
+
+    landmark_id: int
+    left_pixel: np.ndarray
+    right_pixel: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left_pixel = np.asarray(self.left_pixel, dtype=float).reshape(2)
+        self.right_pixel = np.asarray(self.right_pixel, dtype=float).reshape(2)
+
+
+@dataclass
+class Frame:
+    """All sensor data associated with one camera epoch."""
+
+    index: int
+    timestamp: float
+    ground_truth: Pose
+    observations: Dict[int, StereoObservation] = field(default_factory=dict)
+    imu_samples: List[ImuSample] = field(default_factory=list)
+    gps: Optional[GpsSample] = None
+    scenario: ScenarioKind = ScenarioKind.OUTDOOR_UNKNOWN
+    left_image: Optional[np.ndarray] = None
+    right_image: Optional[np.ndarray] = None
+    ground_truth_velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    @property
+    def observation_count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def has_gps(self) -> bool:
+        return self.gps is not None and self.gps.valid
+
+    @property
+    def has_images(self) -> bool:
+        return self.left_image is not None and self.right_image is not None
+
+
+@dataclass
+class SyntheticSequence:
+    """A generated sequence together with its world and rig."""
+
+    frames: List[Frame]
+    world: LandmarkWorld
+    rig: StereoRig
+    scenario: ScenarioKind
+    config: SensorConfig
+    has_prebuilt_map: bool = False
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    def ground_truth_trajectory(self) -> List[Pose]:
+        return [frame.ground_truth for frame in self.frames]
+
+    def ground_truth_positions(self) -> np.ndarray:
+        return np.array([frame.ground_truth.translation for frame in self.frames])
+
+    @property
+    def duration(self) -> float:
+        if len(self.frames) < 2:
+            return 0.0
+        return self.frames[-1].timestamp - self.frames[0].timestamp
+
+    @property
+    def frame_rate(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return (len(self.frames) - 1) / self.duration
+
+
+class SequenceBuilder:
+    """Builds :class:`SyntheticSequence` objects from operating scenarios."""
+
+    def __init__(self, config: Optional[SensorConfig] = None, render_images: bool = False) -> None:
+        self.config = config or SensorConfig()
+        self.render_images = bool(render_images)
+
+    def _camera(self) -> PinholeCamera:
+        return PinholeCamera.from_fov(
+            self.config.image_width, self.config.image_height, self.config.horizontal_fov_deg
+        )
+
+    def build(self, scenario: OperatingScenario, start_time: float = 0.0,
+              start_index: int = 0, seed_offset: int = 0) -> SyntheticSequence:
+        """Generate a full sequence for one operating scenario."""
+        config = self.config
+        camera = self._camera()
+        rig = StereoRig(camera=camera, baseline=config.stereo_baseline)
+        seed = config.seed + seed_offset
+
+        frame_count = max(2, int(round(scenario.duration * config.camera_rate_hz)))
+        frame_times = start_time + np.arange(frame_count) / config.camera_rate_hz
+
+        # Sample the trajectory densely first so the world hugs the path.
+        truth_per_frame: List[TrajectorySample] = [
+            scenario.trajectory.sample(float(t - start_time)) for t in frame_times
+        ]
+        path_points = np.array([s.pose.translation for s in truth_per_frame])
+        if scenario.is_indoor:
+            world = LandmarkWorld.indoor(path_points, count=scenario.landmark_count, seed=seed)
+        else:
+            world = LandmarkWorld.outdoor(path_points, count=scenario.landmark_count, seed=seed)
+
+        imu = ImuSimulator(
+            gyro_noise=config.imu_gyro_noise,
+            accel_noise=config.imu_accel_noise,
+            gyro_bias_walk=config.imu_gyro_bias_walk,
+            accel_bias_walk=config.imu_accel_bias_walk,
+            seed=seed + 1,
+        )
+        gps = GpsSimulator(
+            noise_std=config.gps_noise_std,
+            outage_probability=max(config.gps_outage_probability, scenario.gps_outage_probability),
+            indoor=not scenario.has_gps,
+            seed=seed + 2,
+        )
+        renderer = ImageRenderer(camera, config.stereo_baseline, seed=seed + 3) if self.render_images else None
+        rng = np.random.default_rng(seed + 4)
+
+        imu_dt = 1.0 / config.imu_rate_hz
+        frames: List[Frame] = []
+        for i, truth in enumerate(truth_per_frame):
+            timestamp = float(frame_times[i])
+            observations = self._observe(truth.pose, world, rig, rng)
+            imu_batch: List[ImuSample] = []
+            if i > 0:
+                previous_time = float(frame_times[i - 1])
+                steps = max(1, int(round((timestamp - previous_time) / imu_dt)))
+                for step in range(steps + 1):
+                    t = previous_time + step * (timestamp - previous_time) / steps
+                    sub_truth = scenario.trajectory.sample(t - start_time)
+                    sub_truth = TrajectorySample(
+                        timestamp=t,
+                        pose=sub_truth.pose,
+                        velocity=sub_truth.velocity,
+                        acceleration=sub_truth.acceleration,
+                        angular_velocity=sub_truth.angular_velocity,
+                    )
+                    imu_batch.append(imu.measure(sub_truth, (timestamp - previous_time) / steps))
+            gps_sample = gps.measure(timestamp, truth.pose) if scenario.has_gps else None
+
+            frame = Frame(
+                index=start_index + i,
+                timestamp=timestamp,
+                ground_truth=truth.pose,
+                observations=observations,
+                imu_samples=imu_batch,
+                gps=gps_sample,
+                scenario=scenario.kind,
+                ground_truth_velocity=truth.velocity,
+            )
+            if renderer is not None:
+                frame.left_image, frame.right_image = renderer.render(truth.pose, world, frame_index=i)
+            frames.append(frame)
+
+        return SyntheticSequence(
+            frames=frames,
+            world=world,
+            rig=rig,
+            scenario=scenario.kind,
+            config=config,
+            has_prebuilt_map=scenario.has_map,
+        )
+
+    def build_mixed(self, scenarios: List[OperatingScenario]) -> List[SyntheticSequence]:
+        """Build back-to-back segments for a mixed deployment."""
+        segments: List[SyntheticSequence] = []
+        start_time = 0.0
+        start_index = 0
+        for i, scenario in enumerate(scenarios):
+            segment = self.build(scenario, start_time=start_time, start_index=start_index, seed_offset=10 * i)
+            segments.append(segment)
+            if segment.frames:
+                start_time = segment.frames[-1].timestamp + 1.0 / self.config.camera_rate_hz
+                start_index = segment.frames[-1].index + 1
+        return segments
+
+    def _observe(self, pose: Pose, world: LandmarkWorld, rig: StereoRig,
+                 rng: np.random.Generator) -> Dict[int, StereoObservation]:
+        """Project visible landmarks into both cameras, adding pixel noise."""
+        if not len(world):
+            return {}
+        points_body = world_to_camera(pose, world.positions)
+        points_camera = camera_frame_from_body(points_body)
+        left_pixels, left_valid = rig.camera.project(points_camera)
+        right_points = points_camera - np.array([rig.baseline, 0.0, 0.0])
+        right_pixels, right_valid = rig.camera.project(right_points)
+        max_depth = 40.0 if world.is_indoor else 80.0
+        in_range = (points_camera[:, 2] > 0.3) & (points_camera[:, 2] < max_depth)
+        valid = left_valid & right_valid & in_range
+
+        observations: Dict[int, StereoObservation] = {}
+        noise_std = self.config.pixel_noise_std
+        for idx in np.nonzero(valid)[0]:
+            left = left_pixels[idx] + rng.normal(0.0, noise_std, size=2)
+            right = right_pixels[idx] + rng.normal(0.0, noise_std, size=2)
+            landmark_id = world.landmarks[idx].landmark_id
+            observations[landmark_id] = StereoObservation(landmark_id, left, right)
+        return observations

@@ -1,0 +1,113 @@
+"""Inertial measurement unit (IMU) simulation.
+
+The paper's VIO backend fuses camera observations with IMU samples via an
+MSCKF.  Real IMU samples are noisy and biased (Sec. II); this simulator adds
+white noise plus slowly drifting biases (random walks) to the ground-truth
+specific force and angular velocity derived from the trajectory generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sensors.trajectory import TrajectorySample
+
+GRAVITY = np.array([0.0, 0.0, -9.81])
+
+
+@dataclass
+class ImuSample:
+    """One IMU measurement: body-frame angular velocity and specific force."""
+
+    timestamp: float
+    angular_velocity: np.ndarray
+    linear_acceleration: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.angular_velocity = np.asarray(self.angular_velocity, dtype=float).reshape(3)
+        self.linear_acceleration = np.asarray(self.linear_acceleration, dtype=float).reshape(3)
+
+
+class ImuSimulator:
+    """Generates noisy IMU samples from ground-truth trajectory samples."""
+
+    def __init__(
+        self,
+        gyro_noise: float = 1e-3,
+        accel_noise: float = 1e-2,
+        gyro_bias_walk: float = 1e-5,
+        accel_bias_walk: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.gyro_noise = float(gyro_noise)
+        self.accel_noise = float(accel_noise)
+        self.gyro_bias_walk = float(gyro_bias_walk)
+        self.accel_bias_walk = float(accel_bias_walk)
+        self._rng = np.random.default_rng(seed)
+        self.gyro_bias = np.zeros(3)
+        self.accel_bias = np.zeros(3)
+
+    def reset(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.gyro_bias = np.zeros(3)
+        self.accel_bias = np.zeros(3)
+
+    def measure(self, truth: TrajectorySample, dt: float) -> ImuSample:
+        """Produce one noisy IMU sample from the ground truth at ``truth``."""
+        rotation_world_to_body = truth.pose.rotation.T
+        # Specific force: measured acceleration minus gravity, in body frame.
+        specific_force = rotation_world_to_body @ (truth.acceleration - GRAVITY)
+        angular_velocity = rotation_world_to_body @ truth.angular_velocity
+
+        # Bias random walks.
+        self.gyro_bias = self.gyro_bias + self._rng.normal(0.0, self.gyro_bias_walk * np.sqrt(dt), size=3)
+        self.accel_bias = self.accel_bias + self._rng.normal(0.0, self.accel_bias_walk * np.sqrt(dt), size=3)
+
+        noisy_gyro = angular_velocity + self.gyro_bias + self._rng.normal(0.0, self.gyro_noise, size=3)
+        noisy_accel = specific_force + self.accel_bias + self._rng.normal(0.0, self.accel_noise, size=3)
+        return ImuSample(
+            timestamp=truth.timestamp,
+            angular_velocity=noisy_gyro,
+            linear_acceleration=noisy_accel,
+        )
+
+    def measure_interval(self, samples: List[TrajectorySample]) -> List[ImuSample]:
+        """Measure a batch of consecutive ground-truth samples."""
+        measurements: List[ImuSample] = []
+        for i, truth in enumerate(samples):
+            if i + 1 < len(samples):
+                dt = samples[i + 1].timestamp - truth.timestamp
+            elif i > 0:
+                dt = truth.timestamp - samples[i - 1].timestamp
+            else:
+                dt = 0.01
+            measurements.append(self.measure(truth, max(dt, 1e-4)))
+        return measurements
+
+
+def integrate_imu(samples: List[ImuSample], initial_pose, initial_velocity: np.ndarray):
+    """Dead-reckon a pose by naively integrating IMU samples.
+
+    This is used in tests to demonstrate the drift the paper attributes to
+    IMU-only estimation (Sec. II), and in the MSCKF propagation step.
+
+    Returns ``(pose, velocity)`` after integrating all samples.
+    """
+    from repro.common.geometry import Pose, so3_exp
+
+    pose = initial_pose.copy()
+    velocity = np.asarray(initial_velocity, dtype=float).reshape(3).copy()
+    for i in range(len(samples) - 1):
+        dt = samples[i + 1].timestamp - samples[i].timestamp
+        if dt <= 0:
+            continue
+        omega = samples[i].angular_velocity
+        accel_world = pose.rotation @ samples[i].linear_acceleration + GRAVITY
+        new_rotation = pose.rotation @ so3_exp(omega * dt)
+        new_translation = pose.translation + velocity * dt + 0.5 * accel_world * dt * dt
+        velocity = velocity + accel_world * dt
+        pose = Pose(new_rotation, new_translation)
+    return pose, velocity

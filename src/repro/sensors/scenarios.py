@@ -1,0 +1,143 @@
+"""Taxonomy of real-world operating environments (Fig. 2).
+
+The paper classifies environments along two axes: map availability and GPS
+availability.  The resulting four scenarios each prefer a different
+localization algorithm:
+
+========================  ==========================  =================
+Scenario                  (GPS, Map)                  Preferred backend
+========================  ==========================  =================
+Indoor unknown            (no GPS, no map)            SLAM
+Indoor known              (no GPS, with map)          Registration
+Outdoor unknown           (with GPS, no map)          VIO (+GPS)
+Outdoor known             (with GPS, with map)        VIO (+GPS)
+========================  ==========================  =================
+
+A commercial deployment mixes these: the paper's evaluation uses 50 % outdoor
+frames, 25 % indoor frames without a map and 25 % indoor frames with a map.
+:func:`mixed_deployment_sequence` reproduces that mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.common.config import SensorConfig
+from repro.sensors.trajectory import (
+    TrajectoryGenerator,
+    circle_trajectory,
+    figure_eight_trajectory,
+    straight_trajectory,
+    warehouse_trajectory,
+)
+
+
+class ScenarioKind(str, Enum):
+    """The four environments of Fig. 2."""
+
+    INDOOR_UNKNOWN = "indoor_unknown"
+    INDOOR_KNOWN = "indoor_known"
+    OUTDOOR_UNKNOWN = "outdoor_unknown"
+    OUTDOOR_KNOWN = "outdoor_known"
+
+    @property
+    def has_gps(self) -> bool:
+        return self in (ScenarioKind.OUTDOOR_UNKNOWN, ScenarioKind.OUTDOOR_KNOWN)
+
+    @property
+    def has_map(self) -> bool:
+        return self in (ScenarioKind.INDOOR_KNOWN, ScenarioKind.OUTDOOR_KNOWN)
+
+    @property
+    def is_indoor(self) -> bool:
+        return self in (ScenarioKind.INDOOR_UNKNOWN, ScenarioKind.INDOOR_KNOWN)
+
+    @property
+    def preferred_backend(self) -> str:
+        """Backend mode that maximizes accuracy in this scenario (Fig. 2/3)."""
+        if self.has_gps:
+            return "vio"
+        if self.has_map:
+            return "registration"
+        return "slam"
+
+
+@dataclass
+class OperatingScenario:
+    """A concrete operating scenario: environment kind plus workload shape."""
+
+    kind: ScenarioKind
+    trajectory: TrajectoryGenerator
+    duration: float = 30.0
+    landmark_count: int = 400
+    gps_outage_probability: float = 0.0
+    description: str = ""
+
+    @property
+    def has_gps(self) -> bool:
+        return self.kind.has_gps
+
+    @property
+    def has_map(self) -> bool:
+        return self.kind.has_map
+
+    @property
+    def is_indoor(self) -> bool:
+        return self.kind.is_indoor
+
+
+def scenario_catalog(duration: float = 30.0, landmark_count: int = 400) -> Dict[ScenarioKind, OperatingScenario]:
+    """The four canonical scenarios with workload shapes matching the paper.
+
+    Indoor scenarios use drone-/robot-style trajectories (figure eight,
+    warehouse sweep); outdoor scenarios use car-style road segments.
+    """
+    return {
+        ScenarioKind.INDOOR_UNKNOWN: OperatingScenario(
+            kind=ScenarioKind.INDOOR_UNKNOWN,
+            trajectory=figure_eight_trajectory(scale=5.0, period=duration),
+            duration=duration,
+            landmark_count=landmark_count,
+            description="Unmapped indoor flight (EuRoC-style machine hall)",
+        ),
+        ScenarioKind.INDOOR_KNOWN: OperatingScenario(
+            kind=ScenarioKind.INDOOR_KNOWN,
+            trajectory=warehouse_trajectory(aisle_length=15.0, speed=1.5),
+            duration=duration,
+            landmark_count=landmark_count,
+            description="Pre-mapped warehouse traversal (logistics robot)",
+        ),
+        ScenarioKind.OUTDOOR_UNKNOWN: OperatingScenario(
+            kind=ScenarioKind.OUTDOOR_UNKNOWN,
+            trajectory=straight_trajectory(speed=6.0),
+            duration=duration,
+            landmark_count=landmark_count,
+            description="Unmapped road segment (KITTI-style)",
+        ),
+        ScenarioKind.OUTDOOR_KNOWN: OperatingScenario(
+            kind=ScenarioKind.OUTDOOR_KNOWN,
+            trajectory=circle_trajectory(radius=20.0, period=duration * 2.0, height=1.5),
+            duration=duration,
+            landmark_count=landmark_count,
+            description="Pre-mapped urban loop",
+        ),
+    }
+
+
+def mixed_deployment_sequence(segment_duration: float = 12.0,
+                              landmark_count: int = 300) -> List[OperatingScenario]:
+    """Segments matching the paper's dataset mix.
+
+    50 % outdoor frames, 25 % indoor without map, 25 % indoor with map
+    (Sec. VII-A).  Returned as an ordered list of scenario segments the
+    unified framework traverses back-to-back.
+    """
+    catalog = scenario_catalog(duration=segment_duration, landmark_count=landmark_count)
+    return [
+        catalog[ScenarioKind.OUTDOOR_UNKNOWN],
+        catalog[ScenarioKind.INDOOR_UNKNOWN],
+        catalog[ScenarioKind.OUTDOOR_KNOWN],
+        catalog[ScenarioKind.INDOOR_KNOWN],
+    ]

@@ -1,0 +1,181 @@
+"""Ground-truth 6-DoF trajectory generation.
+
+Sequences in the paper come from self-driving cars (KITTI-like, long smooth
+outdoor trajectories), drones (EuRoC-like, aggressive indoor figure-eights)
+and logistic robots shuttling between warehouses.  The generators here create
+analytically smooth trajectories so we can also derive exact angular velocity
+and acceleration for the IMU simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.common.geometry import Pose, euler_to_rotation
+
+
+@dataclass
+class TrajectorySample:
+    """Ground truth at one timestamp."""
+
+    timestamp: float
+    pose: Pose
+    velocity: np.ndarray
+    acceleration: np.ndarray
+    angular_velocity: np.ndarray
+
+
+class TrajectoryGenerator:
+    """Samples a parametric trajectory at a fixed rate.
+
+    The trajectory is described by a position function ``p(t)`` and a yaw
+    function ``yaw(t)``; velocity, acceleration and angular velocity are
+    obtained by central finite differences, which keeps the generator simple
+    while remaining accurate for the smooth paths used here.
+    """
+
+    def __init__(
+        self,
+        position_fn: Callable[[float], np.ndarray],
+        yaw_fn: Optional[Callable[[float], float]] = None,
+        pitch: float = 0.0,
+        roll: float = 0.0,
+    ) -> None:
+        self._position_fn = position_fn
+        self._yaw_fn = yaw_fn
+        self._pitch = pitch
+        self._roll = roll
+
+    def _yaw(self, t: float, dt: float = 1e-3) -> float:
+        if self._yaw_fn is not None:
+            return float(self._yaw_fn(t))
+        # Face along the direction of travel.
+        p0 = self._position_fn(t - dt)
+        p1 = self._position_fn(t + dt)
+        delta = np.asarray(p1) - np.asarray(p0)
+        if np.linalg.norm(delta[:2]) < 1e-9:
+            return 0.0
+        return float(np.arctan2(delta[1], delta[0]))
+
+    def sample(self, timestamp: float, dt: float = 1e-3) -> TrajectorySample:
+        position = np.asarray(self._position_fn(timestamp), dtype=float).reshape(3)
+        prev = np.asarray(self._position_fn(timestamp - dt), dtype=float).reshape(3)
+        nxt = np.asarray(self._position_fn(timestamp + dt), dtype=float).reshape(3)
+        velocity = (nxt - prev) / (2.0 * dt)
+        acceleration = (nxt - 2.0 * position + prev) / (dt * dt)
+
+        yaw = self._yaw(timestamp, dt)
+        yaw_prev = self._yaw(timestamp - dt, dt)
+        yaw_next = self._yaw(timestamp + dt, dt)
+        yaw_rate = _wrap_angle(yaw_next - yaw_prev) / (2.0 * dt)
+
+        rotation = euler_to_rotation(yaw, self._pitch, self._roll)
+        pose = Pose(rotation, position)
+        angular_velocity = np.array([0.0, 0.0, yaw_rate])
+        return TrajectorySample(
+            timestamp=timestamp,
+            pose=pose,
+            velocity=velocity,
+            acceleration=acceleration,
+            angular_velocity=angular_velocity,
+        )
+
+    def sample_range(self, duration: float, rate_hz: float, start: float = 0.0) -> List[TrajectorySample]:
+        count = int(round(duration * rate_hz))
+        timestamps = start + np.arange(count) / rate_hz
+        return [self.sample(float(t)) for t in timestamps]
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle difference into ``[-pi, pi]``."""
+    return float((angle + np.pi) % (2.0 * np.pi) - np.pi)
+
+
+def circle_trajectory(radius: float = 10.0, period: float = 60.0, height: float = 0.0) -> TrajectoryGenerator:
+    """A circular loop — the canonical loop-closure trajectory for SLAM."""
+    omega = 2.0 * np.pi / period
+
+    def position(t: float) -> np.ndarray:
+        return np.array([radius * np.cos(omega * t), radius * np.sin(omega * t), height])
+
+    return TrajectoryGenerator(position)
+
+
+def figure_eight_trajectory(scale: float = 6.0, period: float = 40.0, height: float = 1.2,
+                            vertical_amplitude: float = 0.3) -> TrajectoryGenerator:
+    """A figure-eight with mild altitude oscillation — a drone-style path."""
+    omega = 2.0 * np.pi / period
+
+    def position(t: float) -> np.ndarray:
+        return np.array(
+            [
+                scale * np.sin(omega * t),
+                scale * np.sin(omega * t) * np.cos(omega * t),
+                height + vertical_amplitude * np.sin(2.0 * omega * t),
+            ]
+        )
+
+    return TrajectoryGenerator(position)
+
+
+def straight_trajectory(speed: float = 8.0, lateral_wiggle: float = 0.5,
+                        wiggle_period: float = 20.0, height: float = 1.5) -> TrajectoryGenerator:
+    """A mostly straight road segment — a KITTI-style outdoor car path."""
+    omega = 2.0 * np.pi / wiggle_period
+
+    def position(t: float) -> np.ndarray:
+        return np.array([speed * t, lateral_wiggle * np.sin(omega * t), height])
+
+    return TrajectoryGenerator(position)
+
+
+def warehouse_trajectory(aisle_length: float = 20.0, aisle_spacing: float = 4.0,
+                         speed: float = 1.5, height: float = 0.4) -> TrajectoryGenerator:
+    """A boustrophedon sweep through warehouse aisles (logistics robot).
+
+    The path snakes down one aisle, crosses over, and returns along the next,
+    which is the pattern the paper's logistics robots follow indoors.
+    """
+    segment_time = aisle_length / speed
+    cross_time = aisle_spacing / speed
+    cycle = 2.0 * (segment_time + cross_time)
+
+    def position(t: float) -> np.ndarray:
+        phase = t % cycle
+        lane_pair = int(t // cycle)
+        base_y = 2.0 * aisle_spacing * lane_pair
+        if phase < segment_time:
+            return np.array([phase * speed, base_y, height])
+        phase -= segment_time
+        if phase < cross_time:
+            return np.array([aisle_length, base_y + phase * speed, height])
+        phase -= cross_time
+        if phase < segment_time:
+            return np.array([aisle_length - phase * speed, base_y + aisle_spacing, height])
+        phase -= segment_time
+        return np.array([0.0, base_y + aisle_spacing + phase * speed, height])
+
+    return TrajectoryGenerator(position)
+
+
+def random_smooth_trajectory(seed: int = 0, scale: float = 8.0, duration_hint: float = 120.0,
+                             harmonics: int = 4, height: float = 1.0) -> TrajectoryGenerator:
+    """A random smooth path built from a few sinusoidal harmonics.
+
+    Useful for property-based tests where we want varied but differentiable
+    ground truth.
+    """
+    rng = np.random.default_rng(seed)
+    amplitudes = rng.uniform(0.2, 1.0, size=(harmonics, 2)) * scale / harmonics
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=(harmonics, 2))
+    frequencies = rng.uniform(0.5, 2.0, size=harmonics) * 2.0 * np.pi / duration_hint
+
+    def position(t: float) -> np.ndarray:
+        x = sum(amplitudes[i, 0] * np.sin(frequencies[i] * t + phases[i, 0]) for i in range(harmonics))
+        y = sum(amplitudes[i, 1] * np.sin(frequencies[i] * t + phases[i, 1]) for i in range(harmonics))
+        return np.array([x, y, height])
+
+    return TrajectoryGenerator(position)

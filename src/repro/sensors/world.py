@@ -1,0 +1,170 @@
+"""Synthetic 3-D landmark worlds.
+
+Visual localization algorithms consume feature correspondences, which
+ultimately come from salient 3-D landmarks in the environment.  The world
+model generates persistent landmark clouds along the trajectory corridor
+(walls for indoor scenes, building facades / roadside structure for outdoor
+scenes) together with per-landmark appearance identifiers that the frontend
+uses to synthesize stable ORB descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.camera import PinholeCamera, world_to_camera
+from repro.common.geometry import Pose
+
+
+@dataclass
+class Landmark:
+    """A persistent 3-D point with a stable appearance identity."""
+
+    landmark_id: int
+    position: np.ndarray
+    appearance_seed: int
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).reshape(3)
+
+
+class LandmarkWorld:
+    """A collection of landmarks with visibility queries.
+
+    Parameters
+    ----------
+    landmarks:
+        The landmark list.
+    is_indoor:
+        Indoor scenes have denser, closer structure; outdoor scenes have
+        sparser, farther structure.  The flag is carried along so scenario
+        generators can reason about GPS availability.
+    """
+
+    def __init__(self, landmarks: List[Landmark], is_indoor: bool = False) -> None:
+        self.landmarks = landmarks
+        self.is_indoor = is_indoor
+        self._positions = np.array([lm.position for lm in landmarks]) if landmarks else np.zeros((0, 3))
+
+    def __len__(self) -> int:
+        return len(self.landmarks)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._positions
+
+    def visible_from(self, pose: Pose, camera: PinholeCamera, max_depth: float = 60.0,
+                     min_depth: float = 0.3) -> List[int]:
+        """Indices of landmarks visible from ``pose`` through ``camera``."""
+        if not self.landmarks:
+            return []
+        points_camera = world_to_camera(pose, self._positions)
+        # Camera convention: +z forward after the body-to-camera alignment.
+        pixels, valid = camera.project(_body_to_camera(points_camera))
+        depth = points_camera[:, 0]
+        in_range = (depth > min_depth) & (depth < max_depth)
+        return list(np.nonzero(valid & in_range)[0])
+
+    def observe(self, pose: Pose, camera: PinholeCamera, max_depth: float = 60.0) -> Dict[int, np.ndarray]:
+        """Map from landmark index to noiseless pixel observation."""
+        indices = self.visible_from(pose, camera, max_depth=max_depth)
+        if not indices:
+            return {}
+        points_camera = world_to_camera(pose, self._positions[indices])
+        pixels, valid = camera.project(_body_to_camera(points_camera))
+        return {int(idx): pixels[i] for i, idx in enumerate(indices) if valid[i]}
+
+    def subset(self, indices: List[int]) -> "LandmarkWorld":
+        return LandmarkWorld([self.landmarks[i] for i in indices], is_indoor=self.is_indoor)
+
+    @classmethod
+    def corridor(cls, trajectory_points: np.ndarray, count: int, lateral_spread: float,
+                 height_spread: float, is_indoor: bool, seed: int = 0,
+                 forward_spread: float = 5.0) -> "LandmarkWorld":
+        """Scatter landmarks in a corridor around a trajectory.
+
+        Landmarks are placed around randomly selected trajectory points with
+        lateral and vertical offsets, mimicking walls/racking indoors and
+        facades/vegetation outdoors.
+        """
+        rng = np.random.default_rng(seed)
+        trajectory_points = np.asarray(trajectory_points, dtype=float).reshape(-1, 3)
+        anchors = trajectory_points[rng.integers(0, len(trajectory_points), size=count)]
+        offsets = np.stack(
+            [
+                rng.uniform(-forward_spread, forward_spread, size=count),
+                rng.choice([-1.0, 1.0], size=count) * rng.uniform(0.3 * lateral_spread, lateral_spread, size=count),
+                rng.uniform(-0.2 * height_spread, height_spread, size=count),
+            ],
+            axis=1,
+        )
+        positions = anchors + offsets
+        landmarks = [
+            Landmark(landmark_id=i, position=positions[i], appearance_seed=int(rng.integers(0, 2**31 - 1)))
+            for i in range(count)
+        ]
+        return cls(landmarks, is_indoor=is_indoor)
+
+    @classmethod
+    def indoor(cls, trajectory_points: np.ndarray, count: int = 400, seed: int = 0) -> "LandmarkWorld":
+        """Dense, close-range structure typical of warehouses and offices."""
+        return cls.corridor(
+            trajectory_points,
+            count=count,
+            lateral_spread=4.0,
+            height_spread=3.0,
+            is_indoor=True,
+            seed=seed,
+            forward_spread=3.0,
+        )
+
+    @classmethod
+    def outdoor(cls, trajectory_points: np.ndarray, count: int = 400, seed: int = 0) -> "LandmarkWorld":
+        """Sparser, longer-range structure typical of urban driving."""
+        return cls.corridor(
+            trajectory_points,
+            count=count,
+            lateral_spread=15.0,
+            height_spread=8.0,
+            is_indoor=False,
+            seed=seed,
+            forward_spread=12.0,
+        )
+
+
+def _body_to_camera(points_body: np.ndarray) -> np.ndarray:
+    """Convert body-frame points (x forward, y left, z up) to camera frame.
+
+    The camera frame follows the computer-vision convention: z forward,
+    x right, y down.
+    """
+    points_body = np.asarray(points_body, dtype=float).reshape(-1, 3)
+    return np.stack(
+        [
+            -points_body[:, 1],
+            -points_body[:, 2],
+            points_body[:, 0],
+        ],
+        axis=1,
+    )
+
+
+def camera_frame_from_body(points_body: np.ndarray) -> np.ndarray:
+    """Public alias for :func:`_body_to_camera` used elsewhere in the library."""
+    return _body_to_camera(points_body)
+
+
+def body_frame_from_camera(points_camera: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`camera_frame_from_body`."""
+    points_camera = np.asarray(points_camera, dtype=float).reshape(-1, 3)
+    return np.stack(
+        [
+            points_camera[:, 2],
+            -points_camera[:, 0],
+            -points_camera[:, 1],
+        ],
+        axis=1,
+    )

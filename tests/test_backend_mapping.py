@@ -1,0 +1,232 @@
+"""Tests for mapping (bundle adjustment), marginalization, BoW and SLAM."""
+
+import numpy as np
+import pytest
+
+from repro.backend.bow import BinaryVocabulary, KeyframeDatabase
+from repro.backend.mapping import KeyframeMapper, SlamWorkload
+from repro.backend.marginalization import marginalize_schur, marginalize_structured
+from repro.backend.slam import SlamBackend
+from repro.common.config import BackendConfig, MappingConfig
+from repro.common.geometry import Pose
+from repro.frontend.frontend import VisualFrontend
+from repro.frontend.orb import descriptor_from_seed
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestMarginalization:
+    def test_matches_dense_schur(self):
+        hessian = random_spd(12, seed=1)
+        gradient = np.random.default_rng(1).normal(size=12)
+        result = marginalize_schur(hessian, gradient, list(range(4)))
+        a_mm, a_mr = hessian[:4, :4], hessian[:4, 4:]
+        a_rm, a_rr = hessian[4:, :4], hessian[4:, 4:]
+        expected_h = a_rr - a_rm @ np.linalg.inv(a_mm) @ a_mr
+        expected_b = gradient[4:] - a_rm @ np.linalg.inv(a_mm) @ gradient[:4]
+        assert np.allclose(result.hessian, expected_h, atol=1e-5)
+        assert np.allclose(result.gradient, expected_b, atol=1e-5)
+        assert result.marginalized_dim == 4
+        assert result.remaining_dim == 8
+
+    def test_no_indices_is_identity(self):
+        hessian = random_spd(5, seed=2)
+        gradient = np.ones(5)
+        result = marginalize_schur(hessian, gradient, [])
+        assert np.allclose(result.hessian, hessian)
+        assert np.allclose(result.gradient, gradient)
+
+    def test_all_indices_yields_empty(self):
+        hessian = random_spd(4, seed=3)
+        result = marginalize_schur(hessian, np.ones(4), [0, 1, 2, 3])
+        assert result.remaining_dim == 0
+        assert result.hessian.shape == (0, 0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            marginalize_schur(np.eye(3), np.ones(3), [5])
+
+    def test_inconsistent_shapes_raise(self):
+        with pytest.raises(ValueError):
+            marginalize_schur(np.eye(3), np.ones(4), [0])
+
+    def test_prior_hessian_positive_semidefinite(self):
+        hessian = random_spd(10, seed=5)
+        result = marginalize_schur(hessian, np.zeros(10), [0, 1, 2])
+        assert np.all(np.linalg.eigvalsh(result.hessian) > -1e-8)
+
+    def test_structured_matches_generic(self):
+        rng = np.random.default_rng(7)
+        m, d, r = 6, 6, 8
+        diag = rng.uniform(1.0, 2.0, size=m)
+        pose_block = random_spd(d, seed=8)
+        coupling = rng.normal(size=(m, d)) * 0.1
+        a_mm = np.zeros((m + d, m + d))
+        a_mm[:m, :m] = np.diag(diag)
+        a_mm[:m, m:] = coupling
+        a_mm[m:, :m] = coupling.T
+        a_mm[m:, m:] = pose_block
+        a_mr = rng.normal(size=(m + d, r)) * 0.2
+        a_rr = random_spd(r, seed=9)
+        b_m = rng.normal(size=m + d)
+        b_r = rng.normal(size=r)
+
+        full = np.zeros((m + d + r, m + d + r))
+        full[: m + d, : m + d] = a_mm
+        full[: m + d, m + d :] = a_mr
+        full[m + d :, : m + d] = a_mr.T
+        full[m + d :, m + d :] = a_rr
+        generic = marginalize_schur(full, np.concatenate([b_m, b_r]), list(range(m + d)))
+        structured = marginalize_structured(diag, pose_block, coupling, a_mr, a_rr, b_m, b_r)
+        assert np.allclose(structured.hessian, generic.hessian, atol=1e-4)
+        assert np.allclose(structured.gradient, generic.gradient, atol=1e-4)
+
+
+class TestBagOfWords:
+    def _descriptors(self, count=64, seed=0):
+        return np.stack([descriptor_from_seed(seed * 1000 + i) for i in range(count)])
+
+    def test_train_and_quantize(self):
+        vocabulary = BinaryVocabulary(num_words=8, seed=1)
+        descriptors = self._descriptors(64)
+        vocabulary.train(descriptors)
+        assert vocabulary.trained
+        words = vocabulary.quantize(descriptors[:10])
+        assert words.shape == (10,)
+        assert words.max() < 8
+
+    def test_train_requires_enough_descriptors(self):
+        vocabulary = BinaryVocabulary(num_words=16)
+        with pytest.raises(ValueError):
+            vocabulary.train(self._descriptors(4))
+
+    def test_transform_normalized(self):
+        vocabulary = BinaryVocabulary(num_words=8, seed=2)
+        vocabulary.train(self._descriptors(64))
+        vector = vocabulary.transform(self._descriptors(20, seed=5))
+        assert np.isclose(np.abs(vector).sum(), 1.0)
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            BinaryVocabulary().quantize(self._descriptors(4))
+
+    def test_database_query_prefers_same_place(self):
+        vocabulary = BinaryVocabulary(num_words=16, seed=3)
+        place_a = self._descriptors(40, seed=10)
+        place_b = self._descriptors(40, seed=20)
+        vocabulary.train(np.vstack([place_a, place_b]))
+        database = KeyframeDatabase()
+        database.add(1, vocabulary.transform(place_a))
+        database.add(2, vocabulary.transform(place_b))
+        query = vocabulary.transform(place_a[:30])
+        ranked = database.query(query, top_k=2)
+        assert ranked[0][0] == 1
+        assert ranked[0][1] > ranked[1][1]
+        assert ranked[0][1] > 0.5
+        assert len(database) == 2
+
+    def test_best_match_threshold(self):
+        database = KeyframeDatabase()
+        database.add(1, np.array([1.0, 0.0]))
+        assert database.best_match(np.array([0.0, 1.0]), min_score=0.9) is None
+
+
+class TestKeyframeMapper:
+    def _frontend_results(self, sequence, count):
+        frontend = VisualFrontend(rig=sequence.rig, sparse=True, dropout_probability=0.0)
+        return [frontend.process(frame) for frame in sequence.frames[:count]]
+
+    def test_keyframe_insertion_and_map_growth(self, indoor_sequence):
+        mapper = KeyframeMapper(MappingConfig(window_size=4))
+        results = self._frontend_results(indoor_sequence, 6)
+        for result, frame in zip(results, indoor_sequence.frames[:6]):
+            mapper.insert_keyframe(result, frame.ground_truth)
+        assert len(mapper.keyframes) <= 4
+        assert mapper.map_size > 20
+        assert mapper.latest_pose() is not None
+
+    def test_should_insert_keyframe_thresholds(self):
+        mapper = KeyframeMapper(MappingConfig(keyframe_translation=0.5, keyframe_rotation=0.3))
+        assert mapper.should_insert_keyframe(Pose.identity())  # first keyframe always
+        mapper.keyframes.append(
+            type("KF", (), {"pose": Pose.identity(), "frame_index": 0, "observations": {}})()
+        )
+        near = Pose(np.eye(3), np.array([0.1, 0.0, 0.0]))
+        far = Pose(np.eye(3), np.array([1.0, 0.0, 0.0]))
+        assert not mapper.should_insert_keyframe(near)
+        assert mapper.should_insert_keyframe(far)
+
+    def test_bundle_adjustment_improves_noisy_pose(self, indoor_sequence):
+        mapper = KeyframeMapper(MappingConfig(window_size=5, max_iterations=6))
+        results = self._frontend_results(indoor_sequence, 5)
+        rng = np.random.default_rng(0)
+        errors_before, errors_after = [], []
+        for i, (result, frame) in enumerate(zip(results, indoor_sequence.frames[:5])):
+            guess = frame.ground_truth
+            if i > 0:
+                guess = frame.ground_truth.perturb(rng.normal(0, 0.01, 3), rng.normal(0, 0.05, 3))
+            errors_before.append(guess.distance_to(frame.ground_truth))
+            mapper.insert_keyframe(result, guess)
+        for keyframe, frame in zip(mapper.keyframes, indoor_sequence.frames[:5]):
+            errors_after.append(keyframe.pose.distance_to(frame.ground_truth))
+        assert np.mean(errors_after) <= np.mean(errors_before) + 0.02
+
+    def test_marginalization_produces_prior_and_workload(self, indoor_sequence):
+        mapper = KeyframeMapper(MappingConfig(window_size=3))
+        results = self._frontend_results(indoor_sequence, 6)
+        for result, frame in zip(results, indoor_sequence.frames[:6]):
+            workload = mapper.insert_keyframe(result, frame.ground_truth)
+        assert mapper._prior_hessian is not None
+        assert workload.marginalized_dim > 0
+        assert workload.feature_points > 0
+        assert workload.keyframes == 3
+
+    def test_kernel_timings_reported(self, indoor_sequence):
+        mapper = KeyframeMapper(MappingConfig(window_size=3))
+        results = self._frontend_results(indoor_sequence, 4)
+        for result, frame in zip(results, indoor_sequence.frames[:4]):
+            mapper.insert_keyframe(result, frame.ground_truth)
+        assert {"init", "solver", "marginalization"}.issubset(mapper.last_kernel_ms.keys())
+
+
+class TestSlamBackend:
+    def test_tracks_indoor_sequence(self, indoor_sequence):
+        frontend = VisualFrontend(rig=indoor_sequence.rig, sparse=True, dropout_probability=0.0)
+        slam = SlamBackend(BackendConfig(), camera=indoor_sequence.rig.camera)
+        errors = []
+        for frame in indoor_sequence.frames[:30]:
+            result = slam.process(frontend.process(frame), frame)
+            errors.append(result.pose.distance_to(frame.ground_truth))
+        # The fixture uses a low-resolution (320x240) rig, so stereo depth is
+        # noisy; the requirement is staying localized, not centimetre accuracy.
+        assert np.mean(errors) < 0.8
+        assert errors[-1] < 1.5
+
+    def test_map_grows_and_persists(self, indoor_sequence):
+        frontend = VisualFrontend(rig=indoor_sequence.rig, sparse=True, dropout_probability=0.0)
+        slam = SlamBackend(BackendConfig(), camera=indoor_sequence.rig.camera)
+        for frame in indoor_sequence.frames[:15]:
+            slam.process(frontend.process(frame), frame)
+        persisted = slam.persist_map()
+        assert len(persisted) == slam.mapper.map_size
+        assert len(persisted) > 20
+
+    def test_workload_and_kernels(self, indoor_sequence):
+        frontend = VisualFrontend(rig=indoor_sequence.rig, sparse=True)
+        slam = SlamBackend(BackendConfig(), camera=indoor_sequence.rig.camera)
+        result = slam.process(frontend.process(indoor_sequence.frames[0]), indoor_sequence.frames[0])
+        assert result.mode == "slam"
+        assert isinstance(result.workload, SlamWorkload)
+        assert {"solver", "marginalization", "init"}.issubset(result.kernel_ms.keys())
+
+    def test_reset(self, indoor_sequence):
+        frontend = VisualFrontend(rig=indoor_sequence.rig, sparse=True)
+        slam = SlamBackend(BackendConfig(), camera=indoor_sequence.rig.camera)
+        slam.process(frontend.process(indoor_sequence.frames[0]), indoor_sequence.frames[0])
+        slam.reset()
+        assert not slam.initialized
+        assert slam.mapper.map_size == 0

@@ -1,0 +1,157 @@
+"""Tests for map tracking, the registration backend, modes and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.backend.registration import RegistrationBackend
+from repro.backend.tracking import LocalizationMap, MapPoint, MapTracker, RegistrationWorkload
+from repro.common.config import BackendConfig, TrackingConfig
+from repro.common.geometry import Pose, euler_to_rotation
+from repro.core.modes import BackendMode, ModeSelector
+from repro.frontend.frontend import VisualFrontend
+from repro.metrics.trajectory import (
+    absolute_trajectory_error,
+    relative_trajectory_error_percent,
+    rmse,
+    trajectory_length,
+    umeyama_alignment,
+)
+from repro.sensors.scenarios import ScenarioKind
+
+
+class TestLocalizationMap:
+    def test_from_world(self, indoor_mapped_sequence):
+        localization_map = LocalizationMap.from_world(indoor_mapped_sequence.world, position_noise=0.01)
+        assert len(localization_map) == len(indoor_mapped_sequence.world)
+        assert localization_map.positions.shape == (len(localization_map), 3)
+        assert localization_map.descriptors().shape[0] == len(localization_map)
+
+    def test_update_and_add_point(self):
+        localization_map = LocalizationMap()
+        localization_map.add_point(MapPoint(1, [0.0, 0.0, 0.0]))
+        localization_map.update_point(1, [1.0, 0.0, 0.0])
+        localization_map.update_point(2, [2.0, 0.0, 0.0])
+        assert np.allclose(localization_map.points[1].position, [1.0, 0.0, 0.0])
+        assert 2 in localization_map.points
+
+    def test_from_landmark_positions(self):
+        positions = {3: np.array([1.0, 2.0, 3.0]), 7: np.array([4.0, 5.0, 6.0])}
+        localization_map = LocalizationMap.from_landmark_positions(positions)
+        assert set(localization_map.point_ids) == {3, 7}
+
+
+class TestMapTracker:
+    def test_recovers_pose_against_survey_map(self, indoor_mapped_sequence):
+        localization_map = LocalizationMap.from_world(indoor_mapped_sequence.world, position_noise=0.02)
+        tracker = MapTracker(TrackingConfig(), camera=indoor_mapped_sequence.rig.camera)
+        frontend = VisualFrontend(rig=indoor_mapped_sequence.rig, sparse=True, dropout_probability=0.0)
+        errors = []
+        for frame in indoor_mapped_sequence.frames[:10]:
+            pose, workload = tracker.track(frontend.process(frame), localization_map)
+            assert pose is not None
+            errors.append(pose.distance_to(frame.ground_truth))
+            assert workload.map_points == len(localization_map)
+            assert workload.matches >= workload.inliers
+        assert np.mean(errors) < 0.3
+
+    def test_returns_none_without_enough_matches(self, indoor_sequence):
+        tracker = MapTracker(TrackingConfig(min_inliers=8))
+        frontend = VisualFrontend(rig=indoor_sequence.rig, sparse=True)
+        empty_map = LocalizationMap()
+        pose, workload = tracker.track(frontend.process(indoor_sequence.frames[0]), empty_map)
+        assert pose is None
+        assert workload.map_points == 0
+
+    def test_kernel_timings(self, indoor_mapped_sequence):
+        localization_map = LocalizationMap.from_world(indoor_mapped_sequence.world)
+        tracker = MapTracker(camera=indoor_mapped_sequence.rig.camera)
+        frontend = VisualFrontend(rig=indoor_mapped_sequence.rig, sparse=True)
+        tracker.track(frontend.process(indoor_mapped_sequence.frames[0]), localization_map)
+        assert {"projection", "match", "pose_optimization", "update"}.issubset(tracker.last_kernel_ms)
+
+
+class TestRegistrationBackend:
+    def test_accuracy_on_mapped_indoor(self, indoor_mapped_sequence):
+        backend = RegistrationBackend.from_world(
+            indoor_mapped_sequence.world, map_noise=0.03, camera=indoor_mapped_sequence.rig.camera
+        )
+        frontend = VisualFrontend(rig=indoor_mapped_sequence.rig, sparse=True, dropout_probability=0.0)
+        errors = []
+        for frame in indoor_mapped_sequence.frames[:20]:
+            result = backend.process(frontend.process(frame), frame)
+            errors.append(result.pose.distance_to(frame.ground_truth))
+            assert result.mode == "registration"
+        assert np.sqrt(np.mean(np.square(errors))) < 0.3
+
+    def test_holds_last_pose_when_tracking_fails(self, indoor_mapped_sequence):
+        backend = RegistrationBackend(LocalizationMap(), camera=indoor_mapped_sequence.rig.camera)
+        frontend = VisualFrontend(rig=indoor_mapped_sequence.rig, sparse=True)
+        result = backend.process(frontend.process(indoor_mapped_sequence.frames[0]),
+                                 indoor_mapped_sequence.frames[0])
+        assert not result.valid
+        assert isinstance(result.workload, RegistrationWorkload)
+
+    def test_reset(self, indoor_mapped_sequence):
+        backend = RegistrationBackend.from_world(indoor_mapped_sequence.world)
+        backend._last_pose = Pose.identity()
+        backend.reset()
+        assert backend._last_pose is None
+
+
+class TestModeSelector:
+    def test_scenario_mapping(self):
+        assert ModeSelector.select_for_scenario(ScenarioKind.OUTDOOR_UNKNOWN) is BackendMode.VIO
+        assert ModeSelector.select_for_scenario(ScenarioKind.OUTDOOR_KNOWN) is BackendMode.VIO
+        assert ModeSelector.select_for_scenario(ScenarioKind.INDOOR_KNOWN) is BackendMode.REGISTRATION
+        assert ModeSelector.select_for_scenario(ScenarioKind.INDOOR_UNKNOWN) is BackendMode.SLAM
+
+    def test_override(self, outdoor_sequence):
+        selector = ModeSelector(override=BackendMode.SLAM)
+        assert selector.select(outdoor_sequence.frames[0], has_map=True) is BackendMode.SLAM
+
+    def test_map_availability_overrides_scenario_flag(self, indoor_sequence):
+        selector = ModeSelector()
+        assert selector.select(indoor_sequence.frames[0], has_map=True) is BackendMode.REGISTRATION
+        assert selector.select(indoor_sequence.frames[0], has_map=False) is BackendMode.SLAM
+
+
+class TestMetrics:
+    def test_rmse(self):
+        assert rmse([3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+        assert rmse([]) == 0.0
+
+    def test_umeyama_recovers_transform(self, rng):
+        points = rng.normal(size=(20, 3))
+        rotation_true = euler_to_rotation(0.4, 0.1, -0.2)
+        translation_true = np.array([1.0, -2.0, 0.5])
+        transformed = points @ rotation_true.T + translation_true
+        rotation, translation, scale = umeyama_alignment(points, transformed)
+        assert np.allclose(rotation, rotation_true, atol=1e-6)
+        assert np.allclose(translation, translation_true, atol=1e-6)
+        assert np.isclose(scale, 1.0)
+
+    def test_umeyama_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((4, 3)), np.zeros((5, 3)))
+
+    def test_absolute_trajectory_error(self):
+        reference = [Pose(np.eye(3), np.array([float(i), 0, 0])) for i in range(10)]
+        estimated = [Pose(np.eye(3), np.array([float(i), 0.5, 0])) for i in range(10)]
+        assert absolute_trajectory_error(estimated, reference) == pytest.approx(0.5)
+
+    def test_aligned_error_removes_constant_offset(self):
+        reference = [Pose(np.eye(3), np.array([float(i), 0, 0])) for i in range(10)]
+        estimated = [Pose(np.eye(3), np.array([float(i) + 3.0, 0, 0])) for i in range(10)]
+        assert absolute_trajectory_error(estimated, reference, align=True) < 1e-6
+
+    def test_relative_error_zero_for_perfect(self):
+        reference = [Pose(np.eye(3), np.array([0.3 * i, 0, 0])) for i in range(30)]
+        assert relative_trajectory_error_percent(reference, reference) == pytest.approx(0.0)
+
+    def test_trajectory_length(self):
+        poses = [Pose(np.eye(3), np.array([float(i), 0, 0])) for i in range(5)]
+        assert trajectory_length(poses) == pytest.approx(4.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            absolute_trajectory_error([Pose.identity()], [Pose.identity(), Pose.identity()])

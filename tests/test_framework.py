@@ -1,0 +1,145 @@
+"""Integration tests for the unified localization framework (Fig. 4 dataflow)."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import LocalizerConfig
+from repro.core.framework import EudoxusLocalizer
+from repro.core.modes import BackendMode
+from repro.core.result import PoseEstimate, TrajectoryResult
+from repro.sensors.scenarios import ScenarioKind
+
+
+@pytest.fixture(scope="module")
+def config():
+    config = LocalizerConfig()
+    config.frontend.max_features = 100
+    return config
+
+
+class TestFrameworkIntegration:
+    def test_outdoor_uses_vio_and_is_accurate(self, outdoor_sequence, config):
+        localizer = EudoxusLocalizer(config)
+        result = localizer.process_sequence(outdoor_sequence)
+        assert len(result) == len(outdoor_sequence)
+        assert all(e.mode == "vio" for e in result.estimates)
+        assert result.rmse_error() < 1.0
+
+    def test_indoor_unmapped_uses_slam(self, indoor_sequence, config):
+        localizer = EudoxusLocalizer(config)
+        result = localizer.process_sequence(indoor_sequence)
+        assert all(e.mode == "slam" for e in result.estimates)
+        # Low-resolution fixture: require staying localized on the 5 m course.
+        assert result.rmse_error() < 1.5
+
+    def test_indoor_mapped_uses_registration(self, indoor_mapped_sequence, config):
+        localizer = EudoxusLocalizer(config)
+        result = localizer.process_sequence(indoor_mapped_sequence)
+        assert all(e.mode == "registration" for e in result.estimates)
+        assert result.rmse_error() < 0.5
+
+    def test_mode_override(self, indoor_sequence, config):
+        localizer = EudoxusLocalizer(config, mode_override=BackendMode.VIO)
+        result = localizer.process_sequence(indoor_sequence)
+        assert all(e.mode == "vio" for e in result.estimates)
+
+    def test_registration_falls_back_to_slam_without_map(self, indoor_sequence, config):
+        localizer = EudoxusLocalizer(config, mode_override=BackendMode.REGISTRATION)
+        result = localizer.process_sequence(indoor_sequence)
+        # No survey map exists for this sequence: the framework runs SLAM instead.
+        assert all(e.mode == "slam" for e in result.estimates)
+
+    def test_results_carry_workloads_and_latencies(self, outdoor_sequence, config):
+        localizer = EudoxusLocalizer(config)
+        result = localizer.process_sequence(outdoor_sequence)
+        assert len(result.frontend_results) == len(result)
+        assert len(result.backend_results) == len(result)
+        assert len(result.latency_records) == len(result)
+        record = result.latency_records[5]
+        assert record.frontend_total > 0.0
+        assert result.mean_feature_count() > 10
+
+    def test_process_frame_requires_prepare(self, outdoor_sequence, config):
+        localizer = EudoxusLocalizer(config)
+        with pytest.raises(RuntimeError):
+            localizer.process_frame(outdoor_sequence.frames[0], outdoor_sequence)
+
+    def test_process_mixed_concatenates(self, outdoor_sequence, indoor_sequence, config):
+        localizer = EudoxusLocalizer(config)
+        combined = localizer.process_mixed([outdoor_sequence, indoor_sequence])
+        assert len(combined) == len(outdoor_sequence) + len(indoor_sequence)
+        modes = {e.mode for e in combined.estimates}
+        assert modes == {"vio", "slam"}
+
+
+class TestTrajectoryResult:
+    def _result(self):
+        result = TrajectoryResult()
+        for i in range(10):
+            pose = PoseEstimate(
+                frame_index=i, timestamp=0.1 * i,
+                pose=__import__("repro.common.geometry", fromlist=["Pose"]).Pose(
+                    np.eye(3), np.array([float(i), 0.1, 0.0])
+                ),
+                mode="vio" if i % 2 == 0 else "slam",
+                ground_truth=__import__("repro.common.geometry", fromlist=["Pose"]).Pose(
+                    np.eye(3), np.array([float(i), 0.0, 0.0])
+                ),
+            )
+            result.estimates.append(pose)
+        return result
+
+    def test_rmse(self):
+        assert self._result().rmse_error() == pytest.approx(0.1)
+
+    def test_skip_initial(self):
+        assert self._result().rmse_error(skip_initial=5) == pytest.approx(0.1)
+
+    def test_per_mode_split(self):
+        by_mode = self._result().per_mode()
+        assert set(by_mode) == {"vio", "slam"}
+        assert len(by_mode["vio"]) == 5
+
+    def test_translation_error_property(self):
+        estimate = self._result().estimates[0]
+        assert estimate.translation_error == pytest.approx(0.1)
+
+    def test_empty_result(self):
+        empty = TrajectoryResult()
+        assert empty.rmse_error() == 0.0
+        assert empty.relative_error_percent() == 0.0
+        assert empty.mean_feature_count() == 0.0
+
+
+class TestAccuracyOrdering:
+    """The core Fig. 2/3 claim: each scenario prefers a different algorithm.
+
+    Two of the paper's orderings are robust in our simulation and asserted
+    here: VIO+GPS dominates SLAM outdoors, and registration against a survey
+    map matches or beats drift-prone VIO in known indoor environments.  The
+    third (SLAM strictly beating unaided VIO indoors, Fig. 3a) needs the
+    multi-minute sequences of EuRoC to let VIO drift accumulate; on our short
+    synthetic runs both land in the same sub-half-metre band, which is
+    recorded as a deviation in EXPERIMENTS.md.
+    """
+
+    def test_vio_with_gps_beats_slam_outdoors(self, outdoor_sequence, config):
+        vio_error = EudoxusLocalizer(config, mode_override=BackendMode.VIO).process_sequence(
+            outdoor_sequence).rmse_error()
+        slam_error = EudoxusLocalizer(config, mode_override=BackendMode.SLAM).process_sequence(
+            outdoor_sequence).rmse_error()
+        assert vio_error < slam_error
+
+    def test_registration_competitive_with_vio_indoors_with_map(self, indoor_mapped_sequence, config):
+        registration_error = EudoxusLocalizer(config).process_sequence(
+            indoor_mapped_sequence).rmse_error()
+        vio_error = EudoxusLocalizer(config, mode_override=BackendMode.VIO).process_sequence(
+            indoor_mapped_sequence).rmse_error()
+        assert registration_error < vio_error + 0.1
+
+    def test_slam_usable_without_gps_or_map(self, indoor_sequence, config):
+        slam_error = EudoxusLocalizer(config, mode_override=BackendMode.SLAM).process_sequence(
+            indoor_sequence).rmse_error()
+        # Low-resolution fixture: SLAM must stay localized on the 5 m course
+        # even though neither GPS nor a survey map is available.
+        assert slam_error < 1.5

@@ -1,0 +1,226 @@
+"""Tests for the matrix building blocks (Table I substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    BuildingBlock,
+    OperationTrace,
+    backward_substitution,
+    blocked_matmul,
+    blocked_transpose,
+    cholesky,
+    forward_substitution,
+    lu_decompose,
+    matmul,
+    qr_decompose,
+    quadratic_form,
+    solve_cholesky,
+    solve_linear,
+    symmetric_inverse,
+    traced,
+    transpose,
+)
+from repro.linalg.blocked import block_count, matmul_block_iterations
+from repro.linalg.solvers import block_diag_plus_dense_inverse
+from repro.linalg.primitives import PrimitiveCall, TABLE_I_DECOMPOSITION
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+sizes = st.integers(min_value=2, max_value=12)
+
+
+class TestBlockedOps:
+    @given(sizes, sizes, sizes, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_blocked_matmul_matches_numpy(self, m, k, n, block):
+        rng = np.random.default_rng(m * 100 + k * 10 + n)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        assert np.allclose(blocked_matmul(a, b, block_size=block), a @ b, atol=1e-9)
+
+    def test_blocked_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_blocked_matmul_bad_block(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 2)), np.ones((2, 2)), block_size=0)
+
+    @given(sizes, sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_blocked_transpose(self, m, n):
+        rng = np.random.default_rng(m * 13 + n)
+        a = rng.normal(size=(m, n))
+        assert np.allclose(blocked_transpose(a, block_size=3), a.T)
+
+    def test_block_count(self):
+        assert block_count((16, 16), 16) == 1
+        assert block_count((17, 16), 16) == 2
+        assert matmul_block_iterations(32, 32, 32, 16) == 8
+
+    def test_traced_matmul_records_primitive(self):
+        trace = OperationTrace()
+        with traced(trace):
+            matmul(np.ones((2, 3)), np.ones((3, 4)))
+            transpose(np.ones((2, 3)))
+        used = trace.blocks_used()
+        assert used[BuildingBlock.MULTIPLICATION] == 1
+        assert used[BuildingBlock.TRANSPOSE] == 1
+
+    def test_quadratic_form_symmetric(self):
+        p = random_spd(6, seed=3)
+        h = np.random.default_rng(1).normal(size=(4, 6))
+        s = quadratic_form(h, p)
+        assert np.allclose(s, s.T)
+        assert np.allclose(s, h @ p @ h.T, atol=1e-9)
+
+
+class TestDecompositions:
+    @given(st.integers(min_value=2, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_cholesky_reconstructs(self, n):
+        a = random_spd(n, seed=n)
+        lower = cholesky(a)
+        assert np.allclose(lower @ lower.T, a, atol=1e-8)
+        assert np.allclose(np.triu(lower, 1), 0.0)
+
+    def test_cholesky_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            cholesky(np.ones((2, 3)))
+
+    def test_cholesky_rejects_indefinite(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky(np.array([[1.0, 0.0], [0.0, -5.0]]))
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_lu_reconstructs(self, n):
+        rng = np.random.default_rng(n * 7)
+        a = rng.normal(size=(n, n)) + np.eye(n) * 0.5
+        permutation, lower, upper = lu_decompose(a)
+        assert np.allclose(lower @ upper, a[permutation], atol=1e-8)
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_qr_reconstructs(self, m, n):
+        rng = np.random.default_rng(m * 31 + n)
+        a = rng.normal(size=(m, n))
+        q, r = qr_decompose(a)
+        assert np.allclose(q @ r, a, atol=1e-8)
+        assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-8)
+
+    def test_qr_upper_triangular(self):
+        a = np.random.default_rng(0).normal(size=(8, 4))
+        _, r = qr_decompose(a)
+        assert np.allclose(np.tril(r, -1), 0.0, atol=1e-8)
+
+
+class TestSolvers:
+    def test_forward_substitution(self):
+        lower = np.tril(random_spd(5, seed=1))
+        x_true = np.arange(1.0, 6.0)
+        assert np.allclose(forward_substitution(lower, lower @ x_true), x_true, atol=1e-9)
+
+    def test_backward_substitution(self):
+        upper = np.triu(random_spd(5, seed=2))
+        x_true = np.arange(1.0, 6.0)
+        assert np.allclose(backward_substitution(upper, upper @ x_true), x_true, atol=1e-9)
+
+    def test_substitution_shape_errors(self):
+        with pytest.raises(ValueError):
+            forward_substitution(np.eye(3), np.ones(4))
+        with pytest.raises(ValueError):
+            backward_substitution(np.eye(3), np.ones((4, 1)))
+
+    def test_singular_triangular_raises(self):
+        singular = np.array([[1.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            forward_substitution(singular, np.ones(2))
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_solve_cholesky(self, n):
+        a = random_spd(n, seed=n + 50)
+        x_true = np.random.default_rng(n).normal(size=n)
+        assert np.allclose(solve_cholesky(a, a @ x_true), x_true, atol=1e-7)
+
+    def test_solve_cholesky_multiple_rhs(self):
+        a = random_spd(6, seed=9)
+        x_true = np.random.default_rng(9).normal(size=(6, 3))
+        assert np.allclose(solve_cholesky(a, a @ x_true), x_true, atol=1e-7)
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_solve_linear(self, n):
+        rng = np.random.default_rng(n * 3 + 1)
+        a = rng.normal(size=(n, n)) + np.eye(n)
+        x_true = rng.normal(size=n)
+        assert np.allclose(solve_linear(a, a @ x_true), x_true, atol=1e-7)
+
+    def test_symmetric_inverse(self):
+        a = random_spd(7, seed=11)
+        assert np.allclose(symmetric_inverse(a) @ a, np.eye(7), atol=1e-7)
+
+    def test_symmetric_inverse_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            symmetric_inverse(np.ones((3, 4)))
+
+    def test_structured_inverse_matches_dense(self):
+        rng = np.random.default_rng(21)
+        m, d = 9, 6
+        diagonal = rng.uniform(1.0, 3.0, size=m)
+        dense = random_spd(d, seed=22)
+        coupling = rng.normal(size=(m, d)) * 0.1
+        full = np.zeros((m + d, m + d))
+        full[:m, :m] = np.diag(diagonal)
+        full[:m, m:] = coupling
+        full[m:, :m] = coupling.T
+        full[m:, m:] = dense
+        structured = block_diag_plus_dense_inverse(diagonal, dense, coupling)
+        assert np.allclose(structured, np.linalg.inv(full), atol=1e-6)
+
+    def test_structured_inverse_shape_check(self):
+        with pytest.raises(ValueError):
+            block_diag_plus_dense_inverse(np.ones(3), np.eye(6), np.ones((4, 6)))
+
+
+class TestOperationTrace:
+    def test_flops_positive(self):
+        call = PrimitiveCall(BuildingBlock.MULTIPLICATION, (10, 20), (20, 5))
+        assert call.flops == 2 * 10 * 20 * 5
+
+    def test_trace_records_kernel_blocks(self):
+        trace = OperationTrace()
+        with traced(trace):
+            a = random_spd(8, seed=4)
+            solve_cholesky(a, np.ones(8))
+        used = trace.blocks_used()
+        assert BuildingBlock.DECOMPOSITION in used
+        assert BuildingBlock.SUBSTITUTION in used
+        assert trace.total_flops() > 0
+
+    def test_nested_traces_both_record(self):
+        outer, inner = OperationTrace(), OperationTrace()
+        with traced(outer):
+            with traced(inner):
+                matmul(np.ones((2, 2)), np.ones((2, 2)))
+        assert outer.blocks_used() == inner.blocks_used()
+
+    def test_table1_decomposition_is_complete(self):
+        assert set(TABLE_I_DECOMPOSITION) == {"projection", "kalman_gain", "marginalization"}
+        assert BuildingBlock.INVERSE in TABLE_I_DECOMPOSITION["marginalization"]
+        assert BuildingBlock.MULTIPLICATION in TABLE_I_DECOMPOSITION["projection"]
+
+    def test_trace_clear(self):
+        trace = OperationTrace()
+        trace.record(BuildingBlock.TRANSPOSE, (3, 3))
+        trace.clear()
+        assert trace.calls == []

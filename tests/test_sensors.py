@@ -1,0 +1,261 @@
+"""Tests for the sensor simulation: trajectories, worlds, IMU, GPS, datasets."""
+
+import numpy as np
+import pytest
+
+from repro.common.geometry import Pose
+from repro.sensors.dataset import Frame, SequenceBuilder
+from repro.sensors.gps import GpsSimulator
+from repro.sensors.imu import GRAVITY, ImuSimulator, integrate_imu
+from repro.sensors.scenarios import (
+    OperatingScenario,
+    ScenarioKind,
+    mixed_deployment_sequence,
+    scenario_catalog,
+)
+from repro.sensors.trajectory import (
+    circle_trajectory,
+    figure_eight_trajectory,
+    random_smooth_trajectory,
+    straight_trajectory,
+    warehouse_trajectory,
+)
+from repro.sensors.world import LandmarkWorld, body_frame_from_camera, camera_frame_from_body
+from repro.common.config import SensorConfig
+
+
+class TestTrajectories:
+    def test_circle_radius(self):
+        trajectory = circle_trajectory(radius=10.0, period=40.0)
+        sample = trajectory.sample(7.0)
+        assert np.isclose(np.linalg.norm(sample.pose.translation[:2]), 10.0, atol=1e-6)
+
+    def test_circle_speed_constant(self):
+        trajectory = circle_trajectory(radius=10.0, period=40.0)
+        speeds = [np.linalg.norm(trajectory.sample(t).velocity) for t in (1.0, 5.0, 13.0)]
+        assert np.allclose(speeds, speeds[0], rtol=1e-3)
+
+    def test_straight_moves_forward(self):
+        trajectory = straight_trajectory(speed=5.0)
+        first = trajectory.sample(0.0).pose.translation
+        later = trajectory.sample(4.0).pose.translation
+        assert later[0] - first[0] > 15.0
+
+    def test_figure_eight_bounded(self):
+        trajectory = figure_eight_trajectory(scale=5.0, period=20.0)
+        for t in np.linspace(0, 20, 20):
+            position = trajectory.sample(float(t)).pose.translation
+            assert np.all(np.abs(position[:2]) <= 5.5)
+
+    def test_warehouse_stays_nonnegative_x(self):
+        trajectory = warehouse_trajectory(aisle_length=10.0, speed=1.0)
+        for t in np.linspace(0, 30, 30):
+            x = trajectory.sample(float(t)).pose.translation[0]
+            assert -0.5 <= x <= 10.5
+
+    def test_yaw_follows_direction_of_travel(self):
+        trajectory = straight_trajectory(speed=3.0, lateral_wiggle=0.0)
+        sample = trajectory.sample(2.0)
+        yaw, _, _ = sample.pose.euler()
+        assert abs(yaw) < 1e-3
+
+    def test_sample_range_count_and_spacing(self):
+        trajectory = circle_trajectory()
+        samples = trajectory.sample_range(duration=2.0, rate_hz=10.0)
+        assert len(samples) == 20
+        assert np.isclose(samples[1].timestamp - samples[0].timestamp, 0.1)
+
+    def test_random_trajectory_deterministic(self):
+        a = random_smooth_trajectory(seed=4).sample(3.0).pose.translation
+        b = random_smooth_trajectory(seed=4).sample(3.0).pose.translation
+        assert np.allclose(a, b)
+
+    def test_finite_difference_consistency(self):
+        trajectory = circle_trajectory(radius=5.0, period=30.0)
+        sample = trajectory.sample(3.0)
+        dt = 1e-3
+        ahead = trajectory.sample(3.0 + dt).pose.translation
+        behind = trajectory.sample(3.0 - dt).pose.translation
+        velocity_fd = (ahead - behind) / (2 * dt)
+        assert np.allclose(velocity_fd, sample.velocity, atol=1e-3)
+
+
+class TestLandmarkWorld:
+    def _world(self, indoor=True):
+        path = np.stack([np.linspace(0, 10, 20), np.zeros(20), np.ones(20)], axis=1)
+        factory = LandmarkWorld.indoor if indoor else LandmarkWorld.outdoor
+        return factory(path, count=80, seed=1)
+
+    def test_count_and_ids(self):
+        world = self._world()
+        assert len(world) == 80
+        assert world.landmarks[5].landmark_id == 5
+
+    def test_indoor_closer_than_outdoor(self):
+        indoor = self._world(indoor=True)
+        outdoor = self._world(indoor=False)
+        indoor_spread = np.abs(indoor.positions[:, 1]).mean()
+        outdoor_spread = np.abs(outdoor.positions[:, 1]).mean()
+        assert indoor_spread < outdoor_spread
+
+    def test_visibility_and_observation(self, small_rig):
+        world = self._world()
+        pose = Pose.identity()
+        visible = world.visible_from(pose, small_rig.camera, max_depth=30.0)
+        observations = world.observe(pose, small_rig.camera, max_depth=30.0)
+        assert set(observations.keys()).issubset(set(visible))
+
+    def test_subset(self):
+        world = self._world()
+        sub = world.subset([0, 1, 2])
+        assert len(sub) == 3
+
+    def test_frame_conversion_roundtrip(self, rng):
+        points = rng.normal(size=(10, 3))
+        roundtrip = body_frame_from_camera(camera_frame_from_body(points))
+        assert np.allclose(roundtrip, points, atol=1e-12)
+
+    def test_camera_frame_convention(self):
+        # Body +x (forward) should become camera +z (optical axis).
+        forward = camera_frame_from_body(np.array([[1.0, 0.0, 0.0]]))[0]
+        assert np.allclose(forward, [0.0, 0.0, 1.0])
+
+
+class TestImu:
+    def test_stationary_measures_gravity(self):
+        from repro.sensors.trajectory import TrajectorySample
+
+        truth = TrajectorySample(
+            timestamp=0.0, pose=Pose.identity(), velocity=np.zeros(3),
+            acceleration=np.zeros(3), angular_velocity=np.zeros(3),
+        )
+        imu = ImuSimulator(gyro_noise=0.0, accel_noise=0.0, gyro_bias_walk=0.0, accel_bias_walk=0.0)
+        sample = imu.measure(truth, dt=0.01)
+        assert np.allclose(sample.linear_acceleration, -GRAVITY, atol=1e-9)
+        assert np.allclose(sample.angular_velocity, np.zeros(3), atol=1e-9)
+
+    def test_noise_is_reproducible(self):
+        from repro.sensors.trajectory import TrajectorySample
+
+        truth = TrajectorySample(0.0, Pose.identity(), np.zeros(3), np.zeros(3), np.zeros(3))
+        a = ImuSimulator(seed=5).measure(truth, 0.01)
+        b = ImuSimulator(seed=5).measure(truth, 0.01)
+        assert np.allclose(a.linear_acceleration, b.linear_acceleration)
+
+    def test_integration_recovers_straight_motion(self):
+        trajectory = straight_trajectory(speed=2.0, lateral_wiggle=0.0)
+        samples = trajectory.sample_range(duration=1.0, rate_hz=200.0)
+        imu = ImuSimulator(gyro_noise=0.0, accel_noise=0.0, gyro_bias_walk=0.0, accel_bias_walk=0.0)
+        measurements = imu.measure_interval(samples)
+        pose, velocity = integrate_imu(measurements, samples[0].pose, samples[0].velocity)
+        assert np.allclose(pose.translation, samples[-1].pose.translation, atol=0.05)
+
+    def test_noisy_integration_drifts(self):
+        trajectory = straight_trajectory(speed=2.0)
+        samples = trajectory.sample_range(duration=3.0, rate_hz=100.0)
+        imu = ImuSimulator(gyro_noise=5e-3, accel_noise=5e-2, seed=2)
+        measurements = imu.measure_interval(samples)
+        pose, _ = integrate_imu(measurements, samples[0].pose, samples[0].velocity)
+        drift = np.linalg.norm(pose.translation - samples[-1].pose.translation)
+        assert drift > 0.0
+
+
+class TestGps:
+    def test_indoor_blocked(self):
+        gps = GpsSimulator(indoor=True)
+        assert gps.measure(0.0, Pose.identity()) is None
+        assert gps.availability() == 0.0
+
+    def test_outdoor_fix_near_truth(self):
+        gps = GpsSimulator(noise_std=0.1, multipath_probability=0.0, seed=1)
+        pose = Pose(np.eye(3), np.array([5.0, -2.0, 1.0]))
+        fix = gps.measure(0.0, pose)
+        assert fix is not None
+        assert np.linalg.norm(fix.position - pose.translation) < 1.0
+
+    def test_outages(self):
+        gps = GpsSimulator(outage_probability=1.0)
+        assert gps.measure(0.0, Pose.identity()) is None
+
+    def test_availability_matches_outage(self):
+        gps = GpsSimulator(outage_probability=0.25)
+        assert np.isclose(gps.availability(), 0.75)
+
+
+class TestScenariosAndDataset:
+    def test_scenario_taxonomy(self):
+        assert ScenarioKind.INDOOR_UNKNOWN.preferred_backend == "slam"
+        assert ScenarioKind.INDOOR_KNOWN.preferred_backend == "registration"
+        assert ScenarioKind.OUTDOOR_UNKNOWN.preferred_backend == "vio"
+        assert ScenarioKind.OUTDOOR_KNOWN.preferred_backend == "vio"
+        assert not ScenarioKind.INDOOR_UNKNOWN.has_gps
+        assert ScenarioKind.OUTDOOR_KNOWN.has_map
+
+    def test_catalog_covers_all_scenarios(self):
+        catalog = scenario_catalog(duration=5.0)
+        assert set(catalog.keys()) == set(ScenarioKind)
+
+    def test_mixed_deployment_mix(self):
+        segments = mixed_deployment_sequence()
+        outdoor = sum(1 for s in segments if not s.is_indoor)
+        assert outdoor == 2  # 50% outdoor frames
+        assert len(segments) == 4
+
+    def test_sequence_structure(self, outdoor_sequence):
+        assert len(outdoor_sequence) > 10
+        frame = outdoor_sequence.frames[5]
+        assert isinstance(frame, Frame)
+        assert frame.observation_count > 0
+        assert len(frame.imu_samples) > 0
+        assert frame.has_gps  # outdoor scenario provides GPS
+        assert np.isclose(outdoor_sequence.frame_rate, 10.0, atol=0.5)
+
+    def test_indoor_sequence_has_no_gps(self, indoor_sequence):
+        assert all(not frame.has_gps for frame in indoor_sequence.frames)
+        assert not indoor_sequence.has_prebuilt_map
+
+    def test_mapped_sequence_flag(self, indoor_mapped_sequence):
+        assert indoor_mapped_sequence.has_prebuilt_map
+
+    def test_observations_match_projection(self, outdoor_sequence):
+        frame = outdoor_sequence.frames[3]
+        rig = outdoor_sequence.rig
+        world = outdoor_sequence.world
+        for landmark_id, obs in list(frame.observations.items())[:10]:
+            disparity = obs.left_pixel[0] - obs.right_pixel[0]
+            assert disparity > -2.0  # disparity is positive up to noise
+            assert 0 <= obs.left_pixel[0] <= rig.camera.width
+        assert len(world) == outdoor_sequence.config.landmark_count
+
+    def test_imu_batches_cover_frame_interval(self, outdoor_sequence):
+        frame = outdoor_sequence.frames[4]
+        stamps = [s.timestamp for s in frame.imu_samples]
+        assert stamps[0] >= outdoor_sequence.frames[3].timestamp - 1e-6
+        assert stamps[-1] <= frame.timestamp + 1e-6
+        assert len(stamps) >= outdoor_sequence.config.imu_per_frame
+
+    def test_build_mixed_indices_contiguous(self, small_sensor_config):
+        builder = SequenceBuilder(small_sensor_config)
+        catalog = scenario_catalog(duration=2.0, landmark_count=60)
+        segments = builder.build_mixed([catalog[ScenarioKind.OUTDOOR_UNKNOWN],
+                                        catalog[ScenarioKind.INDOOR_UNKNOWN]])
+        assert segments[1].frames[0].index == segments[0].frames[-1].index + 1
+        assert segments[1].frames[0].timestamp > segments[0].frames[-1].timestamp
+
+    def test_ground_truth_accessors(self, indoor_sequence):
+        positions = indoor_sequence.ground_truth_positions()
+        assert positions.shape == (len(indoor_sequence), 3)
+        assert len(indoor_sequence.ground_truth_trajectory()) == len(indoor_sequence)
+
+
+class TestImageRendering:
+    def test_rendered_images_present(self, rendered_sequence):
+        frame = rendered_sequence.frames[0]
+        assert frame.has_images
+        assert frame.left_image.shape == (120, 160)
+        assert frame.left_image.max() <= 255.0
+        assert frame.left_image.min() >= 0.0
+
+    def test_rendered_images_differ_between_views(self, rendered_sequence):
+        frame = rendered_sequence.frames[0]
+        assert not np.allclose(frame.left_image, frame.right_image)
