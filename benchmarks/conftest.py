@@ -5,7 +5,19 @@ computes the figure's data via the experiment drivers (sharing cached
 characterization runs across modules), prints the rows/series the paper
 reports, and registers a representative computation with pytest-benchmark so
 ``pytest benchmarks/ --benchmark-only`` also reports stable timing numbers.
+
+Two tiers are provided:
+
+* the full tier (default): the standard characterization length;
+* the smoke tier (``pytest benchmarks -m smoke``): every figure at a short
+  characterization length and a single frame rate, for a sub-minute sanity
+  pass (used by CI on every push).
+
+Runs are resolved through :mod:`repro.experiments.runner`, so both tiers
+reuse the persistent on-disk run store across sessions.
 """
+
+from pathlib import Path
 
 import pytest
 
@@ -14,17 +26,46 @@ from repro.experiments import common
 # One characterization length shared by every benchmark module.  Longer runs
 # sharpen the statistics but grow the (pure Python) run time roughly linearly.
 CHARACTERIZATION_DURATION = 15.0
+# The smoke tier's length: long enough that every qualitative assertion in
+# the suite still holds (the unit tests pin the same facts at 6 s), short
+# enough for a sub-minute pass.
+SMOKE_DURATION = 6.0
+
+
+def _smoke_selected(config) -> bool:
+    markexpr = getattr(config.option, "markexpr", "") or ""
+    return "smoke" in markexpr and "not smoke" not in markexpr
+
+
+def _duration_for(config) -> float:
+    return SMOKE_DURATION if _smoke_selected(config) else CHARACTERIZATION_DURATION
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark test participates in the smoke tier (at smoke durations)."""
+    benchmarks_dir = Path(__file__).parent
+    for item in items:
+        if Path(str(getattr(item, "fspath", ""))).parent == benchmarks_dir:
+            item.add_marker(pytest.mark.smoke)
 
 
 @pytest.fixture(scope="session")
-def duration():
-    return CHARACTERIZATION_DURATION
+def duration(request):
+    return _duration_for(request.config)
+
+
+@pytest.fixture(scope="session")
+def fig03_settings(request):
+    """Frame rates and sequence length for the Fig. 3 accuracy sweep."""
+    if _smoke_selected(request.config):
+        return {"frame_rates": (10.0,), "duration": SMOKE_DURATION}
+    return {"frame_rates": (5.0, 10.0), "duration": 12.0}
 
 
 @pytest.fixture(scope="session", autouse=True)
-def warm_runs():
+def warm_runs(request):
     """Build the three per-mode characterization runs once for the whole session."""
-    common.all_mode_runs("car", duration=CHARACTERIZATION_DURATION)
+    common.all_mode_runs("car", duration=_duration_for(request.config))
     yield
 
 

@@ -21,12 +21,14 @@ PAPER_BEST = {
 }
 
 
-def _compute():
-    return accuracy_vs_framerate(frame_rates=(5.0, 10.0), duration=12.0,
-                                 platform_kind="drone", landmark_count=250)
+def test_fig03_accuracy_vs_framerate(benchmark, fig03_settings):
+    def _compute():
+        return accuracy_vs_framerate(
+            frame_rates=fig03_settings["frame_rates"],
+            duration=fig03_settings["duration"],
+            platform_kind="drone", landmark_count=250,
+        )
 
-
-def test_fig03_accuracy_vs_framerate(benchmark):
     report = benchmark.pedantic(_compute, rounds=1, iterations=1)
     print_banner("Fig. 3 — Localization error vs frame rate (RMSE, metres)")
     for scenario, rows in report.items():

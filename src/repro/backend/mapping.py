@@ -19,11 +19,11 @@ import numpy as np
 
 from repro.backend.marginalization import MarginalizationResult, marginalize_schur
 from repro.common.config import MappingConfig
-from repro.common.geometry import Pose, skew, so3_exp
+from repro.common.geometry import Pose, skew_batch, so3_exp
 from repro.common.timing import StopwatchCollector
 from repro.frontend.frontend import FrontendResult
 from repro.linalg.ops import matmul, transpose
-from repro.linalg.solvers import solve_cholesky, symmetric_inverse
+from repro.linalg.solvers import batched_symmetric_inverse, solve_cholesky
 
 
 @dataclass
@@ -142,18 +142,21 @@ class KeyframeMapper:
         landmark_ids = self._window_landmark_ids()
         if len(self.keyframes) < 2 or not landmark_ids:
             return 0
+        gathered = self._gather_window(landmark_ids)
+        if gathered is None:
+            return 0
         damping = self.config.initial_damping
-        previous_cost = self._total_cost(landmark_ids)
+        previous_cost = self._total_cost(landmark_ids, gathered)
         iterations = 0
         for _ in range(self.config.max_iterations):
             iterations += 1
-            step = self._solve_normal_equations(landmark_ids, damping, workload)
+            step = self._solve_normal_equations(landmark_ids, damping, workload, gathered)
             if step is None:
                 break
             pose_deltas, landmark_deltas = step
             backup = self._snapshot()
             self._apply_step(landmark_ids, pose_deltas, landmark_deltas)
-            cost = self._total_cost(landmark_ids)
+            cost = self._total_cost(landmark_ids, gathered)
             if cost < previous_cost:
                 damping = max(damping * self.config.damping_down, 1e-9)
                 if previous_cost - cost < self.config.convergence_tolerance * max(previous_cost, 1.0):
@@ -177,69 +180,146 @@ class KeyframeMapper:
             keyframe.pose = Pose(rotation, translation)
         self.landmarks = landmarks
 
-    def _residual(self, keyframe: Keyframe, landmark: np.ndarray, measurement: np.ndarray) -> np.ndarray:
-        predicted = keyframe.pose.rotation.T @ (landmark - keyframe.pose.translation)
-        return measurement - predicted
+    def _gather_window(self, landmark_ids: List[int]) -> Optional[Tuple[np.ndarray, ...]]:
+        """Flatten the window's (keyframe, landmark) observations into index arrays.
 
-    def _huber_weight(self, residual: np.ndarray, sigma: float = 0.1) -> float:
-        """Inverse-variance weight with a Huber robustifier on the whitened norm."""
-        sigma = max(sigma, 1e-3)
-        base = 1.0 / sigma**2
-        norm = float(np.linalg.norm(residual)) / sigma
-        if norm <= self.config.huber_delta:
-            return base
-        return base * self.config.huber_delta / norm
-
-    def _total_cost(self, landmark_ids: List[int]) -> float:
-        cost = 0.0
-        landmark_set = set(landmark_ids)
-        for keyframe in self.keyframes:
+        The observation structure is fixed while the solver iterates (only the
+        pose and landmark values move), so the gather runs once per solve and
+        every residual/Jacobian evaluation afterwards is a batched array op.
+        """
+        index_of = {track_id: i for i, track_id in enumerate(landmark_ids)}
+        kf_idx: List[int] = []
+        lm_idx: List[int] = []
+        meas: List[np.ndarray] = []
+        sigma: List[float] = []
+        for k, keyframe in enumerate(self.keyframes):
             for track_id, measurement in keyframe.observations.items():
-                if track_id not in landmark_set:
+                j = index_of.get(track_id)
+                if j is None:
                     continue
-                residual = self._residual(keyframe, self.landmarks[track_id], measurement)
-                weight = self._huber_weight(residual, keyframe.sigma(track_id))
-                cost += weight * float(residual @ residual)
-        return cost
+                kf_idx.append(k)
+                lm_idx.append(j)
+                meas.append(measurement)
+                sigma.append(keyframe.sigma(track_id))
+        if not kf_idx:
+            return None
+        return (
+            np.asarray(kf_idx),
+            np.asarray(lm_idx),
+            np.asarray(meas, dtype=float),
+            np.maximum(np.asarray(sigma, dtype=float), 1e-3),
+        )
+
+    def _batched_residuals(self, gathered: Tuple[np.ndarray, ...],
+                           landmark_ids: List[int]) -> Tuple[np.ndarray, ...]:
+        """Residuals and Huber weights for every gathered observation at once."""
+        kf_idx, lm_idx, meas, sigma = gathered
+        rotations = np.stack([kf.pose.rotation for kf in self.keyframes])
+        translations = np.stack([kf.pose.translation for kf in self.keyframes])
+        landmarks = np.stack([self.landmarks[track_id] for track_id in landmark_ids])
+        rot = rotations[kf_idx]                                   # (n, 3, 3)
+        delta = landmarks[lm_idx] - translations[kf_idx]          # (n, 3)
+        predicted = np.einsum("nji,nj->ni", rot, delta)           # R^T (l - t)
+        residual = meas - predicted
+        base = 1.0 / sigma**2
+        norm = np.linalg.norm(residual, axis=1) / sigma
+        weight = np.where(
+            norm <= self.config.huber_delta,
+            base,
+            base * self.config.huber_delta / np.maximum(norm, 1e-12),
+        )
+        return rot, delta, residual, weight
+
+    @staticmethod
+    def _batched_jacobians(rot: np.ndarray, delta: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Pose and landmark Jacobian blocks for a batch of observations.
+
+        ``j_pose`` is the (n, 3, 6) stack of ``[-R^T [l - t]_x | R^T]`` blocks
+        and ``j_landmark`` the (n, 3, 3) stack of ``-R^T`` blocks.
+        """
+        rotation_t = np.transpose(rot, (0, 2, 1))
+        j_rotation = -np.einsum("nji,njk->nik", rot, skew_batch(delta))
+        j_pose = np.concatenate([j_rotation, rotation_t], axis=2)
+        return j_pose, -rotation_t
+
+    def _assemble_normal_blocks(self, gathered: Tuple[np.ndarray, ...],
+                                landmark_ids: List[int]) -> Tuple[np.ndarray, ...]:
+        """Accumulate the weighted Gauss-Newton blocks for all observations.
+
+        Returns ``(pose_blocks, cross_blocks, landmark_blocks, b_pose,
+        b_landmark)``: per-keyframe 6x6 diagonal blocks, per-(keyframe,
+        landmark) 6x3 cross blocks, per-landmark 3x3 diagonal blocks, and the
+        negated gradient halves.  Shared by the solver and marginalization so
+        the two linearizations can never drift apart.
+        """
+        kf_idx, lm_idx, _, _ = gathered
+        pose_count = len(self.keyframes)
+        landmark_count = len(landmark_ids)
+        rot, delta, residual, weight = self._batched_residuals(gathered, landmark_ids)
+        j_pose, j_landmark = self._batched_jacobians(rot, delta)
+        w = weight[:, None, None]
+
+        pose_blocks = np.zeros((pose_count, 6, 6))
+        cross_blocks = np.zeros((pose_count, landmark_count, 6, 3))
+        landmark_blocks = np.zeros((landmark_count, 3, 3))
+        b_pose = np.zeros((pose_count, 6))
+        b_landmark = np.zeros((landmark_count, 3))
+        np.add.at(pose_blocks, kf_idx, w * np.einsum("nki,nkj->nij", j_pose, j_pose))
+        np.add.at(cross_blocks, (kf_idx, lm_idx),
+                  w * np.einsum("nki,nkj->nij", j_pose, j_landmark))
+        np.add.at(landmark_blocks, lm_idx,
+                  w * np.einsum("nki,nkj->nij", j_landmark, j_landmark))
+        np.add.at(b_pose, kf_idx,
+                  -weight[:, None] * np.einsum("nki,nk->ni", j_pose, residual))
+        np.add.at(b_landmark, lm_idx,
+                  -weight[:, None] * np.einsum("nki,nk->ni", j_landmark, residual))
+        return pose_blocks, cross_blocks, landmark_blocks, b_pose, b_landmark
+
+    @staticmethod
+    def _block_diagonal(blocks: np.ndarray) -> np.ndarray:
+        """Dense block-diagonal matrix from an ``(n, d, d)`` stack."""
+        n, d = blocks.shape[0], blocks.shape[1]
+        out = np.zeros((n * d, n * d))
+        out.reshape(n, d, n, d)[np.arange(n), :, np.arange(n), :] = blocks
+        return out
+
+    def _total_cost(self, landmark_ids: List[int],
+                    gathered: Optional[Tuple[np.ndarray, ...]] = None) -> float:
+        if gathered is None:
+            gathered = self._gather_window(landmark_ids)
+        if gathered is None:
+            return 0.0
+        _, _, residual, weight = self._batched_residuals(gathered, landmark_ids)
+        return float(np.sum(weight * np.einsum("ni,ni->n", residual, residual)))
 
     def _solve_normal_equations(self, landmark_ids: List[int], damping: float,
-                                workload: SlamWorkload) -> Optional[Tuple[np.ndarray, Dict[int, np.ndarray]]]:
+                                workload: SlamWorkload,
+                                gathered: Optional[Tuple[np.ndarray, ...]] = None,
+                                ) -> Optional[Tuple[np.ndarray, Dict[int, np.ndarray]]]:
         """Build and solve the damped normal equations with a Schur complement."""
         pose_count = len(self.keyframes)
         pose_dim = 6 * pose_count
+        landmark_count = len(landmark_ids)
+        landmark_dim = 3 * landmark_count
         landmark_index = {track_id: i for i, track_id in enumerate(landmark_ids)}
-        landmark_dim = 3 * len(landmark_ids)
 
-        h_pp = np.zeros((pose_dim, pose_dim))
-        h_pl = np.zeros((pose_dim, landmark_dim))
-        h_ll = np.zeros((landmark_dim, landmark_dim))
-        b_p = np.zeros(pose_dim)
-        b_l = np.zeros(landmark_dim)
+        if gathered is None:
+            gathered = self._gather_window(landmark_ids)
+        if gathered is not None:
+            pose_blocks, cross_blocks, landmark_blocks, b_pose, b_landmark = (
+                self._assemble_normal_blocks(gathered, landmark_ids)
+            )
+        else:
+            pose_blocks = np.zeros((pose_count, 6, 6))
+            cross_blocks = np.zeros((pose_count, landmark_count, 6, 3))
+            landmark_blocks = np.zeros((landmark_count, 3, 3))
+            b_pose = np.zeros((pose_count, 6))
+            b_landmark = np.zeros((landmark_count, 3))
 
-        landmark_set = set(landmark_ids)
-        for k_index, keyframe in enumerate(self.keyframes):
-            rotation_t = keyframe.pose.rotation.T
-            for track_id, measurement in keyframe.observations.items():
-                if track_id not in landmark_set:
-                    continue
-                landmark = self.landmarks[track_id]
-                residual = self._residual(keyframe, landmark, measurement)
-                weight = self._huber_weight(residual, keyframe.sigma(track_id))
-
-                # Jacobians of the residual w.r.t. pose error (rotation, translation)
-                # and w.r.t. the landmark position.
-                j_rotation = -rotation_t @ skew(landmark - keyframe.pose.translation)
-                j_translation = rotation_t
-                j_landmark = -rotation_t
-                j_pose = np.hstack([j_rotation, j_translation])  # 3 x 6
-
-                p0 = 6 * k_index
-                l0 = 3 * landmark_index[track_id]
-                h_pp[p0 : p0 + 6, p0 : p0 + 6] += weight * j_pose.T @ j_pose
-                h_pl[p0 : p0 + 6, l0 : l0 + 3] += weight * j_pose.T @ j_landmark
-                h_ll[l0 : l0 + 3, l0 : l0 + 3] += weight * j_landmark.T @ j_landmark
-                b_p[p0 : p0 + 6] += -weight * j_pose.T @ residual
-                b_l[l0 : l0 + 3] += -weight * j_landmark.T @ residual
+        h_pp = self._block_diagonal(pose_blocks)
+        h_pl = cross_blocks.transpose(0, 2, 1, 3).reshape(pose_dim, landmark_dim)
+        b_p = b_pose.reshape(-1)
+        b_l = b_landmark.reshape(-1)
 
         # Gauge fixing: anchor the first keyframe with a strong prior.
         h_pp[:6, :6] += np.eye(6) * 1e8
@@ -247,16 +327,14 @@ class KeyframeMapper:
         self._apply_prior(h_pp, b_p)
 
         h_pp += np.eye(pose_dim) * damping
-        h_ll += np.eye(landmark_dim) * damping
+        landmark_blocks += np.eye(3) * damping
 
         workload.hessian_dim = max(workload.hessian_dim, pose_dim + landmark_dim)
 
         try:
-            # Schur complement over landmarks: H_ll is block diagonal (3x3).
-            h_ll_inv = np.zeros_like(h_ll)
-            for i in range(len(landmark_ids)):
-                block = h_ll[3 * i : 3 * i + 3, 3 * i : 3 * i + 3]
-                h_ll_inv[3 * i : 3 * i + 3, 3 * i : 3 * i + 3] = symmetric_inverse(block)
+            # Schur complement over landmarks: H_ll is block diagonal (3x3), so
+            # its inverse is one batched 3x3 inversion.
+            h_ll_inv = self._block_diagonal(batched_symmetric_inverse(landmark_blocks))
             h_pl_h_ll_inv = matmul(h_pl, h_ll_inv)
             reduced_h = h_pp - matmul(h_pl_h_ll_inv, transpose(h_pl))
             reduced_b = b_p - h_pl_h_ll_inv @ b_l
@@ -319,32 +397,26 @@ class KeyframeMapper:
 
         # Build a small linearized system over (departing pose, shared landmarks,
         # remaining poses) and marginalize the first two groups.
-        pose_dim = 6 * len(self.keyframes)
-        landmark_dim = 3 * len(shared_landmarks)
+        pose_count = len(self.keyframes)
+        landmark_count = len(shared_landmarks)
+        pose_dim = 6 * pose_count
+        landmark_dim = 3 * landmark_count
         total_dim = pose_dim + landmark_dim
         hessian = np.zeros((total_dim, total_dim))
         gradient = np.zeros(total_dim)
-        landmark_offset = {track_id: pose_dim + 3 * i for i, track_id in enumerate(shared_landmarks)}
 
-        for k_index, keyframe in enumerate(self.keyframes):
-            rotation_t = keyframe.pose.rotation.T
-            for track_id in shared_landmarks:
-                if track_id not in keyframe.observations:
-                    continue
-                measurement = keyframe.observations[track_id]
-                landmark = self.landmarks[track_id]
-                residual = self._residual(keyframe, landmark, measurement)
-                weight = self._huber_weight(residual, keyframe.sigma(track_id))
-                j_pose = np.hstack([-rotation_t @ skew(landmark - keyframe.pose.translation), rotation_t])
-                j_landmark = -rotation_t
-                p0 = 6 * k_index
-                l0 = landmark_offset[track_id]
-                hessian[p0 : p0 + 6, p0 : p0 + 6] += weight * j_pose.T @ j_pose
-                hessian[p0 : p0 + 6, l0 : l0 + 3] += weight * j_pose.T @ j_landmark
-                hessian[l0 : l0 + 3, p0 : p0 + 6] += weight * j_landmark.T @ j_pose
-                hessian[l0 : l0 + 3, l0 : l0 + 3] += weight * j_landmark.T @ j_landmark
-                gradient[p0 : p0 + 6] += -weight * j_pose.T @ residual
-                gradient[l0 : l0 + 3] += -weight * j_landmark.T @ residual
+        gathered = self._gather_window(shared_landmarks) if shared_landmarks else None
+        if gathered is not None:
+            pose_blocks, cross_blocks, landmark_blocks, b_pose, b_landmark = (
+                self._assemble_normal_blocks(gathered, shared_landmarks)
+            )
+            cross = cross_blocks.transpose(0, 2, 1, 3).reshape(pose_dim, landmark_dim)
+            hessian[:pose_dim, :pose_dim] = self._block_diagonal(pose_blocks)
+            hessian[:pose_dim, pose_dim:] = cross
+            hessian[pose_dim:, :pose_dim] = cross.T
+            hessian[pose_dim:, pose_dim:] = self._block_diagonal(landmark_blocks)
+            gradient[:pose_dim] = b_pose.reshape(-1)
+            gradient[pose_dim:] = b_landmark.reshape(-1)
 
         marginalize_indices = list(range(0, 6)) + list(range(pose_dim, total_dim))
         result: MarginalizationResult = marginalize_schur(hessian, gradient, marginalize_indices)

@@ -22,10 +22,10 @@ import numpy as np
 
 from repro.backend.state import CLONE_ERROR_DIM, IMU_ERROR_DIM, MsckfState
 from repro.common.config import MSCKFConfig
-from repro.common.geometry import Pose, skew, so3_exp
+from repro.common.geometry import Pose, skew, skew_batch, so3_exp
 from repro.common.timing import StopwatchCollector
 from repro.frontend.frontend import FrontendResult, TrackObservation
-from repro.linalg.decompositions import qr_decompose
+from repro.linalg.decompositions import qr_reduced
 from repro.linalg.ops import matmul, quadratic_form, transpose
 from repro.linalg.solvers import solve_cholesky
 from repro.sensors.imu import GRAVITY, ImuSample
@@ -204,25 +204,46 @@ class Msckf:
         finished.sort(key=lambda r: r.length, reverse=True)
         return finished[: self.config.max_features_per_update]
 
-    def _triangulate_track(self, record: _TrackRecord) -> Optional[np.ndarray]:
-        """Estimate the world-frame feature position from clone observations.
+    def _clone_observation_arrays(self, record: _TrackRecord) -> Optional[Tuple[np.ndarray, ...]]:
+        """Gather a track's observations that still have a clone in the window.
+
+        Returns ``(clone_indices, points_body, noise_std)`` as arrays, or None
+        when no observation matches a clone.
+        """
+        index_by_frame = {clone.frame_index: i for i, clone in enumerate(self.state.clones)}
+        rows = [
+            (index_by_frame[frame_index], point_body, noise_std)
+            for frame_index, point_body, noise_std in record.observations
+            if frame_index in index_by_frame
+        ]
+        if not rows:
+            return None
+        clone_idx = np.array([row[0] for row in rows])
+        points = np.array([row[1] for row in rows])
+        noise = np.array([row[2] for row in rows])
+        return clone_idx, points, noise
+
+    @staticmethod
+    def _weighted_triangulation(points: np.ndarray, noise: np.ndarray,
+                                rotations: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """World-frame feature estimate from gathered clone observations.
 
         Observations are combined with inverse-variance weights so close-range
         (accurate) stereo points dominate over distant (noisy) ones.
         """
-        points = []
-        weights = []
-        for frame_index, point_body, noise_std in record.observations:
-            if not self.state.has_clone(frame_index):
-                continue
-            clone = self.state.clone_by_frame(frame_index)
-            points.append(clone.rotation @ point_body + clone.position)
-            weights.append(1.0 / float(noise_std[0] ** 2))
-        if not points:
+        world = np.einsum("nij,nj->ni", rotations, points) + positions
+        weights = (1.0 / noise[:, 0] ** 2).reshape(-1, 1)
+        return (world * weights).sum(axis=0) / weights.sum()
+
+    def _triangulate_track(self, record: _TrackRecord) -> Optional[np.ndarray]:
+        """Estimate the world-frame feature position from clone observations."""
+        gathered = self._clone_observation_arrays(record)
+        if gathered is None:
             return None
-        points = np.asarray(points)
-        weights = np.asarray(weights).reshape(-1, 1)
-        return (points * weights).sum(axis=0) / weights.sum()
+        clone_idx, points, noise = gathered
+        rotations = np.stack([self.state.clones[i].rotation for i in clone_idx])
+        positions = np.stack([self.state.clones[i].position for i in clone_idx])
+        return self._weighted_triangulation(points, noise, rotations, positions)
 
     def _update(self, tracks: List[_TrackRecord], stopwatch: StopwatchCollector,
                 workload: VioWorkload) -> None:
@@ -248,7 +269,7 @@ class Msckf:
             # Compress the stacked Jacobian when it is taller than the state.
             workload.qr_rows = h_stack.shape[0]
             if h_stack.shape[0] > state_dim:
-                q, r_upper = qr_decompose(h_stack)
+                q, r_upper = qr_reduced(h_stack)
                 h_stack = r_upper
                 r_stack = q.T @ r_stack
             workload.jacobian_rows = h_stack.shape[0]
@@ -275,46 +296,43 @@ class Msckf:
 
     def _feature_jacobian(self, record: _TrackRecord) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Build the nullspace-projected Jacobian and residual for one track."""
-        feature_world = self._triangulate_track(record)
-        if feature_world is None:
-            return None
         state_dim = self.state.error_dim
 
-        h_x_rows: List[np.ndarray] = []
-        h_f_rows: List[np.ndarray] = []
-        residuals: List[np.ndarray] = []
-        for frame_index, point_body, noise_std in record.observations:
-            if not self.state.has_clone(frame_index):
-                continue
-            clone_index = next(
-                i for i, clone in enumerate(self.state.clones) if clone.frame_index == frame_index
-            )
-            clone = self.state.clones[clone_index]
-            predicted = clone.rotation.T @ (feature_world - clone.position)
-            residual = point_body - predicted
-
-            h_x = np.zeros((3, state_dim))
-            offset = self.state.clone_offset(clone_index)
-            h_x[:, offset : offset + 3] = clone.rotation.T @ skew(feature_world - clone.position)
-            h_x[:, offset + 3 : offset + 6] = -clone.rotation.T
-            h_f = clone.rotation.T
-
-            # Whiten by the per-axis stereo noise so the update can use an
-            # identity measurement covariance (scaled by observation_noise).
-            whitening = 1.0 / noise_std
-            h_x = whitening[:, None] * h_x
-            h_f = whitening[:, None] * h_f
-            residual = whitening * residual
-
-            h_x_rows.append(h_x)
-            h_f_rows.append(h_f)
-            residuals.append(residual)
-
-        if len(residuals) < 2:
+        gathered = self._clone_observation_arrays(record)
+        if gathered is None or gathered[0].size < 2:
             return None
-        h_x_stack = np.vstack(h_x_rows)
-        h_f_stack = np.vstack(h_f_rows)
-        residual_stack = np.concatenate(residuals)
+        clone_idx, points_body, noise_std = gathered
+        count = clone_idx.size
+        rotations = np.stack([self.state.clones[i].rotation for i in clone_idx])
+        positions = np.stack([self.state.clones[i].position for i in clone_idx])
+        feature_world = self._weighted_triangulation(points_body, noise_std, rotations, positions)
+
+        deltas = feature_world - positions                       # (n, 3)
+        predicted = np.einsum("nji,nj->ni", rotations, deltas)   # R^T (f - p)
+        residuals = points_body - predicted
+
+        # Per-observation blocks: dh/d(rot) = R^T [f - p]_x, dh/d(pos) = -R^T,
+        # dh/d(feature) = R^T; whitened by the per-axis stereo noise so the
+        # update can use an identity measurement covariance (scaled by
+        # observation_noise).
+        rotation_t = np.transpose(rotations, (0, 2, 1))
+        whitening = (1.0 / noise_std)[:, :, None]                # (n, 3, 1)
+        h_rot = whitening * np.einsum("nji,njk->nik", rotations, skew_batch(deltas))
+        h_pos = -whitening * rotation_t
+        h_f = whitening * rotation_t
+        residuals = residuals / noise_std
+
+        # Scatter each 3x6 clone block into the sparse full-state Jacobian.
+        h_x = np.zeros((count, 3, state_dim))
+        offsets = np.array([self.state.clone_offset(i) for i in clone_idx])
+        columns = offsets[:, None] + np.arange(CLONE_ERROR_DIM)[None, :]      # (n, 6)
+        blocks = np.concatenate([h_rot, h_pos], axis=2)                       # (n, 3, 6)
+        h_x[np.arange(count)[:, None, None], np.arange(3)[None, :, None],
+            columns[:, None, :]] = blocks
+
+        h_x_stack = h_x.reshape(3 * count, state_dim)
+        h_f_stack = h_f.reshape(3 * count, 3)
+        residual_stack = residuals.reshape(-1)
 
         # Project onto the left nullspace of H_f to remove the feature error.
         q_full, _ = np.linalg.qr(h_f_stack, mode="complete")

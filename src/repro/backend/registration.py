@@ -31,9 +31,12 @@ class RegistrationBackend:
 
     @classmethod
     def from_world(cls, world: LandmarkWorld, config: Optional[TrackingConfig] = None,
-                   map_noise: float = 0.05, camera=None, seed: int = 0) -> "RegistrationBackend":
+                   map_noise: float = 0.05, map_bias_std: float = 0.0,
+                   camera=None, seed: int = 0) -> "RegistrationBackend":
         """Build the backend with a survey map derived from the true world."""
-        localization_map = LocalizationMap.from_world(world, position_noise=map_noise, seed=seed)
+        localization_map = LocalizationMap.from_world(
+            world, position_noise=map_noise, position_bias_std=map_bias_std, seed=seed
+        )
         return cls(localization_map, config=config, camera=camera)
 
     def reset(self) -> None:

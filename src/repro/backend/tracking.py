@@ -38,15 +38,23 @@ class RegistrationWorkload:
     """Problem sizes the registration-mode kernels operated on this frame."""
 
     map_points: int = 0
-    projected_points: int = 0
+    # Visible (frustum-culled) subset actually pushed through projection.
+    # None means "not measured" (synthetic workloads), distinct from a
+    # legitimate zero-visibility frame.
+    projected_points: Optional[int] = None
     matches: int = 0
     inliers: int = 0
     pose_iterations: int = 0
 
     @property
     def projection_points(self) -> int:
-        """The Fig. 16a x-axis: number of points pushed through projection."""
-        return self.map_points
+        """The Fig. 16a x-axis: number of points pushed through projection.
+
+        With frustum culling this is the per-frame visible subset of the map
+        (the source of the registration mode's latency variation); synthetic
+        workloads that only populate ``map_points`` fall back to the full map.
+        """
+        return self.map_points if self.projected_points is None else self.projected_points
 
 
 @dataclass
@@ -106,18 +114,23 @@ class LocalizationMap:
 
     @classmethod
     def from_world(cls, world: LandmarkWorld, position_noise: float = 0.05,
+                   position_bias_std: float = 0.0,
                    vocabulary_words: int = 64, seed: int = 0) -> "LocalizationMap":
         """Build a pre-constructed map from a simulated landmark world.
 
         This models the paper's "known environment": the environment has been
         mapped on a previous traversal, so the map is accurate up to a small
-        survey noise.
+        survey noise.  ``position_bias_std`` additionally draws one common
+        offset applied to every point — the datum error of a georeferenced
+        outdoor survey, which per-point averaging in the pose solver cannot
+        remove.
         """
         rng = np.random.default_rng(seed)
+        bias = rng.normal(0.0, position_bias_std, size=3) if position_bias_std > 0.0 else np.zeros(3)
         points = []
         descriptors = []
         for landmark in world.landmarks:
-            noisy = landmark.position + rng.normal(0.0, position_noise, size=3)
+            noisy = landmark.position + bias + rng.normal(0.0, position_noise, size=3)
             descriptor = descriptor_from_seed(landmark.landmark_id * 2654435761 % (2**31))
             points.append(MapPoint(landmark.landmark_id, noisy, descriptor))
             descriptors.append(descriptor)
@@ -188,6 +201,24 @@ class MapTracker:
         camera = self.camera or PinholeCamera.from_fov(640, 480, 90.0)
         points_body = (positions - prior.translation) @ prior.rotation
         points_camera = camera_frame_from_body(points_body)
+        # Coarse frustum culling (local-map tracking): only points plausibly
+        # visible from the prior pose are pushed through the projection
+        # kernel.  The visible subset changes as the platform moves, which is
+        # the source of the projection kernel's per-frame latency variation.
+        # The lateral cone follows the camera's actual half-FOV (plus a
+        # margin for prior-pose error), so narrow-FOV rigs cull tighter.
+        depth = points_camera[:, 2]
+        slope_x = self.config.cull_fov_margin * camera.width / (2.0 * camera.fx)
+        slope_y = self.config.cull_fov_margin * camera.height / (2.0 * camera.fy)
+        visible = (
+            (depth > self.config.cull_near_m)
+            & (depth < self.config.cull_far_m)
+            & (np.abs(points_camera[:, 0]) < slope_x * depth + 1.0)
+            & (np.abs(points_camera[:, 1]) < slope_y * depth + 1.0)
+        )
+        points_camera = points_camera[visible]
+        if points_camera.shape[0] == 0:
+            return np.zeros((3, 0))
         homogeneous_points = homogeneous(points_camera).T  # 4 x M
         return matmul(camera.projection_matrix, homogeneous_points)
 

@@ -100,7 +100,7 @@ class BackendCostModel:
 
     def registration_ms(self, workload: RegistrationWorkload) -> Dict[str, float]:
         return {
-            "projection": workload.map_points * self.registration_ms_per_map_point,
+            "projection": workload.projection_points * self.registration_ms_per_map_point,
             "match": workload.matches * self.registration_ms_per_match,
             "pose_optimization": workload.pose_iterations * self.registration_ms_per_pose_iteration,
             "update": workload.matches * self.registration_update_ms_per_match,

@@ -87,6 +87,21 @@ class TrackingConfig:
     pnp_iterations: int = 10
     pnp_inlier_threshold: float = 3.0
     min_inliers: int = 8
+    # Survey-map quality per environment (Sec. II / Fig. 3d).  Indoor maps are
+    # surveyed at close range with dense coverage; outdoor maps are
+    # GNSS-georeferenced and built from long-range observations, so they carry
+    # both larger per-point noise and a common datum bias that registration
+    # cannot average away — which is why VIO+GPS wins outdoors even when a
+    # map exists.
+    survey_noise_indoor: float = 0.05
+    survey_noise_outdoor: float = 0.30
+    survey_bias_outdoor: float = 0.40
+    # Frustum culling of the local map before the projection kernel: depth
+    # window plus a margin on the camera's half-FOV (the lateral cone is
+    # derived from the camera intrinsics at track time).
+    cull_near_m: float = 0.2
+    cull_far_m: float = 60.0
+    cull_fov_margin: float = 1.2
 
 
 @dataclass

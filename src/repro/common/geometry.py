@@ -32,6 +32,19 @@ def skew(v: np.ndarray) -> np.ndarray:
     )
 
 
+def skew_batch(vectors: np.ndarray) -> np.ndarray:
+    """Skew-symmetric matrices for a batch of 3-vectors: ``(n, 3) -> (n, 3, 3)``."""
+    v = np.asarray(vectors, dtype=float).reshape(-1, 3)
+    out = np.zeros((v.shape[0], 3, 3))
+    out[:, 0, 1] = -v[:, 2]
+    out[:, 0, 2] = v[:, 1]
+    out[:, 1, 0] = v[:, 2]
+    out[:, 1, 2] = -v[:, 0]
+    out[:, 2, 0] = -v[:, 1]
+    out[:, 2, 1] = v[:, 0]
+    return out
+
+
 def so3_exp(phi: np.ndarray) -> np.ndarray:
     """Exponential map from a rotation vector to a rotation matrix.
 

@@ -53,8 +53,14 @@ class EudoxusLocalizer:
         self.vio = VioBackend(self.config.backend, use_gps=True)
         self.slam = SlamBackend(self.config.backend, camera=sequence.rig.camera)
         if sequence.has_prebuilt_map:
+            tracking = self.config.backend.tracking
+            outdoor = sequence.scenario.has_gps
             self.registration = RegistrationBackend.from_world(
-                sequence.world, config=self.config.backend.tracking, camera=sequence.rig.camera
+                sequence.world,
+                config=tracking,
+                camera=sequence.rig.camera,
+                map_noise=tracking.survey_noise_outdoor if outdoor else tracking.survey_noise_indoor,
+                map_bias_std=tracking.survey_bias_outdoor if outdoor else 0.0,
             )
         else:
             self.registration = None
@@ -115,8 +121,11 @@ class EudoxusLocalizer:
             return self.registration.process(frontend_result, frame)
         if mode is BackendMode.VIO:
             return self.vio.process(frontend_result, frame)
-        if mode is BackendMode.REGISTRATION and self.registration is None:
-            # No map is actually available: fall back to SLAM, which is what a
-            # real deployment does when the survey map is missing.
-            mode = BackendMode.SLAM
-        return self.slam.process(frontend_result, frame)
+        result = self.slam.process(frontend_result, frame)
+        if mode is BackendMode.REGISTRATION:
+            # No map is actually available: SLAM ran instead, which is what a
+            # real deployment does when the survey map is missing.  The result
+            # reports the mode that executed, with the requested mode kept in
+            # the diagnostics so the fallback is observable downstream.
+            result.diagnostics["fallback_from"] = BackendMode.REGISTRATION.value
+        return result

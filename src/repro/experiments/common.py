@@ -3,30 +3,35 @@
 The characterization and acceleration experiments all start from the same
 kind of run: the unified framework pinned to one backend mode, processing a
 synthetic sequence representative of the scenario that prefers that mode
-(Fig. 2).  Runs are cached per process so that the many figures sharing a
-characterization only pay for it once.
+(Fig. 2).  Execution is delegated to :mod:`repro.experiments.runner`: runs
+are memoized per process (so the many figures sharing a characterization
+only pay for it once), persisted to a content-hash-keyed on-disk store (so
+repeated benchmark sessions skip recomputation entirely), and fanned out
+across worker processes when several cold cells are requested at once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.baselines.cpu import CpuLatencyModel
-from repro.common.config import LocalizerConfig, SensorConfig
 from repro.common.timing import LatencyRecord
-from repro.core.framework import EudoxusLocalizer
 from repro.core.modes import BackendMode
 from repro.core.result import TrajectoryResult
+from repro.experiments.runner import (
+    DEFAULT_DURATION_S,
+    DEFAULT_LANDMARKS,
+    ExperimentCell,
+    ExperimentRunner,
+    RunStore,
+    _SEQUENCE_CACHE,
+    build_sequence,
+    localizer_config_for,
+    platform_for,
+    sensor_config_for,
+)
 from repro.hardware.accelerator import EudoxusAccelerator
-from repro.hardware.platform import EDX_CAR, EDX_DRONE, EudoxusPlatform
-from repro.sensors.dataset import SequenceBuilder, SyntheticSequence
-from repro.sensors.scenarios import OperatingScenario, ScenarioKind, scenario_catalog
-
-# Default characterization length.  The paper profiles 1,800 frames; we use a
-# shorter sequence by default so the whole benchmark suite stays tractable in
-# pure Python, and expose the length as a parameter for longer runs.
-DEFAULT_DURATION_S = 20.0
-DEFAULT_LANDMARKS = 300
+from repro.sensors.scenarios import ScenarioKind
 
 # The scenario each backend mode is characterized on (its preferred
 # environment from Fig. 2).
@@ -36,46 +41,43 @@ MODE_SCENARIO: Dict[BackendMode, ScenarioKind] = {
     BackendMode.SLAM: ScenarioKind.INDOOR_UNKNOWN,
 }
 
-_SEQUENCE_CACHE: Dict[Tuple, SyntheticSequence] = {}
-_RUN_CACHE: Dict[Tuple, TrajectoryResult] = {}
+# The process-wide default runner every experiment driver shares.  Tests can
+# swap it (or its store) via :func:`set_default_runner`.
+_default_runner: Optional[ExperimentRunner] = None
 
 
-def platform_for(kind: str) -> EudoxusPlatform:
-    """Look up a platform by short name ("car" or "drone")."""
-    if kind == "car":
-        return EDX_CAR
-    if kind == "drone":
-        return EDX_DRONE
-    raise ValueError(f"unknown platform kind: {kind}")
+def default_runner() -> ExperimentRunner:
+    """The shared :class:`ExperimentRunner` (created on first use)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner(store=RunStore())
+    return _default_runner
 
 
-def sensor_config_for(platform_kind: str, camera_rate_hz: float = 10.0,
-                      seed: int = 0) -> SensorConfig:
-    """Sensor configuration matching one of the two deployments."""
-    platform = platform_for(platform_kind)
-    return SensorConfig(
-        image_width=platform.image_width,
-        image_height=platform.image_height,
-        stereo_baseline=0.4 if platform_kind == "car" else 0.2,
+def set_default_runner(runner: Optional[ExperimentRunner]) -> None:
+    """Replace the shared runner (pass None to recreate on next use)."""
+    global _default_runner
+    _default_runner = runner
+
+
+def characterization_cell(mode: Optional[BackendMode], platform_kind: str = "car",
+                          duration: float = DEFAULT_DURATION_S, camera_rate_hz: float = 10.0,
+                          landmark_count: int = DEFAULT_LANDMARKS, seed: int = 0,
+                          scenario_kind: Optional[ScenarioKind] = None) -> ExperimentCell:
+    """The experiment cell describing one characterization run."""
+    if scenario_kind is None:
+        if mode is None:
+            raise ValueError("either a mode or an explicit scenario is required")
+        scenario_kind = MODE_SCENARIO[mode]
+    return ExperimentCell(
+        scenario=scenario_kind,
+        mode=mode,
+        platform_kind=platform_kind,
+        duration=duration,
         camera_rate_hz=camera_rate_hz,
+        landmark_count=landmark_count,
         seed=seed,
     )
-
-
-def build_sequence(scenario_kind: ScenarioKind, platform_kind: str = "car",
-                   duration: float = DEFAULT_DURATION_S, camera_rate_hz: float = 10.0,
-                   landmark_count: int = DEFAULT_LANDMARKS, seed: int = 0) -> SyntheticSequence:
-    """Build (and cache) a synthetic sequence for a scenario."""
-    key = (scenario_kind, platform_kind, round(duration, 3), round(camera_rate_hz, 3), landmark_count, seed)
-    if key not in _SEQUENCE_CACHE:
-        catalog = scenario_catalog(duration=duration, landmark_count=landmark_count)
-        builder = SequenceBuilder(sensor_config_for(platform_kind, camera_rate_hz, seed))
-        _SEQUENCE_CACHE[key] = builder.build(catalog[scenario_kind])
-    return _SEQUENCE_CACHE[key]
-
-
-def localizer_config_for(platform_kind: str) -> LocalizerConfig:
-    return LocalizerConfig.car_default() if platform_kind == "car" else LocalizerConfig.drone_default()
 
 
 def characterization_run(mode: BackendMode, platform_kind: str = "car",
@@ -83,22 +85,23 @@ def characterization_run(mode: BackendMode, platform_kind: str = "car",
                          landmark_count: int = DEFAULT_LANDMARKS, seed: int = 0,
                          scenario_kind: Optional[ScenarioKind] = None) -> TrajectoryResult:
     """Run (and cache) the framework pinned to one mode on its preferred scenario."""
-    scenario_kind = scenario_kind or MODE_SCENARIO[mode]
-    key = (mode, scenario_kind, platform_kind, round(duration, 3), round(camera_rate_hz, 3), landmark_count, seed)
-    if key not in _RUN_CACHE:
-        sequence = build_sequence(scenario_kind, platform_kind, duration, camera_rate_hz, landmark_count, seed)
-        localizer = EudoxusLocalizer(localizer_config_for(platform_kind), mode_override=mode)
-        _RUN_CACHE[key] = localizer.process_sequence(sequence)
-    return _RUN_CACHE[key]
+    cell = characterization_cell(mode, platform_kind, duration, camera_rate_hz,
+                                 landmark_count, seed, scenario_kind)
+    return default_runner().run_cell(cell)
 
 
 def all_mode_runs(platform_kind: str = "car", duration: float = DEFAULT_DURATION_S,
                   camera_rate_hz: float = 10.0) -> Dict[BackendMode, TrajectoryResult]:
-    """Characterization runs for all three modes on one platform."""
-    return {
-        mode: characterization_run(mode, platform_kind, duration, camera_rate_hz)
-        for mode in (BackendMode.REGISTRATION, BackendMode.VIO, BackendMode.SLAM)
-    }
+    """Characterization runs for all three modes on one platform.
+
+    The three cells are requested as one batch so cold runs can fan out
+    across worker processes.
+    """
+    modes = (BackendMode.REGISTRATION, BackendMode.VIO, BackendMode.SLAM)
+    cells = {mode: characterization_cell(mode, platform_kind, duration, camera_rate_hz)
+             for mode in modes}
+    results = default_runner().run_cells(list(cells.values()))
+    return {mode: results[cell] for mode, cell in cells.items()}
 
 
 def baseline_records(result: TrajectoryResult, platform_kind: str = "car") -> List[LatencyRecord]:
@@ -113,7 +116,13 @@ def accelerator_for(platform_kind: str = "car") -> EudoxusAccelerator:
     return EudoxusAccelerator(platform)
 
 
-def clear_caches() -> None:
-    """Drop all cached sequences and runs (used by tests)."""
+def clear_caches(disk: bool = False) -> None:
+    """Drop all cached sequences and runs (used by tests).
+
+    The on-disk run store is preserved unless ``disk=True``.
+    """
     _SEQUENCE_CACHE.clear()
-    _RUN_CACHE.clear()
+    runner = default_runner()
+    runner.clear_memory()
+    if disk and runner.store is not None:
+        runner.store.clear()

@@ -6,23 +6,38 @@ ground truth is reported.  The reproduction target is the *ordering*: SLAM
 wins in unknown indoor environments, registration wins in known indoor
 environments, VIO (+GPS) wins outdoors, and registration does not apply
 without a map.
+
+The full (scenario x mode x frame rate) grid is expanded into experiment
+cells and resolved through the shared :class:`ExperimentRunner`, so cold
+cells fan out across worker processes and repeated sessions reuse the
+persistent run store.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.framework import EudoxusLocalizer
 from repro.core.modes import BackendMode
-from repro.experiments.common import build_sequence, localizer_config_for
+from repro.experiments.common import default_runner
+from repro.experiments.runner import ExperimentGrid
 from repro.sensors.scenarios import ScenarioKind
 
 
-def _applicable_modes(scenario: ScenarioKind) -> List[BackendMode]:
-    modes = [BackendMode.VIO, BackendMode.SLAM]
-    if scenario.has_map:
-        modes.insert(0, BackendMode.REGISTRATION)
-    return modes
+def accuracy_grid(frame_rates: Sequence[float] = (5.0, 10.0),
+                  duration: float = 15.0,
+                  platform_kind: str = "drone",
+                  scenarios: Optional[Sequence[ScenarioKind]] = None,
+                  landmark_count: int = 250) -> ExperimentGrid:
+    """The Fig. 3 experiment grid (registration dropped where no map exists)."""
+    return ExperimentGrid(
+        scenarios=tuple(scenarios) if scenarios is not None else tuple(ScenarioKind),
+        modes=(BackendMode.REGISTRATION, BackendMode.VIO, BackendMode.SLAM),
+        platform_kinds=(platform_kind,),
+        frame_rates=tuple(frame_rates),
+        duration=duration,
+        landmark_count=landmark_count,
+        skip_inapplicable=True,
+    )
 
 
 def accuracy_vs_framerate(frame_rates: Sequence[float] = (5.0, 10.0),
@@ -35,27 +50,27 @@ def accuracy_vs_framerate(frame_rates: Sequence[float] = (5.0, 10.0),
     Registration is skipped for scenarios without a map, matching the paper's
     note that it does not apply there.
     """
-    scenarios = list(scenarios) if scenarios is not None else list(ScenarioKind)
-    report: Dict[str, List[Dict]] = {}
-    for scenario in scenarios:
-        rows: List[Dict] = []
-        for rate in frame_rates:
-            sequence = build_sequence(
-                scenario, platform_kind=platform_kind, duration=duration,
-                camera_rate_hz=rate, landmark_count=landmark_count,
-            )
-            for mode in _applicable_modes(scenario):
-                localizer = EudoxusLocalizer(localizer_config_for(platform_kind), mode_override=mode)
-                result = localizer.process_sequence(sequence)
-                rows.append(
+    grid = accuracy_grid(frame_rates, duration, platform_kind, scenarios, landmark_count)
+    cells = grid.expand()
+    results = default_runner().run_cells(cells)
+
+    report: Dict[str, List[Dict]] = {scenario.value: [] for scenario in grid.scenarios}
+    # Preserve the historical row order: per scenario, frame rates ascending,
+    # and modes in (registration, vio, slam) order within each rate.
+    for scenario in grid.scenarios:
+        for rate in grid.frame_rates:
+            for cell in cells:
+                if cell.scenario is not scenario or cell.camera_rate_hz != rate:
+                    continue
+                result = results[cell]
+                report[scenario.value].append(
                     {
-                        "algorithm": mode.value,
+                        "algorithm": cell.mode.value,
                         "frame_rate_fps": rate,
                         "rmse_m": result.rmse_error(),
                         "relative_error_percent": result.relative_error_percent(),
                     }
                 )
-        report[scenario.value] = rows
     return report
 
 

@@ -4,6 +4,12 @@ Fig. 5 reports the frontend/backend latency shares and relative standard
 deviations in the three modes; Figs. 6-8 report the kernel breakdown inside
 each backend.  Both are computed from the baseline CPU latency model applied
 to the characterized per-frame workloads.
+
+The three per-mode characterization cells are resolved through the shared
+:class:`~repro.experiments.runner.ExperimentRunner` (via
+:func:`~repro.experiments.common.all_mode_runs`): cold cells fan out across
+worker processes and warm ones come from the in-process memo or the
+persistent on-disk run store.
 """
 
 from __future__ import annotations

@@ -11,6 +11,12 @@ backend kernel offload) to the characterized runs and report:
 * Fig. 20 — frontend latency breakdown (feature extraction vs stereo
   matching) and frontend throughput with/without FE-SM pipelining.
 * Fig. 21 — backend latency and standard deviation per mode.
+
+Characterization runs are resolved through the shared
+:class:`~repro.experiments.runner.ExperimentRunner` (via
+:func:`~repro.experiments.common.all_mode_runs`), so the acceleration models
+below never pay for a run the characterization figures already produced —
+in this process or in a previous session (persistent run store).
 """
 
 from __future__ import annotations

@@ -76,7 +76,7 @@ class TrackObservation:
         return float(self.noise_std[0])
 
 
-def stereo_point_noise(depth: float, fx: float, baseline: float,
+def stereo_point_noise(depth, fx: float, baseline: float,
                        pixel_noise: float, floor: float = 0.02) -> np.ndarray:
     """First-order noise model of a stereo-triangulated 3-D point.
 
@@ -86,12 +86,15 @@ def stereo_point_noise(depth: float, fx: float, baseline: float,
     frame order (x forward/depth, y lateral, z vertical).  A small ``floor``
     keeps the estimators from becoming over-confident about very close
     features (unmodelled calibration and timing errors dominate there).
+
+    ``depth`` may be a scalar (returns shape ``(3,)``) or an array of depths
+    (returns shape ``(n, 3)``); batched callers use the latter.
     """
-    depth = max(float(depth), 1e-3)
+    depth = np.maximum(np.asarray(depth, dtype=float), 1e-3)
     sigma_disparity = pixel_noise * np.sqrt(2.0)
     sigma_depth = depth * depth * sigma_disparity / max(fx * baseline, 1e-9)
     sigma_lateral = depth * pixel_noise / max(fx, 1e-9)
-    return np.maximum(np.array([sigma_depth, sigma_lateral, sigma_lateral]), floor)
+    return np.maximum(np.stack([sigma_depth, sigma_lateral, sigma_lateral], axis=-1), floor)
 
 
 @dataclass
@@ -225,30 +228,35 @@ class VisualFrontend:
                 items = items[: self.config.max_features]
 
         with stopwatch.measure("stereo_matching"):
-            for landmark_id, stereo_obs in items:
-                if self._rng.random() < self.dropout_probability:
-                    continue
-                point_camera = rig.triangulate(
-                    stereo_obs.left_pixel.reshape(1, 2), stereo_obs.right_pixel.reshape(1, 2)
-                )[0]
-                point_body = body_frame_from_camera(point_camera.reshape(1, 3))[0]
-                previous = self._active_tracks.get(landmark_id)
-                age = previous.age + 1 if previous is not None else 1
-                observation = TrackObservation(
-                    track_id=landmark_id,
-                    left_pixel=stereo_obs.left_pixel,
-                    right_pixel=stereo_obs.right_pixel,
-                    point_camera=point_camera,
-                    point_body=point_body,
-                    descriptor=None,
-                    age=age,
-                    noise_std=stereo_point_noise(
-                        point_camera[2], rig.camera.fx, rig.baseline, self.config.assumed_pixel_noise
-                    ),
+            if items:
+                keep = self._rng.random(len(items)) >= self.dropout_probability
+                kept = [item for item, keep_it in zip(items, keep) if keep_it]
+            else:
+                kept = []
+            if kept:
+                left_pixels = np.stack([stereo_obs.left_pixel for _, stereo_obs in kept])
+                right_pixels = np.stack([stereo_obs.right_pixel for _, stereo_obs in kept])
+                points_camera = rig.triangulate(left_pixels, right_pixels)
+                points_body = body_frame_from_camera(points_camera)
+                noise_stds = stereo_point_noise(
+                    points_camera[:, 2], rig.camera.fx, rig.baseline, self.config.assumed_pixel_noise
                 )
-                observations.append(observation)
-                if previous is None:
-                    new_ids.append(landmark_id)
+                for i, (landmark_id, stereo_obs) in enumerate(kept):
+                    previous = self._active_tracks.get(landmark_id)
+                    observations.append(
+                        TrackObservation(
+                            track_id=landmark_id,
+                            left_pixel=left_pixels[i],
+                            right_pixel=right_pixels[i],
+                            point_camera=points_camera[i],
+                            point_body=points_body[i],
+                            descriptor=None,
+                            age=previous.age + 1 if previous is not None else 1,
+                            noise_std=noise_stds[i],
+                        )
+                    )
+                    if previous is None:
+                        new_ids.append(landmark_id)
 
         with stopwatch.measure("temporal_matching"):
             current_ids = {obs.track_id for obs in observations}

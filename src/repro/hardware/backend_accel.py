@@ -81,7 +81,7 @@ class BackendAcceleratorModel:
 
     def projection_ms(self, workload: RegistrationWorkload, include_dma: bool = True) -> float:
         """Projection kernel: C (3x4) times homogeneous map points (4xM)."""
-        points = max(workload.map_points, 1)
+        points = max(workload.projection_points, 1)
         cycles = self.multiply_cycles(3, 4, points) + points * self.misc_cycles_per_element
         compute = self._cycles_to_ms(cycles)
         if not include_dma:

@@ -42,6 +42,23 @@ def cholesky(matrix: np.ndarray, jitter: float = 1e-10) -> np.ndarray:
     return lower
 
 
+def qr_reduced(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Thin QR through LAPACK, recorded as a DECOMPOSITION building block.
+
+    Returns the same reduced factorization as :func:`qr_decompose` (``Q`` is
+    ``(m, min(m, n))``, ``R`` is ``(min(m, n), n)``, ``Q R = A``; individual
+    columns may differ by sign) but as one library call instead of a Python
+    Householder loop over columns.  Hot paths (the MSCKF Jacobian
+    compression) use this variant; :func:`qr_decompose` remains the
+    from-scratch reference the accelerator model is validated against.
+    """
+    a = np.asarray(matrix, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("qr_reduced requires a 2-D matrix")
+    record_primitive(BuildingBlock.DECOMPOSITION, a.shape)
+    return np.linalg.qr(a, mode="reduced")
+
+
 def lu_decompose(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """LU decomposition with partial pivoting: ``P A = L U``.
 

@@ -120,6 +120,15 @@ def record_primitive(block: BuildingBlock, shape_a: Tuple[int, ...],
         trace.record(block, shape_a, shape_b)
 
 
+def tracing_active() -> bool:
+    """True when at least one :func:`traced` context is currently open.
+
+    Batched kernels use this to skip per-block bookkeeping on the hot path
+    while still reporting every logical primitive invocation under a trace.
+    """
+    return bool(_active_traces())
+
+
 # Static decomposition of the variation-contributing kernels (Table I).
 TABLE_I_DECOMPOSITION: Dict[str, List[BuildingBlock]] = {
     "projection": [

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg.decompositions import cholesky, lu_decompose
-from repro.linalg.primitives import BuildingBlock, record_primitive
+from repro.linalg.primitives import BuildingBlock, record_primitive, tracing_active
 
 
 def forward_substitution(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -87,6 +87,24 @@ def symmetric_inverse(matrix: np.ndarray) -> np.ndarray:
     identity = np.eye(a.shape[0])
     y = forward_substitution(lower, identity)
     return backward_substitution(lower.T, y)
+
+
+def batched_symmetric_inverse(blocks: np.ndarray) -> np.ndarray:
+    """Invert a stack of small symmetric positive-definite matrices at once.
+
+    Equivalent to applying :func:`symmetric_inverse` to every ``blocks[i]``
+    (each inversion is recorded as an INVERSE building block when a trace is
+    active) but executed as one batched LAPACK call — the software counterpart
+    of the accelerator streaming many independent small blocks through the
+    inverse unit.
+    """
+    a = np.asarray(blocks, dtype=float)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError(f"batched_symmetric_inverse requires (n, d, d) blocks, got {a.shape}")
+    if tracing_active():
+        for _ in range(a.shape[0]):
+            record_primitive(BuildingBlock.INVERSE, a.shape[1:])
+    return np.linalg.inv(a)
 
 
 def block_diag_plus_dense_inverse(diagonal: np.ndarray, dense: np.ndarray,

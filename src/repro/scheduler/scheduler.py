@@ -21,10 +21,11 @@ from repro.hardware.backend_accel import BackendAcceleratorModel
 from repro.scheduler.regression import PolynomialRegression, r_squared
 
 # The workload feature that predicts each kernel's CPU latency (Fig. 16):
-# the map size for projection, the measurement (Jacobian) height for the
-# Kalman gain, and the departing keyframe's feature count for marginalization.
+# the projected (visible) map subset for projection, the measurement
+# (Jacobian) height for the Kalman gain, and the departing keyframe's feature
+# count for marginalization.
 KERNEL_SIZE_ATTRIBUTE: Dict[str, str] = {
-    "registration": "map_points",
+    "registration": "projection_points",
     "vio": "kalman_gain_dim",
     "slam": "feature_points",
 }

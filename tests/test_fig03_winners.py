@@ -1,0 +1,50 @@
+"""Fast guard for the Fig. 3 qualitative result (per-scenario winners).
+
+The 15 s benchmark sweep in ``benchmarks/test_fig03_accuracy.py`` asserts the
+paper's winner ordering; this test pins the same facts on a short (3 s)
+single-frame-rate sequence so the qualitative result is guarded by the unit
+suite without paying for the benchmark.
+"""
+
+import pytest
+
+from repro.experiments.fig03_accuracy import accuracy_vs_framerate, best_algorithm_per_scenario
+from repro.sensors.scenarios import ScenarioKind
+
+
+@pytest.fixture(scope="module")
+def report():
+    return accuracy_vs_framerate(
+        frame_rates=(10.0,), duration=3.0, platform_kind="drone", landmark_count=150,
+    )
+
+
+def test_winner_per_scenario(report):
+    best = best_algorithm_per_scenario(report)
+    # VIO+GPS wins outdoors — including outdoor_known, where the degraded
+    # outdoor survey map keeps registration behind GPS aiding (Fig. 3d).
+    assert best[ScenarioKind.OUTDOOR_UNKNOWN.value] == "vio"
+    assert best[ScenarioKind.OUTDOOR_KNOWN.value] == "vio"
+    # Indoors with a map, a map-based method wins.
+    assert best[ScenarioKind.INDOOR_KNOWN.value] in ("registration", "slam")
+
+
+def test_outdoor_map_registration_degrades(report):
+    """GPS aiding beats map registration outdoors by a clear margin."""
+    rows = report[ScenarioKind.OUTDOOR_KNOWN.value]
+    registration = [r["rmse_m"] for r in rows if r["algorithm"] == "registration"]
+    vio = [r["rmse_m"] for r in rows if r["algorithm"] == "vio"]
+    assert registration and vio
+    assert min(registration) > 1.5 * max(vio)
+
+
+def test_registration_absent_without_map(report):
+    for scenario in (ScenarioKind.INDOOR_UNKNOWN.value, ScenarioKind.OUTDOOR_UNKNOWN.value):
+        assert all(row["algorithm"] != "registration" for row in report[scenario])
+
+
+def test_indoor_known_map_quality_preserved(report):
+    """The indoor survey map stays accurate: registration error is small."""
+    rows = report[ScenarioKind.INDOOR_KNOWN.value]
+    registration = [r["rmse_m"] for r in rows if r["algorithm"] == "registration"]
+    assert registration and min(registration) < 1.0

@@ -49,6 +49,29 @@ class TestFrameworkIntegration:
         # No survey map exists for this sequence: the framework runs SLAM instead.
         assert all(e.mode == "slam" for e in result.estimates)
 
+    def test_registration_fallback_is_reported(self, indoor_sequence, config):
+        """Regression: the fallback path reports the mode that actually ran.
+
+        The BackendResult must carry mode="slam" (not the requested
+        registration) and record the requested mode in its diagnostics, so
+        downstream per-mode aggregation attributes the frames correctly.
+        """
+        localizer = EudoxusLocalizer(config, mode_override=BackendMode.REGISTRATION)
+        result = localizer.process_sequence(indoor_sequence)
+        assert localizer.registration is None
+        for backend_result in result.backend_results:
+            assert backend_result.mode == "slam"
+            assert backend_result.diagnostics["fallback_from"] == "registration"
+        # The per-mode split sees only SLAM frames — no phantom registration bin.
+        assert set(result.per_mode().keys()) == {"slam"}
+
+    def test_no_fallback_marker_when_map_exists(self, indoor_mapped_sequence, config):
+        localizer = EudoxusLocalizer(config, mode_override=BackendMode.REGISTRATION)
+        result = localizer.process_sequence(indoor_mapped_sequence)
+        for backend_result in result.backend_results:
+            assert backend_result.mode == "registration"
+            assert "fallback_from" not in backend_result.diagnostics
+
     def test_results_carry_workloads_and_latencies(self, outdoor_sequence, config):
         localizer = EudoxusLocalizer(config)
         result = localizer.process_sequence(outdoor_sequence)

@@ -1,0 +1,240 @@
+"""Tests for the parallel experiment engine and its persistent run store."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.modes import BackendMode
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    ExperimentCell,
+    ExperimentGrid,
+    ExperimentRunner,
+    RunStore,
+    code_fingerprint,
+    execute_cell,
+)
+from repro.sensors.scenarios import ScenarioKind
+
+
+def _cell(seed: int = 0, **overrides) -> ExperimentCell:
+    defaults = dict(
+        scenario=ScenarioKind.OUTDOOR_UNKNOWN,
+        mode=BackendMode.VIO,
+        platform_kind="drone",
+        duration=2.0,
+        camera_rate_hz=10.0,
+        landmark_count=100,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return ExperimentCell(**defaults)
+
+
+class TestGridExpansion:
+    def test_full_grid_size_and_determinism(self):
+        grid = ExperimentGrid(
+            scenarios=(ScenarioKind.INDOOR_KNOWN, ScenarioKind.OUTDOOR_KNOWN),
+            modes=(BackendMode.VIO, BackendMode.SLAM),
+            platform_kinds=("car", "drone"),
+            frame_rates=(5.0, 10.0),
+            seeds=(0, 1),
+        )
+        cells = grid.expand()
+        assert len(cells) == 2 * 2 * 2 * 2 * 2
+        assert cells == grid.expand()  # deterministic order
+
+    def test_registration_dropped_without_map(self):
+        grid = ExperimentGrid(
+            scenarios=tuple(ScenarioKind),
+            modes=(BackendMode.REGISTRATION, BackendMode.VIO),
+        )
+        cells = grid.expand()
+        registration_scenarios = {
+            c.scenario for c in cells if c.mode is BackendMode.REGISTRATION
+        }
+        assert registration_scenarios == {ScenarioKind.INDOOR_KNOWN, ScenarioKind.OUTDOOR_KNOWN}
+        # VIO applies everywhere.
+        assert {c.scenario for c in cells if c.mode is BackendMode.VIO} == set(ScenarioKind)
+
+    def test_skip_inapplicable_can_be_disabled(self):
+        grid = ExperimentGrid(
+            scenarios=(ScenarioKind.INDOOR_UNKNOWN,),
+            modes=(BackendMode.REGISTRATION,),
+            skip_inapplicable=False,
+        )
+        assert len(grid.expand()) == 1
+
+    def test_auto_mode_cells(self):
+        grid = ExperimentGrid(scenarios=(ScenarioKind.OUTDOOR_UNKNOWN,), modes=(None,))
+        cells = grid.expand()
+        assert len(cells) == 1 and cells[0].mode is None
+
+    def test_cell_payload_roundtrip(self):
+        cell = _cell(seed=3, mode=None)
+        assert ExperimentCell.from_payload(cell.payload()) == cell
+
+
+class TestSerialParallelEquivalence:
+    def test_results_identical(self):
+        cells = [_cell(seed=0), _cell(seed=1)]
+        serial = ExperimentRunner(store=None, max_workers=1).run_cells(cells)
+        parallel_runner = ExperimentRunner(store=None, max_workers=2)
+        parallel = parallel_runner.run_cells(cells)
+        for cell in cells:
+            a, b = serial[cell], parallel[cell]
+            assert abs(a.rmse_error() - b.rmse_error()) < 1e-9
+            for ea, eb in zip(a.estimates, b.estimates):
+                assert np.array_equal(ea.pose.translation, eb.pose.translation)
+                assert np.array_equal(ea.pose.rotation, eb.pose.rotation)
+                assert ea.mode == eb.mode
+
+    def test_memo_returns_same_object(self):
+        runner = ExperimentRunner(store=None, max_workers=1)
+        cell = _cell()
+        assert runner.run_cell(cell) is runner.run_cell(cell)
+
+    def test_memo_invalidated_on_config_change(self, monkeypatch):
+        """A config change mid-session must bypass the in-process memo too."""
+        runner = ExperimentRunner(store=None, max_workers=1)
+        cell = _cell()
+        first = runner.run_cell(cell)
+
+        original_factory = runner_module.localizer_config_for
+
+        def modified_config(platform_kind):
+            config = original_factory(platform_kind)
+            config.backend.msckf.window_size = 7
+            return config
+
+        monkeypatch.setattr(runner_module, "localizer_config_for", modified_config)
+        second = runner.run_cell(cell)
+        assert second is not first
+        assert runner.stats.computed == 2
+
+    def test_duplicate_cells_computed_once(self):
+        runner = ExperimentRunner(store=None, max_workers=1)
+        cell = _cell()
+        results = runner.run_cells([cell, cell])
+        assert len(results) == 1
+        assert runner.stats.computed == 1
+
+
+class TestRunStore:
+    def test_disk_hit_skips_recomputation(self, tmp_path):
+        store = RunStore(tmp_path)
+        cell = _cell()
+        first_runner = ExperimentRunner(store=store, max_workers=1)
+        first = first_runner.run_cell(cell)
+        assert first_runner.stats.computed == 1
+        assert len(store) == 1
+
+        # A fresh runner (fresh process in real life) resolves from disk.
+        second_runner = ExperimentRunner(store=RunStore(tmp_path), max_workers=1)
+        second = second_runner.run_cell(cell)
+        assert second_runner.stats.computed == 0
+        assert second_runner.stats.disk_hits == 1
+        assert abs(first.rmse_error() - second.rmse_error()) < 1e-9
+
+    def test_miss_on_different_cell(self, tmp_path):
+        store = RunStore(tmp_path)
+        runner = ExperimentRunner(store=store, max_workers=1)
+        runner.run_cell(_cell(seed=0))
+        fresh = ExperimentRunner(store=RunStore(tmp_path), max_workers=1)
+        fresh.run_cell(_cell(seed=1))
+        assert fresh.stats.computed == 1
+        assert len(store) == 2
+
+    def test_key_invalidated_on_config_change(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        cell = _cell()
+        original_key = store.key_for(cell)
+        ExperimentRunner(store=store, max_workers=1).run_cell(cell)
+
+        original_factory = runner_module.localizer_config_for
+
+        def modified_config(platform_kind):
+            config = original_factory(platform_kind)
+            config.backend.msckf.window_size = 7  # a config default changed
+            return config
+
+        monkeypatch.setattr(runner_module, "localizer_config_for", modified_config)
+        assert store.key_for(cell) != original_key
+        assert store.load(cell) is None  # the old entry no longer matches
+
+        fresh = ExperimentRunner(store=store, max_workers=1)
+        fresh.run_cell(cell)
+        assert fresh.stats.computed == 1
+
+    def test_corrupted_entry_recovered(self, tmp_path):
+        store = RunStore(tmp_path)
+        cell = _cell()
+        runner = ExperimentRunner(store=store, max_workers=1)
+        expected = runner.run_cell(cell)
+
+        store.path_for(cell).write_bytes(b"not a pickle at all")
+        fresh_store = RunStore(tmp_path)
+        fresh = ExperimentRunner(store=fresh_store, max_workers=1)
+        result = fresh.run_cell(cell)
+        assert fresh_store.dropped == 1
+        assert fresh.stats.computed == 1
+        assert abs(result.rmse_error() - expected.rmse_error()) < 1e-9
+        # The recomputed entry was re-persisted and is loadable again.
+        assert RunStore(tmp_path).load(cell) is not None
+
+    def test_wrong_payload_type_treated_as_corruption(self, tmp_path):
+        import pickle
+
+        store = RunStore(tmp_path)
+        cell = _cell()
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path_for(cell).write_bytes(pickle.dumps({"not": "a result"}))
+        assert store.load(cell) is None
+        assert store.dropped == 1
+
+    def test_unwritable_store_degrades_to_computation(self):
+        """A bad cache root (e.g. misconfigured EUDOXUS_RUN_CACHE) must not
+        crash the run — the result is computed and simply not persisted."""
+        store = RunStore("/proc/nonexistent-run-store")
+        runner = ExperimentRunner(store=store, max_workers=1)
+        result = runner.run_cell(_cell())
+        assert runner.stats.computed == 1
+        assert result.rmse_error() > 0.0
+        assert len(store) == 0
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = RunStore(tmp_path)
+        ExperimentRunner(store=store, max_workers=1).run_cell(_cell())
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+    def test_stale_tmp_swept_but_live_writers_spared(self, tmp_path):
+        stale = tmp_path / "abc.tmp.123"
+        stale.write_bytes(b"orphan from a crashed writer")
+        two_hours_ago = time.time() - 7200
+        os.utime(stale, (two_hours_ago, two_hours_ago))
+        in_flight = tmp_path / "def.tmp.456"
+        in_flight.write_bytes(b"another process mid-save")
+
+        store = RunStore(tmp_path)
+        assert not stale.exists()     # old orphan removed on init
+        assert in_flight.exists()     # recent (possibly live) write untouched
+        store.clear()
+        assert not in_flight.exists()  # clear removes temp files regardless of age
+
+    def test_code_fingerprint_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestExecuteCell:
+    def test_mode_override_respected(self):
+        result = execute_cell(_cell(mode=BackendMode.SLAM, scenario=ScenarioKind.INDOOR_UNKNOWN))
+        assert all(estimate.mode == "slam" for estimate in result.estimates)
+
+    def test_auto_mode_follows_scenario(self):
+        result = execute_cell(_cell(mode=None, scenario=ScenarioKind.OUTDOOR_UNKNOWN))
+        assert all(estimate.mode == "vio" for estimate in result.estimates)
