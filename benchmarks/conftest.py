@@ -41,6 +41,12 @@ def _duration_for(config) -> float:
     return SMOKE_DURATION if _smoke_selected(config) else CHARACTERIZATION_DURATION
 
 
+def _seeds_for(config) -> tuple:
+    """Seed tier shared by the sweeps and the warm-up prefetch: the smoke
+    tier runs a single seed, the full tier sweeps two for error bars."""
+    return (0,) if _smoke_selected(config) else (0, 1)
+
+
 def pytest_collection_modifyitems(config, items):
     """Every benchmark test participates in the smoke tier (at smoke durations)."""
     benchmarks_dir = Path(__file__).parent
@@ -56,16 +62,47 @@ def duration(request):
 
 @pytest.fixture(scope="session")
 def fig03_settings(request):
-    """Frame rates and sequence length for the Fig. 3 accuracy sweep."""
+    """Frame rates, sequence length and seeds for the Fig. 3 accuracy sweep."""
     if _smoke_selected(request.config):
-        return {"frame_rates": (10.0,), "duration": SMOKE_DURATION}
-    return {"frame_rates": (5.0, 10.0), "duration": 12.0}
+        return {"frame_rates": (10.0,), "duration": SMOKE_DURATION,
+                "seeds": _seeds_for(request.config)}
+    return {"frame_rates": (5.0, 10.0), "duration": 12.0,
+            "seeds": _seeds_for(request.config)}
+
+
+@pytest.fixture(scope="session")
+def accel_seeds(request):
+    """Seeds for the Fig. 17/21 acceleration sweeps (error bars in full tier)."""
+    return _seeds_for(request.config)
+
+
+@pytest.fixture(scope="session")
+def serving_settings(request):
+    """Fleet shape for the serving throughput benchmark."""
+    if _smoke_selected(request.config):
+        return {"segment_duration": 1.6}
+    return {"segment_duration": 2.4}
 
 
 @pytest.fixture(scope="session", autouse=True)
 def warm_runs(request):
-    """Build the three per-mode characterization runs once for the whole session."""
-    common.all_mode_runs("car", duration=_duration_for(request.config))
+    """Build the per-mode characterization runs once for the whole session.
+
+    All (mode, seed) cells are requested as one batch so cold runs fan out
+    across the worker pool together.  Skipped when only the serving
+    benchmark was collected (it builds its own fleets and reads none of the
+    characterization runs), so the dedicated serving CI job stays lean.
+    """
+    benchmarks_dir = Path(__file__).parent
+    paths = [Path(str(getattr(item, "fspath", "")))
+             for item in getattr(request.session, "items", [])]
+    characterization_selected = any(
+        path.parent == benchmarks_dir and path.name != "test_serving_throughput.py"
+        for path in paths
+    )
+    if characterization_selected:
+        common.prefetch_mode_runs("car", duration=_duration_for(request.config),
+                                  seeds=_seeds_for(request.config))
     yield
 
 

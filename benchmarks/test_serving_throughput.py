@@ -1,0 +1,64 @@
+"""Serving throughput: a 16-session mixed-deployment fleet.
+
+The serving engine multiplexes concurrent localization sessions — each a
+time-varying deployment with indoor/outdoor transitions, GPS dropouts and
+map entry/exit — over the shared worker pool.  This benchmark serves the
+fleet twice, once through the serial multiplexing event loop and once
+sharded across worker processes, verifies the two are bit-identical
+(deterministic per-session seeds, the same guarantee the experiment runner
+makes for cells), and reports the headline serving metrics: sessions/sec,
+frames/sec, and p50/p95 per-frame latency.
+"""
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.experiments.runner import resolve_max_workers
+from repro.serving import ServingEngine, mixed_fleet
+
+FLEET_SIZE = 16
+
+
+def test_serving_throughput(benchmark, serving_settings):
+    fleet = mixed_fleet(
+        FLEET_SIZE,
+        segment_duration=serving_settings["segment_duration"],
+        camera_rate_hz=5.0,
+    )
+
+    serial = ServingEngine(store=None, max_workers=1).serve(fleet, parallel=False)
+    parallel_engine = ServingEngine(store=None, max_workers=max(2, resolve_max_workers()))
+    report = benchmark.pedantic(
+        lambda: parallel_engine.serve(fleet, parallel=True), rounds=1, iterations=1
+    )
+
+    identical = all(
+        report.results[stream_id].signature() == result.signature()
+        for stream_id, result in serial.results.items()
+    )
+
+    print_banner("Serving — 16 concurrent mixed-deployment sessions")
+    rows = []
+    for label, r in (("serial", serial), ("parallel", report)):
+        summary = r.summary()
+        rows.append([
+            label, summary["sessions"], summary["frames"], round(summary["wall_s"], 2),
+            round(summary["sessions_per_second"], 2), round(summary["frames_per_second"], 1),
+            round(summary["p50_frame_ms"], 2), round(summary["p95_frame_ms"], 2),
+            summary["mode_switches"], summary["workers"],
+        ])
+    print(format_table(
+        ["path", "sessions", "frames", "wall_s", "sessions/s", "frames/s",
+         "p50_ms", "p95_ms", "switches", "workers"], rows,
+    ))
+    print(f"\nsessions/sec (parallel): {report.sessions_per_second:.2f}")
+    print(f"p95 frame latency (parallel): {report.latency_percentile(95.0):.2f} ms")
+    print(f"mean event-loop batch width (serial): {serial.mean_batch_size:.1f}")
+    print(f"parallel bit-identical to serial: {identical}")
+
+    assert report.session_count >= 16
+    assert report.parallel, "no process pool spawned — the comparison would be vacuous"
+    assert identical, "parallel serving diverged from serial"
+    assert report.mode_switch_count > 0
+    assert report.latency_percentile(95.0) > 0.0
+    assert serial.mean_batch_size > 1.0

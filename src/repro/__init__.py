@@ -16,6 +16,9 @@ Accelerating Localization in Autonomous Machines" (HPCA 2021):
 * ``repro.baselines``, ``repro.characterization``, ``repro.metrics``,
   ``repro.experiments`` — CPU/GPU cost models, latency characterization and
   the per-figure experiment drivers.
+* ``repro.serving`` — the streaming multi-session serving layer: scenario
+  streams, per-client sessions with online mode switching, and the fleet
+  engine that shards sessions over the shared worker pool.
 """
 
 __version__ = "1.0.0"

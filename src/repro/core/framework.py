@@ -93,18 +93,28 @@ class EudoxusLocalizer:
         result = TrajectoryResult(scenario=sequence.scenario.value)
         for frame in sequence.frames:
             estimate = self.process_frame(frame, sequence)
-            frontend_result = self._last_frontend_result
-            backend_result = self._last_backend_result
-            record = LatencyRecord(frame_index=frame.index, mode=backend_result.mode)
-            for name, value in frontend_result.measured_ms.items():
-                record.add_frontend(name, value)
-            for name, value in backend_result.kernel_ms.items():
-                record.add_backend(name, value)
-            result.estimates.append(estimate)
-            result.frontend_results.append(frontend_result)
-            result.backend_results.append(backend_result)
-            result.latency_records.append(record)
+            self.collect_last_frame(estimate, result)
         return result
+
+    def collect_last_frame(self, estimate: PoseEstimate, into: TrajectoryResult) -> None:
+        """Append the just-processed frame's outputs and latency record.
+
+        The single place where a frame's estimate, frontend/backend results
+        and measured-latency record are assembled into a
+        :class:`TrajectoryResult` — shared by :meth:`process_sequence` and
+        the serving layer's per-frame stepping.
+        """
+        frontend_result = self._last_frontend_result
+        backend_result = self._last_backend_result
+        record = LatencyRecord(frame_index=estimate.frame_index, mode=backend_result.mode)
+        for name, value in frontend_result.measured_ms.items():
+            record.add_frontend(name, value)
+        for name, value in backend_result.kernel_ms.items():
+            record.add_backend(name, value)
+        into.estimates.append(estimate)
+        into.frontend_results.append(frontend_result)
+        into.backend_results.append(backend_result)
+        into.latency_records.append(record)
 
     def process_mixed(self, segments: List[SyntheticSequence]) -> TrajectoryResult:
         """Run over a mixed deployment (multiple back-to-back segments)."""

@@ -12,7 +12,7 @@ across worker processes when several cold cells are requested at once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.cpu import CpuLatencyModel
 from repro.common.timing import LatencyRecord
@@ -91,17 +91,30 @@ def characterization_run(mode: BackendMode, platform_kind: str = "car",
 
 
 def all_mode_runs(platform_kind: str = "car", duration: float = DEFAULT_DURATION_S,
-                  camera_rate_hz: float = 10.0) -> Dict[BackendMode, TrajectoryResult]:
+                  camera_rate_hz: float = 10.0, seed: int = 0) -> Dict[BackendMode, TrajectoryResult]:
     """Characterization runs for all three modes on one platform.
 
     The three cells are requested as one batch so cold runs can fan out
     across worker processes.
     """
     modes = (BackendMode.REGISTRATION, BackendMode.VIO, BackendMode.SLAM)
-    cells = {mode: characterization_cell(mode, platform_kind, duration, camera_rate_hz)
+    cells = {mode: characterization_cell(mode, platform_kind, duration, camera_rate_hz, seed=seed)
              for mode in modes}
     results = default_runner().run_cells(list(cells.values()))
     return {mode: results[cell] for mode, cell in cells.items()}
+
+
+def prefetch_mode_runs(platform_kind: str = "car", duration: float = DEFAULT_DURATION_S,
+                       seeds: Sequence[int] = (0,), camera_rate_hz: float = 10.0) -> None:
+    """Request every (mode, seed) characterization cell as one batch.
+
+    Multi-seed sweeps call this first so all cold cells fan out across the
+    worker pool together instead of seed by seed.
+    """
+    cells = [characterization_cell(mode, platform_kind, duration, camera_rate_hz, seed=seed)
+             for seed in seeds
+             for mode in (BackendMode.REGISTRATION, BackendMode.VIO, BackendMode.SLAM)]
+    default_runner().run_cells(cells)
 
 
 def baseline_records(result: TrajectoryResult, platform_kind: str = "car") -> List[LatencyRecord]:

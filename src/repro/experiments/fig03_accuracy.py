@@ -3,19 +3,22 @@
 For each operating environment the three primitive algorithms (registration,
 VIO, SLAM) are run at several camera frame rates, and the RMSE against
 ground truth is reported.  The reproduction target is the *ordering*: SLAM
-wins in unknown indoor environments, registration wins in known indoor
-environments, VIO (+GPS) wins outdoors, and registration does not apply
-without a map.
+wins in unknown indoor environments (the indoor IMU degradation makes
+unaided VIO drift), registration wins in known indoor environments, VIO
+(+GPS) wins outdoors, and registration does not apply without a map.
 
-The full (scenario x mode x frame rate) grid is expanded into experiment
-cells and resolved through the shared :class:`ExperimentRunner`, so cold
-cells fan out across worker processes and repeated sessions reuse the
-persistent run store.
+The full (scenario x mode x frame rate x seed) grid is expanded into
+experiment cells and resolved through the shared :class:`ExperimentRunner`,
+so cold cells fan out across worker processes and repeated sessions reuse
+the persistent run store.  With several seeds each row reports the mean
+error together with its sample standard deviation (the Fig. 3 error bars).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.modes import BackendMode
 from repro.experiments.common import default_runner
@@ -27,7 +30,8 @@ def accuracy_grid(frame_rates: Sequence[float] = (5.0, 10.0),
                   duration: float = 15.0,
                   platform_kind: str = "drone",
                   scenarios: Optional[Sequence[ScenarioKind]] = None,
-                  landmark_count: int = 250) -> ExperimentGrid:
+                  landmark_count: int = 250,
+                  seeds: Sequence[int] = (0,)) -> ExperimentGrid:
     """The Fig. 3 experiment grid (registration dropped where no map exists)."""
     return ExperimentGrid(
         scenarios=tuple(scenarios) if scenarios is not None else tuple(ScenarioKind),
@@ -36,21 +40,33 @@ def accuracy_grid(frame_rates: Sequence[float] = (5.0, 10.0),
         frame_rates=tuple(frame_rates),
         duration=duration,
         landmark_count=landmark_count,
+        seeds=tuple(seeds),
         skip_inapplicable=True,
     )
+
+
+def _sample_sd(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    return float(np.std(values, ddof=1))
 
 
 def accuracy_vs_framerate(frame_rates: Sequence[float] = (5.0, 10.0),
                           duration: float = 15.0,
                           platform_kind: str = "drone",
                           scenarios: Optional[Sequence[ScenarioKind]] = None,
-                          landmark_count: int = 250) -> Dict[str, List[Dict]]:
-    """Return, per scenario, rows of (algorithm, fps, rmse_m).
+                          landmark_count: int = 250,
+                          seeds: Sequence[int] = (0,)) -> Dict[str, List[Dict]]:
+    """Return, per scenario, rows of (algorithm, fps, rmse mean +- SD).
 
     Registration is skipped for scenarios without a map, matching the paper's
-    note that it does not apply there.
+    note that it does not apply there.  Each row aggregates the ``seeds``
+    axis: ``rmse_m`` / ``relative_error_percent`` are means over seeds,
+    ``rmse_sd_m`` / ``relative_error_sd_percent`` the sample standard
+    deviations (zero with a single seed).
     """
-    grid = accuracy_grid(frame_rates, duration, platform_kind, scenarios, landmark_count)
+    grid = accuracy_grid(frame_rates, duration, platform_kind, scenarios,
+                         landmark_count, seeds)
     cells = grid.expand()
     results = default_runner().run_cells(cells)
 
@@ -59,16 +75,23 @@ def accuracy_vs_framerate(frame_rates: Sequence[float] = (5.0, 10.0),
     # and modes in (registration, vio, slam) order within each rate.
     for scenario in grid.scenarios:
         for rate in grid.frame_rates:
-            for cell in cells:
-                if cell.scenario is not scenario or cell.camera_rate_hz != rate:
+            for mode in grid.modes:
+                group = [results[cell] for cell in cells
+                         if cell.scenario is scenario and cell.camera_rate_hz == rate
+                         and cell.mode is mode]
+                if not group:
                     continue
-                result = results[cell]
+                rmses = [result.rmse_error() for result in group]
+                relatives = [result.relative_error_percent() for result in group]
                 report[scenario.value].append(
                     {
-                        "algorithm": cell.mode.value,
+                        "algorithm": mode.value,
                         "frame_rate_fps": rate,
-                        "rmse_m": result.rmse_error(),
-                        "relative_error_percent": result.relative_error_percent(),
+                        "rmse_m": float(np.mean(rmses)),
+                        "rmse_sd_m": _sample_sd(rmses),
+                        "relative_error_percent": float(np.mean(relatives)),
+                        "relative_error_sd_percent": _sample_sd(relatives),
+                        "seed_count": len(group),
                     }
                 )
     return report

@@ -17,23 +17,28 @@ Characterization runs are resolved through the shared
 :func:`~repro.experiments.common.all_mode_runs`), so the acceleration models
 below never pay for a run the characterization figures already produced —
 in this process or in a previous session (persistent run store).
+
+:func:`acceleration_report` and :func:`backend_report` optionally sweep the
+``seeds`` axis: each metric then becomes a mean over per-seed reports with a
+``<metric>_sd`` sibling carrying the sample standard deviation (error bars).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.common.timing import TimingStats
 from repro.core.modes import BackendMode
-from repro.experiments.common import accelerator_for, all_mode_runs
+from repro.experiments.common import accelerator_for, all_mode_runs, prefetch_mode_runs
 from repro.hardware.accelerator import AccelerationSummary
 
 
-def _accelerate_all(platform_kind: str, duration: float) -> Dict[str, AccelerationSummary]:
+def _accelerate_all(platform_kind: str, duration: float,
+                    seed: int = 0) -> Dict[str, AccelerationSummary]:
     """Accelerated summaries per mode plus the pooled 'overall' summary."""
-    runs = all_mode_runs(platform_kind, duration)
+    runs = all_mode_runs(platform_kind, duration, seed=seed)
     accelerator = accelerator_for(platform_kind)
     summaries: Dict[str, AccelerationSummary] = {}
     overall = AccelerationSummary()
@@ -45,29 +50,62 @@ def _accelerate_all(platform_kind: str, duration: float) -> Dict[str, Accelerati
     return summaries
 
 
-def acceleration_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, Dict]:
-    """Fig. 17/18/19 quantities for one platform."""
-    summaries = _accelerate_all(platform_kind, duration)
-    report: Dict[str, Dict] = {}
-    for name, summary in summaries.items():
-        base = summary.baseline_stats()
-        accel = summary.accelerated_stats()
-        report[name] = {
-            "baseline_latency_ms": base.mean,
-            "eudoxus_latency_ms": accel.mean,
-            "speedup": summary.speedup(),
-            "baseline_sd_ms": base.std,
-            "eudoxus_sd_ms": accel.std,
-            "sd_reduction_percent": summary.sd_reduction_percent(),
-            "baseline_fps": summary.baseline_fps(),
-            "eudoxus_fps_no_pipelining": summary.accelerated_fps(pipelined=False),
-            "eudoxus_fps_pipelined": summary.accelerated_fps(pipelined=True),
-            "baseline_energy_j": summary.mean_baseline_energy_j(),
-            "eudoxus_energy_j": summary.mean_accelerated_energy_j(),
-            "energy_reduction_percent": summary.energy_reduction_percent(),
-            "offload_fraction": summary.offload_fraction(),
-        }
-    return report
+def _merge_seed_reports(per_seed: List[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Mean every numeric metric over seeds; add ``<metric>_sd`` error bars.
+
+    With a single seed the report is returned as-is (no ``_sd`` keys), so
+    single-seed callers see the historical schema unchanged.
+    """
+    if len(per_seed) == 1:
+        return per_seed[0]
+    merged: Dict[str, Dict] = {}
+    for name in per_seed[0]:
+        rows = [report[name] for report in per_seed]
+        out: Dict = {}
+        for key, value in rows[0].items():
+            if isinstance(value, (int, float)):
+                values = [float(row[key]) for row in rows]
+                out[key] = float(np.mean(values))
+                out[f"{key}_sd"] = float(np.std(values, ddof=1))
+            else:
+                out[key] = value
+        merged[name] = out
+    return merged
+
+
+def acceleration_report(platform_kind: str = "car", duration: float = 20.0,
+                        seeds: Sequence[int] = (0,)) -> Dict[str, Dict]:
+    """Fig. 17/18/19 quantities for one platform.
+
+    With several seeds, every metric is the mean over per-seed reports and
+    carries a ``<metric>_sd`` sibling (sample SD over seeds) — the error
+    bars of the Fig. 17 sweep.
+    """
+    prefetch_mode_runs(platform_kind, duration, seeds)
+    per_seed: List[Dict[str, Dict]] = []
+    for seed in seeds:
+        summaries = _accelerate_all(platform_kind, duration, seed)
+        report: Dict[str, Dict] = {}
+        for name, summary in summaries.items():
+            base = summary.baseline_stats()
+            accel = summary.accelerated_stats()
+            report[name] = {
+                "baseline_latency_ms": base.mean,
+                "eudoxus_latency_ms": accel.mean,
+                "speedup": summary.speedup(),
+                "baseline_sd_ms": base.std,
+                "eudoxus_sd_ms": accel.std,
+                "sd_reduction_percent": summary.sd_reduction_percent(),
+                "baseline_fps": summary.baseline_fps(),
+                "eudoxus_fps_no_pipelining": summary.accelerated_fps(pipelined=False),
+                "eudoxus_fps_pipelined": summary.accelerated_fps(pipelined=True),
+                "baseline_energy_j": summary.mean_baseline_energy_j(),
+                "eudoxus_energy_j": summary.mean_accelerated_energy_j(),
+                "energy_reduction_percent": summary.energy_reduction_percent(),
+                "offload_fraction": summary.offload_fraction(),
+            }
+        per_seed.append(report)
+    return _merge_seed_reports(per_seed)
 
 
 def frontend_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, float]:
@@ -105,29 +143,38 @@ def frontend_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[
     }
 
 
-def backend_report(platform_kind: str = "car", duration: float = 20.0) -> Dict[str, Dict[str, float]]:
-    """Fig. 21 quantities: backend latency and SD per mode, baseline vs Eudoxus."""
-    summaries = _accelerate_all(platform_kind, duration)
-    report: Dict[str, Dict[str, float]] = {}
-    for mode in (BackendMode.REGISTRATION.value, BackendMode.VIO.value, BackendMode.SLAM.value):
-        summary = summaries[mode]
-        baseline_backend = TimingStats(f.baseline_record.backend_total for f in summary.frames)
-        accel_backend = TimingStats(f.accelerated_record.backend_total for f in summary.frames)
-        kernel = accelerator_for(platform_kind).backend_model.accelerated_kernel_name(mode)
-        baseline_kernel = TimingStats(f.baseline_record.backend.get(kernel, 0.0) for f in summary.frames)
-        accel_kernel = TimingStats(f.accelerated_record.backend.get(kernel, 0.0) for f in summary.frames)
-        report[mode] = {
-            "baseline_backend_ms": baseline_backend.mean,
-            "eudoxus_backend_ms": accel_backend.mean,
-            "backend_latency_reduction_percent": 100.0 * (baseline_backend.mean - accel_backend.mean)
-            / max(baseline_backend.mean, 1e-9),
-            "baseline_backend_sd_ms": baseline_backend.std,
-            "eudoxus_backend_sd_ms": accel_backend.std,
-            "sd_reduction_percent": 100.0 * (baseline_backend.std - accel_backend.std)
-            / max(baseline_backend.std, 1e-9),
-            "accelerated_kernel": kernel,
-            "kernel_baseline_ms": baseline_kernel.mean,
-            "kernel_eudoxus_ms": accel_kernel.mean,
-            "kernel_speedup": baseline_kernel.mean / max(accel_kernel.mean, 1e-9),
-        }
-    return report
+def backend_report(platform_kind: str = "car", duration: float = 20.0,
+                   seeds: Sequence[int] = (0,)) -> Dict[str, Dict[str, float]]:
+    """Fig. 21 quantities: backend latency and SD per mode, baseline vs Eudoxus.
+
+    Multi-seed sweeps aggregate like :func:`acceleration_report`: metric
+    means plus ``<metric>_sd`` error bars over seeds.
+    """
+    prefetch_mode_runs(platform_kind, duration, seeds)
+    per_seed: List[Dict[str, Dict]] = []
+    for seed in seeds:
+        summaries = _accelerate_all(platform_kind, duration, seed)
+        report: Dict[str, Dict] = {}
+        for mode in (BackendMode.REGISTRATION.value, BackendMode.VIO.value, BackendMode.SLAM.value):
+            summary = summaries[mode]
+            baseline_backend = TimingStats(f.baseline_record.backend_total for f in summary.frames)
+            accel_backend = TimingStats(f.accelerated_record.backend_total for f in summary.frames)
+            kernel = accelerator_for(platform_kind).backend_model.accelerated_kernel_name(mode)
+            baseline_kernel = TimingStats(f.baseline_record.backend.get(kernel, 0.0) for f in summary.frames)
+            accel_kernel = TimingStats(f.accelerated_record.backend.get(kernel, 0.0) for f in summary.frames)
+            report[mode] = {
+                "baseline_backend_ms": baseline_backend.mean,
+                "eudoxus_backend_ms": accel_backend.mean,
+                "backend_latency_reduction_percent": 100.0 * (baseline_backend.mean - accel_backend.mean)
+                / max(baseline_backend.mean, 1e-9),
+                "baseline_backend_sd_ms": baseline_backend.std,
+                "eudoxus_backend_sd_ms": accel_backend.std,
+                "sd_reduction_percent": 100.0 * (baseline_backend.std - accel_backend.std)
+                / max(baseline_backend.std, 1e-9),
+                "accelerated_kernel": kernel,
+                "kernel_baseline_ms": baseline_kernel.mean,
+                "kernel_eudoxus_ms": accel_kernel.mean,
+                "kernel_speedup": baseline_kernel.mean / max(accel_kernel.mean, 1e-9),
+            }
+        per_seed.append(report)
+    return _merge_seed_reports(per_seed)

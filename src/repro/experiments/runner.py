@@ -52,8 +52,60 @@ CACHE_SCHEMA_VERSION = 1
 
 RUN_CACHE_ENV = "EUDOXUS_RUN_CACHE"
 MAX_WORKERS_ENV = "EUDOXUS_MAX_WORKERS"
+# Store eviction bounds (satellite of the serving PR): the store is LRU-bounded
+# by total size and entry age so keys rotated by code changes don't grow it
+# without bound.  A value <= 0 disables the corresponding bound.
+STORE_MAX_MB_ENV = "EUDOXUS_RUN_CACHE_MAX_MB"
+STORE_MAX_AGE_DAYS_ENV = "EUDOXUS_RUN_CACHE_MAX_AGE_DAYS"
+DEFAULT_STORE_MAX_MB = 512.0
+DEFAULT_STORE_MAX_AGE_DAYS = 30.0
 
 _SEQUENCE_CACHE: Dict[Tuple, SyntheticSequence] = {}
+
+
+def resolve_max_workers(max_workers: Optional[int] = None) -> int:
+    """Worker-pool width: explicit value, else ``EUDOXUS_MAX_WORKERS``, else CPUs."""
+    if max_workers is None:
+        env = os.environ.get(MAX_WORKERS_ENV, "").strip()
+        try:
+            max_workers = int(env) if env else (os.cpu_count() or 1)
+        except ValueError:
+            # A malformed override should not take the whole session down.
+            max_workers = os.cpu_count() or 1
+    return max(1, int(max_workers))
+
+
+def fan_out(fn, payloads: Sequence[Dict], max_workers: int, on_pool=None):
+    """Yield ``(index, result)`` for each payload as it completes.
+
+    ``fn`` must be a module-level function of one picklable payload so it can
+    cross the process boundary.  Results are yielded in completion order, so
+    callers can persist each one immediately; when no usable process pool is
+    available (restricted sandbox, missing semaphores, OOM-killed worker...)
+    the unfinished payloads are computed in-process instead.  ``on_pool`` is
+    called once when a pool actually spawned, so callers can keep honest
+    parallelism statistics.  Both the experiment runner and the serving
+    engine shard their cold work through this single helper.
+    """
+    indices = list(range(len(payloads)))
+    if max_workers > 1 and len(payloads) > 1:
+        remaining = list(indices)
+        try:
+            workers = min(max_workers, len(payloads))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if on_pool is not None:
+                    on_pool()
+                index_of = {pool.submit(fn, payloads[i]): i for i in indices}
+                for future in as_completed(index_of):
+                    index = index_of[future]
+                    result = future.result()
+                    remaining.remove(index)
+                    yield index, result
+            return
+        except (OSError, RuntimeError):
+            indices = remaining
+    for index in indices:
+        yield index, fn(payloads[index])
 
 
 # --------------------------------------------------------------- primitives
@@ -250,20 +302,51 @@ def default_store_root() -> Path:
     return Path.home() / ".cache" / "eudoxus-repro" / "runs"
 
 
-class RunStore:
-    """Content-addressed on-disk store of :class:`TrajectoryResult` pickles.
+def _bound_from_env(env_name: str, default: float, scale: float) -> Optional[float]:
+    """Parse a store bound from the environment; <= 0 disables the bound."""
+    raw = os.environ.get(env_name, "").strip()
+    try:
+        value = float(raw) if raw else float(default)
+    except ValueError:
+        value = float(default)
+    if value <= 0:
+        return None
+    return value * scale
 
+
+class RunStore:
+    """Content-addressed on-disk store of pickled results.
+
+    Cell-level entries hold :class:`TrajectoryResult` objects; the serving
+    layer stores whole session results through the generic
+    :meth:`load_key` / :meth:`save_key` interface under its own keys.
     Entries are written atomically (temp file + rename) so a crashed or
     interrupted run never leaves a half-written entry behind, and unreadable
     entries are treated as misses and deleted.
+
+    The store is a bounded LRU: every hit refreshes the entry's mtime, and
+    entries beyond ``max_bytes`` of total size (oldest first) or older than
+    ``max_age_s`` are evicted on construction and on :meth:`evict`.  Bounds
+    default to ``EUDOXUS_RUN_CACHE_MAX_MB`` / ``EUDOXUS_RUN_CACHE_MAX_AGE_DAYS``
+    (512 MB / 30 days); pass or set a value <= 0 to disable a bound.  This
+    keeps keys rotated by code or config changes from growing the store
+    without bound.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 max_bytes: Optional[float] = None,
+                 max_age_s: Optional[float] = None) -> None:
         self.root = Path(root) if root is not None else default_store_root()
+        self.max_bytes = (_bound_from_env(STORE_MAX_MB_ENV, DEFAULT_STORE_MAX_MB, 1024.0 * 1024.0)
+                          if max_bytes is None else (max_bytes if max_bytes > 0 else None))
+        self.max_age_s = (_bound_from_env(STORE_MAX_AGE_DAYS_ENV, DEFAULT_STORE_MAX_AGE_DAYS, 86400.0)
+                          if max_age_s is None else (max_age_s if max_age_s > 0 else None))
         self.hits = 0
         self.misses = 0
         self.dropped = 0  # corrupted entries removed
+        self.evicted = 0  # entries removed by the LRU bounds
         self._sweep_stale_tmp()
+        self.evict()
 
     def _sweep_stale_tmp(self, max_age_s: float = 3600.0) -> None:
         """Remove temp files left behind by writers that died mid-save.
@@ -294,11 +377,18 @@ class RunStore:
         return self.root / f"{key}.pkl"
 
     def load(self, cell: ExperimentCell) -> Optional[TrajectoryResult]:
-        path = self.path_for(cell)
+        return self.load_key(self.key_for(cell), expect=TrajectoryResult)
+
+    def save(self, cell: ExperimentCell, result: TrajectoryResult) -> Optional[Path]:
+        return self.save_key(self.key_for(cell), result)
+
+    def load_key(self, key: str, expect: type = object):
+        """Load any stored object by key (None on miss or corruption)."""
+        path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-            if not isinstance(result, TrajectoryResult):
+            if not isinstance(result, expect):
                 raise TypeError(f"unexpected cache payload: {type(result)!r}")
         except FileNotFoundError:
             self.misses += 1
@@ -314,10 +404,15 @@ class RunStore:
                 pass
             return None
         self.hits += 1
+        try:
+            # Refresh recency so the LRU eviction keeps hot entries alive.
+            os.utime(path)
+        except OSError:
+            pass
         return result
 
-    def save(self, cell: ExperimentCell, result: TrajectoryResult) -> Optional[Path]:
-        path = self.path_for(cell)
+    def save_key(self, key: str, result) -> Optional[Path]:
+        path = self.path_for(key)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -329,6 +424,52 @@ class RunStore:
             # EUDOXUS_RUN_CACHE path) must never lose a computed result.
             return None
         return path
+
+    def evict(self, max_bytes: Optional[float] = None,
+              max_age_s: Optional[float] = None) -> int:
+        """Apply the age and size bounds; returns the number of removed entries.
+
+        Entries are ranked by mtime (refreshed on every hit), so this is an
+        LRU: age-expired entries go first, then the least-recently-used until
+        the total size fits under ``max_bytes``.
+        """
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        max_age_s = self.max_age_s if max_age_s is None else max_age_s
+        if not self.root.is_dir() or (max_bytes is None and max_age_s is None):
+            return 0
+        entries = []
+        for path in self.root.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        now = time.time()
+        removed = 0
+        survivors = []
+        for mtime, size, path in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                removed += self._try_unlink(path)
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            for _, size, path in survivors:
+                if total <= max_bytes:
+                    break
+                removed += self._try_unlink(path)
+                total -= size
+        self.evicted += removed
+        return removed
+
+    @staticmethod
+    def _try_unlink(path: Path) -> int:
+        try:
+            path.unlink()
+            return 1
+        except OSError:
+            return 0
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -370,14 +511,7 @@ class ExperimentRunner:
 
     def __init__(self, store: Optional[RunStore] = None, max_workers: Optional[int] = None) -> None:
         self.store = store
-        if max_workers is None:
-            env = os.environ.get(MAX_WORKERS_ENV, "").strip()
-            try:
-                max_workers = int(env) if env else (os.cpu_count() or 1)
-            except ValueError:
-                # A malformed override should not take the whole session down.
-                max_workers = os.cpu_count() or 1
-        self.max_workers = max(1, int(max_workers))
+        self.max_workers = resolve_max_workers(max_workers)
         self.stats = RunnerStats()
         self._memory: Dict[str, TrajectoryResult] = {}
 
@@ -442,26 +576,13 @@ class ExperimentRunner:
         away earlier work; when the pool dies mid-batch only the cells that
         have not been yielded yet are recomputed serially.
         """
-        if self.max_workers > 1 and len(cells) > 1:
-            remaining = list(cells)
-            try:
-                workers = min(self.max_workers, len(cells))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    cell_of = {pool.submit(_execute_payload, cell.payload()): cell
-                               for cell in cells}
-                    self.stats.parallel_batches += 1
-                    # Completion order, so every finished result is persisted
-                    # immediately even while slower cells are still running.
-                    for future in as_completed(cell_of):
-                        cell = cell_of[future]
-                        result = future.result()
-                        remaining.remove(cell)
-                        yield cell, result
-                return
-            except (OSError, RuntimeError):
-                # No usable process pool (restricted sandbox, missing
-                # semaphores, OOM-killed worker...): compute the unfinished
-                # cells in-process instead.
-                cells = remaining
-        for cell in cells:
-            yield cell, execute_cell(cell)
+        def _count_batch() -> None:
+            self.stats.parallel_batches += 1
+
+        # Completion order, so every finished result is persisted immediately
+        # even while slower cells are still running; fan_out falls back to
+        # in-process execution when no pool can be spawned (such batches are
+        # not counted as parallel).
+        for index, result in fan_out(_execute_payload, [cell.payload() for cell in cells],
+                                     self.max_workers, on_pool=_count_batch):
+            yield cells[index], result

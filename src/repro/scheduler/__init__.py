@@ -6,6 +6,12 @@ CPU time from the kernel's workload size with simple regression models fit
 offline — linear for projection, quadratic for Kalman gain and
 marginalization — and triggers the accelerator only when the prediction
 exceeds the accelerator estimate.
+
+The models can also be fit from live traffic: the serving layer
+(:mod:`repro.serving.engine`) converts fleet telemetry into training
+samples (``train_offload_scheduler``), and
+:meth:`RuntimeScheduler.observe` offers an incremental per-frame path
+(bounded sliding window, periodic refit) for long-running deployments.
 """
 
 from repro.scheduler.regression import PolynomialRegression, r_squared

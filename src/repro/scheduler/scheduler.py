@@ -84,8 +84,38 @@ class RuntimeScheduler:
         self.accelerator = accelerator
         self.models: Dict[str, PolynomialRegression] = {}
         self.training_r2: Dict[str, float] = {}
+        self._observations: Dict[str, Tuple[List[float], List[float]]] = {}
+        self._observation_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------- training
+
+    # Sliding-window length for live observations: long enough for a stable
+    # quadratic fit, short enough that memory and refit cost stay constant
+    # in a long-running serving process.
+    OBSERVATION_WINDOW = 512
+
+    def observe(self, mode: str, workload, cpu_ms: float,
+                refit_every: int = 32) -> Optional[float]:
+        """Fold one live observation into the mode's CPU-latency model.
+
+        The incremental alternative to :meth:`train` for long-running
+        deployments (batch fitting from fleet telemetry lives in
+        :func:`repro.serving.engine.train_offload_scheduler`): observations
+        accumulate per mode (bounded by :data:`OBSERVATION_WINDOW`, oldest
+        dropped first) and the regression is refit every ``refit_every``
+        samples, so the predictor tracks the traffic it actually serves.
+        Returns the new training R^2 when a refit happened, else None.
+        """
+        sizes, times = self._observations.setdefault(mode, ([], []))
+        sizes.append(kernel_size(mode, workload))
+        times.append(float(cpu_ms))
+        if len(sizes) > self.OBSERVATION_WINDOW:
+            del sizes[: -self.OBSERVATION_WINDOW]
+            del times[: -self.OBSERVATION_WINDOW]
+        self._observation_counts[mode] = self._observation_counts.get(mode, 0) + 1
+        if self._observation_counts[mode] % max(1, int(refit_every)) == 0:
+            return self.train(mode, sizes, times)
+        return None
 
     def train(self, mode: str, sizes: Sequence[float], cpu_ms: Sequence[float]) -> float:
         """Fit the CPU-latency model for one mode; returns the training R^2."""

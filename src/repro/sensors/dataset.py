@@ -25,6 +25,11 @@ from repro.sensors.trajectory import TrajectorySample
 from repro.sensors.world import LandmarkWorld, camera_frame_from_body
 
 
+def segment_frame_count(duration: float, camera_rate_hz: float) -> int:
+    """Frames a segment of ``duration`` seconds produces (never below 2)."""
+    return max(2, int(round(duration * camera_rate_hz)))
+
+
 @dataclass
 class StereoObservation:
     """Noisy pixel observation of one landmark in both cameras."""
@@ -122,7 +127,7 @@ class SequenceBuilder:
         rig = StereoRig(camera=camera, baseline=config.stereo_baseline)
         seed = config.seed + seed_offset
 
-        frame_count = max(2, int(round(scenario.duration * config.camera_rate_hz)))
+        frame_count = segment_frame_count(scenario.duration, config.camera_rate_hz)
         frame_times = start_time + np.arange(frame_count) / config.camera_rate_hz
 
         # Sample the trajectory densely first so the world hugs the path.
@@ -136,10 +141,10 @@ class SequenceBuilder:
             world = LandmarkWorld.outdoor(path_points, count=scenario.landmark_count, seed=seed)
 
         imu = ImuSimulator(
-            gyro_noise=config.imu_gyro_noise,
-            accel_noise=config.imu_accel_noise,
-            gyro_bias_walk=config.imu_gyro_bias_walk,
-            accel_bias_walk=config.imu_accel_bias_walk,
+            gyro_noise=config.imu_gyro_noise * scenario.imu_noise_scale,
+            accel_noise=config.imu_accel_noise * scenario.imu_noise_scale,
+            gyro_bias_walk=config.imu_gyro_bias_walk * scenario.imu_bias_scale,
+            accel_bias_walk=config.imu_accel_bias_walk * scenario.imu_bias_scale,
             seed=seed + 1,
         )
         gps = GpsSimulator(

@@ -1,0 +1,45 @@
+"""Streaming multi-session serving layer.
+
+``repro.serving`` multiplexes many concurrent localization *sessions* — one
+per client device — over a shared pool of backend workers:
+
+* :mod:`repro.serving.streams` describes time-varying deployments
+  (:class:`StreamSpec` / :class:`ScenarioStream`): ordered scenario segments
+  with injected GPS dropouts, IMU degradation bursts and map entry/exit.
+* :mod:`repro.serving.session` holds per-client state (:class:`Session`):
+  it steps the unified framework frame by frame and switches the backend
+  mode online via the Fig. 2 policy with GPS hysteresis.
+* :mod:`repro.serving.engine` dispatches fleets (:class:`ServingEngine`):
+  an event loop that batches ready frames across sessions, shards cold
+  sessions over the shared process pool with deterministic per-session
+  seeds (serial == parallel), persists results in the run store, and
+  reports throughput/latency/mode-switch telemetry.
+"""
+
+from repro.serving.engine import ServingEngine, ServingReport, run_session, serving_key
+from repro.serving.session import ModeSwitch, ModeSwitchPolicy, Session, SessionResult
+from repro.serving.streams import (
+    ScenarioStream,
+    StreamSegment,
+    StreamSpec,
+    mixed_deployment_stream,
+    mixed_fleet,
+    random_stream,
+)
+
+__all__ = [
+    "ModeSwitch",
+    "ModeSwitchPolicy",
+    "ScenarioStream",
+    "ServingEngine",
+    "ServingReport",
+    "Session",
+    "SessionResult",
+    "StreamSegment",
+    "StreamSpec",
+    "mixed_deployment_stream",
+    "mixed_fleet",
+    "random_stream",
+    "run_session",
+    "serving_key",
+]

@@ -1,0 +1,277 @@
+"""The serving engine: fleet dispatch over a shared worker pool.
+
+:class:`ServingEngine` resolves a fleet of :class:`~repro.serving.streams.StreamSpec`
+sessions through the same three layers as the experiment runner:
+
+1. the persistent :class:`~repro.experiments.runner.RunStore` (session
+   results are content-addressed by spec + code + config fingerprints, so a
+   fleet served once is nearly free to serve again);
+2. a serial *event loop* that multiplexes the remaining cold sessions in
+   one process: each tick gathers the batch of sessions whose next frame is
+   ready (within one frame interval of the earliest), steps them in
+   deterministic ``(timestamp, stream_id)`` order and records the batch
+   width;
+3. a process-pool fan-out (:func:`repro.experiments.runner.fan_out`) that
+   shards whole cold sessions across workers.  Every session is a pure
+   function of its spec with deterministic per-session seeds, so serial and
+   parallel execution produce bit-identical trajectories and mode switches
+   (the same guarantee the experiment runner makes for cells) — verified by
+   comparing :meth:`~repro.serving.session.SessionResult.signature`.
+
+The engine also closes the loop to the runtime offload scheduler
+(Sec. VI-B): :func:`scheduler_training_samples` converts served telemetry
+(per-frame backend workloads and kernel latencies) into regression training
+data, and :func:`train_offload_scheduler` fits an accelerator's scheduler
+from live traffic instead of an offline characterization pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import (
+    CACHE_SCHEMA_VERSION,
+    RunStore,
+    code_fingerprint,
+    config_fingerprint,
+    fan_out,
+    resolve_max_workers,
+)
+from repro.serving.session import Session, SessionResult
+from repro.serving.streams import StreamSpec
+
+
+def serving_key(spec: StreamSpec) -> str:
+    """Content-hash key of one session: spec + code + config fingerprints."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "serving-session",
+        "code": code_fingerprint(),
+        "config": config_fingerprint(spec.platform_kind, spec.camera_rate_hz, spec.seed),
+        "spec": spec.payload(),
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def run_session(spec: StreamSpec) -> SessionResult:
+    """Serve one whole session from scratch (pure function of the spec)."""
+    return Session(spec).run()
+
+
+def _run_session_payload(payload: Dict) -> SessionResult:
+    """Process-pool entry point (payload dicts pickle smaller than specs)."""
+    return run_session(StreamSpec.from_payload(payload))
+
+
+@dataclass
+class ServingReport:
+    """Fleet results plus throughput / latency / mode-switch telemetry.
+
+    Latency percentiles are computed over the frames served *in this call*
+    (store hits carry stale wall times from the run that computed them, so
+    they are excluded from latency aggregates but counted as sessions).
+    """
+
+    results: Dict[str, SessionResult] = field(default_factory=dict)
+    wall_s: float = 0.0
+    computed_sessions: int = 0
+    store_hits: int = 0
+    parallel: bool = False
+    workers: int = 1
+    batch_sizes: List[int] = field(default_factory=list)
+    served_frame_wall_ms: List[float] = field(default_factory=list)
+
+    @property
+    def session_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def frame_count(self) -> int:
+        return sum(result.frame_count for result in self.results.values())
+
+    @property
+    def sessions_per_second(self) -> float:
+        return self.session_count / max(self.wall_s, 1e-9)
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.frame_count / max(self.wall_s, 1e-9)
+
+    @property
+    def mode_switch_count(self) -> int:
+        return sum(len(result.mode_switches) for result in self.results.values())
+
+    def latency_percentile(self, percent: float) -> float:
+        if not self.served_frame_wall_ms:
+            return 0.0
+        return float(np.percentile(self.served_frame_wall_ms, percent))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def summary(self) -> Dict[str, float]:
+        """The headline serving metrics (what the benchmark prints)."""
+        return {
+            "sessions": self.session_count,
+            "frames": self.frame_count,
+            "wall_s": self.wall_s,
+            "sessions_per_second": self.sessions_per_second,
+            "frames_per_second": self.frames_per_second,
+            "p50_frame_ms": self.latency_percentile(50.0),
+            "p95_frame_ms": self.latency_percentile(95.0),
+            "mode_switches": self.mode_switch_count,
+            "mean_batch_size": self.mean_batch_size,
+            "store_hits": self.store_hits,
+            "computed_sessions": self.computed_sessions,
+            "workers": self.workers,
+        }
+
+
+class ServingEngine:
+    """Multiplexes many localization sessions over shared workers."""
+
+    # A frame is "ready" within this fraction of a frame interval of the
+    # earliest pending frame; such frames form one dispatch batch.
+    BATCH_WINDOW_FRACTION = 0.5
+
+    def __init__(self, store: Optional[RunStore] = None,
+                 max_workers: Optional[int] = None) -> None:
+        self.store = store
+        self.max_workers = resolve_max_workers(max_workers)
+
+    def serve(self, specs: Sequence[StreamSpec],
+              parallel: Optional[bool] = None) -> ServingReport:
+        """Resolve every session: store -> event loop / process pool.
+
+        ``parallel`` of ``None`` shards across the process pool whenever
+        more than one cold session and more than one worker are available;
+        ``False`` forces the serial event loop (used to verify bit-identity
+        against the parallel path).
+        """
+        started = time.perf_counter()
+        report = ServingReport(workers=self.max_workers)
+        cold: List[StreamSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec.stream_id in seen:
+                raise ValueError(f"duplicate stream_id in fleet: {spec.stream_id}")
+            seen.add(spec.stream_id)
+            if self.store is not None:
+                stored = self.store.load_key(serving_key(spec), expect=SessionResult)
+                if stored is not None:
+                    report.store_hits += 1
+                    report.results[spec.stream_id] = stored
+                    continue
+            cold.append(spec)
+
+        use_pool = (self.max_workers > 1 and len(cold) > 1) if parallel is None else bool(parallel)
+        if cold:
+            if use_pool:
+                def _mark_parallel() -> None:
+                    # Only set once a pool actually spawned — fan_out may
+                    # fall back to in-process execution.
+                    report.parallel = True
+
+                for index, result in fan_out(_run_session_payload,
+                                             [spec.payload() for spec in cold],
+                                             self.max_workers, on_pool=_mark_parallel):
+                    self._absorb(report, cold[index], result)
+            else:
+                for spec, result in self._serve_serial(cold, report.batch_sizes):
+                    self._absorb(report, spec, result)
+        report.wall_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------ internals
+
+    def _absorb(self, report: ServingReport, spec: StreamSpec,
+                result: SessionResult) -> None:
+        report.computed_sessions += 1
+        report.results[spec.stream_id] = result
+        report.served_frame_wall_ms.extend(result.frame_wall_ms)
+        if self.store is not None:
+            self.store.save_key(serving_key(spec), result)
+
+    def _serve_serial(self, specs: Sequence[StreamSpec], batch_sizes: List[int]):
+        """The multiplexing event loop: step ready frames in batches.
+
+        Sessions are stepped in deterministic ``(timestamp, stream_id)``
+        order, so the loop's output is independent of dict/set iteration
+        details; because sessions share no state, it is also bit-identical
+        to running each session straight through in a worker.
+        """
+        sessions = [Session(spec) for spec in specs]
+        spec_of = {session.spec.stream_id: spec for session, spec in zip(sessions, specs)}
+        active = []
+        for session in sessions:
+            # A stream with no segments is complete on arrival; yield its
+            # (empty) result so the serial path matches the pool path.
+            if session.done:
+                yield spec_of[session.spec.stream_id], session.result()
+            else:
+                active.append(session)
+        window = self.BATCH_WINDOW_FRACTION / max(
+            (spec.camera_rate_hz for spec in specs), default=1.0
+        )
+        while active:
+            horizon = min(session.next_timestamp() for session in active) + window
+            batch = [session for session in active if session.next_timestamp() <= horizon]
+            batch.sort(key=lambda session: (session.next_timestamp(), session.spec.stream_id))
+            batch_sizes.append(len(batch))
+            for session in batch:
+                session.step()
+            finished = [session for session in active if session.done]
+            for session in finished:
+                yield spec_of[session.spec.stream_id], session.result()
+            active = [session for session in active if not session.done]
+
+
+# ------------------------------------------------- scheduler telemetry feed
+
+
+def scheduler_training_samples(results: Dict[str, SessionResult],
+                               accelerator) -> Dict[str, Tuple[List, List[float]]]:
+    """Convert served telemetry into offload-predictor training data.
+
+    For every frame the fleet served, the backend workload record and the
+    CPU latency of the mode's variation-contributing kernel (the quantity
+    the Sec. VI-B scheduler predicts) are extracted per mode, exactly like
+    the offline Sec. VII-F characterization does — but from live traffic.
+    """
+    samples: Dict[str, Tuple[List, List[float]]] = {}
+    kernel_of: Dict[str, str] = {}
+    backend_cost = accelerator.cpu_model.backend
+    speed_factor = accelerator.cpu_model.platform.speed_factor
+    for result in results.values():
+        for backend_result in result.trajectory.backend_results:
+            mode = backend_result.mode
+            kernel = kernel_of.setdefault(
+                mode, accelerator.backend_model.accelerated_kernel_name(mode))
+            latency = backend_cost.kernel_ms(mode, backend_result.workload).get(kernel, 0.0)
+            workloads, latencies = samples.setdefault(mode, ([], []))
+            workloads.append(backend_result.workload)
+            latencies.append(latency * speed_factor)
+    return samples
+
+
+def train_offload_scheduler(results: Dict[str, SessionResult], accelerator,
+                            min_samples: int = 4) -> Dict[str, float]:
+    """Fit the accelerator's runtime scheduler from serving telemetry.
+
+    Returns the training R^2 per backend mode that had enough traffic.
+    """
+    fits: Dict[str, float] = {}
+    for mode, (workloads, latencies) in scheduler_training_samples(results, accelerator).items():
+        if len(workloads) < min_samples:
+            continue
+        fits[mode] = accelerator.scheduler.train_from_frames(mode, workloads, latencies)
+    return fits

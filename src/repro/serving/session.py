@@ -1,0 +1,280 @@
+"""Per-client serving sessions with online backend mode switching.
+
+A :class:`Session` owns one client's state: the scenario stream position,
+one :class:`~repro.core.framework.EudoxusLocalizer` (the shared frontend +
+multi-mode backend of Fig. 4), and the :class:`ModeSwitchPolicy` that picks
+the backend mode *online* from observable signals — GPS fix health (with
+hysteresis, so a single multipath dropout does not flip the backend) and
+survey-map availability — following the paper's Fig. 2 taxonomy:
+
+=====================  ==================
+(GPS trusted, map)     Backend mode
+=====================  ==================
+(yes, any)             VIO (+GPS)
+(no, with map)         Registration
+(no, no map)           SLAM
+=====================  ==================
+
+On a mid-segment switch the incoming backend is re-anchored at the last
+served estimate (state handover), so the client's trajectory stays
+continuous through GPS dropouts and reacquisitions.  At segment boundaries
+the backends are re-prepared exactly like
+:meth:`~repro.core.framework.EudoxusLocalizer.process_mixed` does.
+
+Everything a session computes is a pure function of its
+:class:`~repro.serving.streams.StreamSpec`; wall-clock frame latencies are
+recorded as telemetry but excluded from :meth:`SessionResult.signature`, the
+bit-identity witness the engine uses to prove serial == parallel execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.config import LocalizerConfig
+from repro.core.framework import EudoxusLocalizer
+from repro.core.modes import BackendMode
+from repro.core.result import TrajectoryResult
+from repro.experiments.runner import localizer_config_for, sensor_config_for
+from repro.sensors.dataset import Frame, SyntheticSequence
+from repro.serving.streams import ScenarioStream, StreamSpec
+
+
+@dataclass
+class ModeSwitch:
+    """One online backend reconfiguration event."""
+
+    frame_index: int
+    timestamp: float
+    from_mode: Optional[str]
+    to_mode: str
+    reason: str
+    segment_index: int
+
+
+class ModeSwitchPolicy:
+    """Fig. 2 mode selection from observable signals, with GPS hysteresis.
+
+    GPS is *trusted* after ``acquire_frames`` consecutive epochs with a fix
+    and *lost* after ``lose_frames`` consecutive epochs without one; the
+    first frame warm-starts the trust state from its fix (a real receiver
+    has been tracking since before the session connected).  Map
+    availability is a deployment fact (the map is loaded or it is not), so
+    it switches without hysteresis.
+    """
+
+    def __init__(self, acquire_frames: int = 2, lose_frames: int = 3) -> None:
+        self.acquire_frames = max(1, int(acquire_frames))
+        self.lose_frames = max(1, int(lose_frames))
+        self.reset()
+
+    def reset(self) -> None:
+        self._fix_streak = 0
+        self._miss_streak = 0
+        self._trusted: Optional[bool] = None
+
+    @property
+    def gps_trusted(self) -> bool:
+        return bool(self._trusted)
+
+    def observe(self, has_fix: bool) -> bool:
+        """Fold one GPS epoch into the trust state; returns the new state."""
+        if has_fix:
+            self._fix_streak += 1
+            self._miss_streak = 0
+        else:
+            self._miss_streak += 1
+            self._fix_streak = 0
+        if self._trusted is None:
+            self._trusted = has_fix
+        elif self._trusted and self._miss_streak >= self.lose_frames:
+            self._trusted = False
+        elif not self._trusted and self._fix_streak >= self.acquire_frames:
+            self._trusted = True
+        return self._trusted
+
+    def decide(self, frame: Frame, has_map: bool) -> BackendMode:
+        if self.observe(frame.has_gps):
+            return BackendMode.VIO
+        if has_map:
+            return BackendMode.REGISTRATION
+        return BackendMode.SLAM
+
+
+@dataclass
+class SessionResult:
+    """Everything one session produced, plus its telemetry.
+
+    ``frame_wall_ms`` is measured wall time and therefore varies between
+    runs; it is deliberately excluded from :meth:`signature` so the
+    signature witnesses only the deterministic outputs (poses, modes,
+    switch events).
+    """
+
+    stream_id: str
+    spec_payload: Dict
+    trajectory: TrajectoryResult = field(default_factory=TrajectoryResult)
+    mode_switches: List[ModeSwitch] = field(default_factory=list)
+    segment_starts: List[int] = field(default_factory=list)
+    frame_wall_ms: List[float] = field(default_factory=list)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.trajectory.estimates)
+
+    def latency_percentile(self, percent: float) -> float:
+        if not self.frame_wall_ms:
+            return 0.0
+        return float(np.percentile(self.frame_wall_ms, percent))
+
+    def signature(self) -> str:
+        """Bit-exact digest of the deterministic session outputs."""
+        digest = hashlib.sha256()
+        for estimate in self.trajectory.estimates:
+            digest.update(np.ascontiguousarray(estimate.pose.rotation, dtype=np.float64).tobytes())
+            digest.update(np.ascontiguousarray(estimate.pose.translation, dtype=np.float64).tobytes())
+            digest.update(estimate.mode.encode())
+        for switch in self.mode_switches:
+            digest.update(
+                f"{switch.frame_index}:{switch.from_mode}:{switch.to_mode}:{switch.reason}".encode()
+            )
+        return digest.hexdigest()
+
+
+class Session:
+    """One client's serving state: stream position, localizer, policy."""
+
+    def __init__(self, spec: StreamSpec, config: Optional[LocalizerConfig] = None,
+                 policy: Optional[ModeSwitchPolicy] = None) -> None:
+        self.spec = spec
+        self.stream = ScenarioStream(
+            spec, sensor_config_for(spec.platform_kind, spec.camera_rate_hz, spec.seed)
+        )
+        self.localizer = EudoxusLocalizer(config or localizer_config_for(spec.platform_kind))
+        self.policy = policy or ModeSwitchPolicy()
+        self._result = SessionResult(stream_id=spec.stream_id, spec_payload=spec.payload())
+        self._sequence: Optional[SyntheticSequence] = None
+        self._segment_index = -1
+        self._pos = 0
+        self._segment_fresh = True
+        self._current_mode: Optional[BackendMode] = None
+        self._had_map = False
+
+    # ------------------------------------------------------------- stepping
+
+    @property
+    def done(self) -> bool:
+        self._ensure_segment()
+        return self._sequence is None
+
+    def next_timestamp(self) -> Optional[float]:
+        """Timestamp of the next ready frame (None when the stream ended)."""
+        self._ensure_segment()
+        if self._sequence is None:
+            return None
+        return self._sequence.frames[self._pos].timestamp
+
+    def step(self) -> bool:
+        """Serve one frame; returns False once the stream is exhausted."""
+        self._ensure_segment()
+        if self._sequence is None:
+            return False
+        sequence = self._sequence
+        frame = sequence.frames[self._pos]
+
+        started = time.perf_counter()
+        mode = self.policy.decide(frame, has_map=sequence.has_prebuilt_map)
+        if mode is not self._current_mode:
+            self._on_switch(frame, mode, has_map=sequence.has_prebuilt_map)
+        self.localizer.mode_selector.override = mode
+        estimate = self.localizer.process_frame(frame, sequence)
+        self.localizer.collect_last_frame(estimate, self._result.trajectory)
+        self._result.frame_wall_ms.append(1000.0 * (time.perf_counter() - started))
+
+        self._current_mode = mode
+        self._had_map = sequence.has_prebuilt_map
+        self._segment_fresh = False
+        self._pos += 1
+        if self._pos >= len(sequence.frames):
+            self._sequence = None
+        return True
+
+    def run(self) -> SessionResult:
+        """Serve the whole stream to completion (the worker-process path)."""
+        while self.step():
+            pass
+        return self.result()
+
+    def result(self) -> SessionResult:
+        return self._result
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_segment(self) -> None:
+        """Build the next segment and prepare the localizer when needed."""
+        if self._sequence is not None or self._segment_index >= len(self.stream):
+            return
+        start_time = 0.0
+        start_index = 0
+        trajectory = self._result.trajectory
+        if trajectory.estimates:
+            last = trajectory.estimates[-1]
+            start_time = last.timestamp + 1.0 / self.spec.camera_rate_hz
+            start_index = last.frame_index + 1
+        self._segment_index += 1
+        if self._segment_index >= len(self.stream):
+            return
+        self._sequence = self.stream.build_segment(
+            self._segment_index, start_time=start_time, start_index=start_index
+        )
+        self.localizer.prepare(self._sequence)
+        self._result.segment_starts.append(start_index)
+        self._pos = 0
+        self._segment_fresh = True
+
+    def _on_switch(self, frame: Frame, mode: BackendMode, has_map: bool) -> None:
+        if self._current_mode is None:
+            reason = "startup"
+        elif self.policy.gps_trusted and mode is BackendMode.VIO:
+            reason = "gps_reacquired"
+        elif self._current_mode is BackendMode.VIO:
+            reason = "gps_lost"
+        elif has_map and not self._had_map:
+            reason = "map_entry"
+        elif self._had_map and not has_map:
+            reason = "map_exit"
+        else:
+            reason = "environment_change"
+        if not self._segment_fresh:
+            # Mid-segment reconfiguration: re-anchor the incoming backend at
+            # the last served estimate so the client's trajectory stays
+            # continuous.  At segment boundaries the backends were just
+            # re-prepared and bootstrap themselves instead.
+            self._handover(mode, frame)
+        self._result.mode_switches.append(ModeSwitch(
+            frame_index=frame.index,
+            timestamp=frame.timestamp,
+            from_mode=self._current_mode.value if self._current_mode is not None else None,
+            to_mode=mode.value,
+            reason=reason,
+            segment_index=self._segment_index,
+        ))
+
+    def _handover(self, mode: BackendMode, frame: Frame) -> None:
+        estimates = self._result.trajectory.estimates
+        if not estimates:
+            return
+        last_pose = estimates[-1].pose
+        if mode is BackendMode.VIO and self.localizer.vio is not None:
+            self.localizer.vio.reset()
+            self.localizer.vio.initialize(last_pose, frame.ground_truth_velocity)
+        elif mode is BackendMode.SLAM and self.localizer.slam is not None:
+            self.localizer.slam.reset()
+            self.localizer.slam.initialize(last_pose)
+        # Registration tracks every frame independently against the survey
+        # map; it needs no handover state.

@@ -1,0 +1,283 @@
+"""Scenario streams: time-varying deployments for the serving layer.
+
+A :class:`StreamSpec` is a pure, picklable description of one client's
+deployment over time: an ordered tuple of :class:`StreamSegment` entries
+(scenario kind + duration + injected events) plus the sensor parameters and
+the session seed.  Because every random stream in the pipeline is derived
+deterministically from the spec, a spec is also the serving layer's unit of
+work and cache key: running the same spec serially, in a worker process, or
+in a later session produces bit-identical results.
+
+:class:`ScenarioStream` turns a spec into concrete
+:class:`~repro.sensors.dataset.SyntheticSequence` segments on demand,
+stitching timestamps and frame indices across segment boundaries the same
+way :meth:`~repro.sensors.dataset.SequenceBuilder.build_mixed` does.
+
+Injected events mirror the Fig. 2 taxonomy transitions a fleet sees in the
+field:
+
+* **indoor/outdoor transitions** — consecutive segments of different kinds;
+* **GPS dropout / reacquisition** — an outdoor segment with
+  ``gps_outage_probability = 1.0`` sandwiched between healthy segments;
+* **map entry / exit** — switching between the ``*_KNOWN`` and
+  ``*_UNKNOWN`` variant of the same environment;
+* **IMU degradation bursts** — a segment that scales the IMU noise/bias
+  densities beyond the scenario default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.config import SensorConfig
+from repro.sensors.dataset import SequenceBuilder, SyntheticSequence, segment_frame_count
+from repro.sensors.scenarios import OperatingScenario, ScenarioKind, scenario_catalog
+
+# Seed stride between segments of one stream (matches SequenceBuilder.build_mixed)
+# and between the streams of a generated fleet.
+SEGMENT_SEED_STRIDE = 10
+STREAM_SEED_STRIDE = 1000
+
+# The catalog derives trajectory periods from its ``duration`` argument, so
+# building a 2 s segment directly would traverse the whole course in 2 s —
+# physically absurd dynamics.  Serving segments instead sample the first
+# ``duration`` seconds of a trajectory paced for this timescale, keeping
+# platform dynamics realistic regardless of how finely a stream is segmented.
+TRAJECTORY_TIMESCALE_S = 30.0
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """One homogeneous stretch of a client's deployment.
+
+    ``imu_noise_scale`` / ``imu_bias_scale`` of ``None`` inherit the
+    scenario's own defaults (indoor segments carry the indoor IMU
+    degradation); a number overrides them — that is how degradation bursts
+    are injected.  ``gps_outage_probability`` raises the scenario's dropout
+    probability (1.0 = a full GPS outage for the whole segment).
+    """
+
+    kind: ScenarioKind
+    duration: float
+    gps_outage_probability: float = 0.0
+    imu_noise_scale: Optional[float] = None
+    imu_bias_scale: Optional[float] = None
+    label: str = ""
+
+    def payload(self) -> Dict:
+        return {
+            "kind": self.kind.value,
+            "duration": round(float(self.duration), 6),
+            "gps_outage_probability": round(float(self.gps_outage_probability), 6),
+            "imu_noise_scale": self.imu_noise_scale,
+            "imu_bias_scale": self.imu_bias_scale,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "StreamSegment":
+        return cls(
+            kind=ScenarioKind(payload["kind"]),
+            duration=payload["duration"],
+            gps_outage_probability=payload["gps_outage_probability"],
+            imu_noise_scale=payload["imu_noise_scale"],
+            imu_bias_scale=payload["imu_bias_scale"],
+            label=payload.get("label", ""),
+        )
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A complete, deterministic description of one serving session."""
+
+    stream_id: str
+    segments: Tuple[StreamSegment, ...]
+    platform_kind: str = "drone"
+    camera_rate_hz: float = 5.0
+    landmark_count: int = 150
+    seed: int = 0
+
+    @property
+    def total_duration(self) -> float:
+        return float(sum(segment.duration for segment in self.segments))
+
+    @property
+    def frame_count(self) -> int:
+        """Total frames the stream will produce (segments never go below 2)."""
+        return sum(segment_frame_count(segment.duration, self.camera_rate_hz)
+                   for segment in self.segments)
+
+    def payload(self) -> Dict:
+        return {
+            "stream_id": self.stream_id,
+            "segments": [segment.payload() for segment in self.segments],
+            "platform_kind": self.platform_kind,
+            "camera_rate_hz": round(float(self.camera_rate_hz), 6),
+            "landmark_count": int(self.landmark_count),
+            "seed": int(self.seed),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "StreamSpec":
+        return cls(
+            stream_id=payload["stream_id"],
+            segments=tuple(StreamSegment.from_payload(p) for p in payload["segments"]),
+            platform_kind=payload["platform_kind"],
+            camera_rate_hz=payload["camera_rate_hz"],
+            landmark_count=payload["landmark_count"],
+            seed=payload["seed"],
+        )
+
+
+class ScenarioStream:
+    """Materializes a :class:`StreamSpec` into sequence segments on demand."""
+
+    def __init__(self, spec: StreamSpec, sensor_config: SensorConfig) -> None:
+        self.spec = spec
+        self.builder = SequenceBuilder(sensor_config)
+
+    def __len__(self) -> int:
+        return len(self.spec.segments)
+
+    def segment_scenario(self, index: int) -> OperatingScenario:
+        """The operating scenario for one segment, with event overrides applied."""
+        segment = self.spec.segments[index]
+        base = scenario_catalog(duration=TRAJECTORY_TIMESCALE_S,
+                                landmark_count=self.spec.landmark_count)[segment.kind]
+        overrides: Dict = {
+            "duration": segment.duration,
+            "gps_outage_probability": max(base.gps_outage_probability,
+                                          segment.gps_outage_probability),
+        }
+        if segment.imu_noise_scale is not None:
+            overrides["imu_noise_scale"] = segment.imu_noise_scale
+        if segment.imu_bias_scale is not None:
+            overrides["imu_bias_scale"] = segment.imu_bias_scale
+        return replace(base, **overrides)
+
+    def build_segment(self, index: int, start_time: float = 0.0,
+                      start_index: int = 0) -> SyntheticSequence:
+        """Build segment ``index`` continuing the stream's clock and indices."""
+        return self.builder.build(
+            self.segment_scenario(index),
+            start_time=start_time,
+            start_index=start_index,
+            seed_offset=SEGMENT_SEED_STRIDE * index,
+        )
+
+
+# ------------------------------------------------------------------ factories
+
+
+def mixed_deployment_stream(stream_id: str, seed: int = 0,
+                            segment_duration: float = 2.0,
+                            platform_kind: str = "drone",
+                            camera_rate_hz: float = 5.0,
+                            landmark_count: int = 150,
+                            rotate: int = 0,
+                            dropout: bool = True) -> StreamSpec:
+    """The paper's 50/25/25 mixed deployment as a time-varying stream.
+
+    Segments follow the Sec. VII-A mix (50 % outdoor, 25 % indoor unmapped,
+    25 % indoor mapped); ``rotate`` shifts the segment order so the sessions
+    of a fleet transition at different times and in different directions.
+    With ``dropout`` the second outdoor stretch contains a full GPS outage
+    followed by reacquisition — the event the online mode switcher must
+    absorb without losing the client.
+    """
+    half = segment_duration / 2.0
+    segments: List[StreamSegment] = [
+        StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, segment_duration, label="outdoor"),
+        StreamSegment(ScenarioKind.INDOOR_UNKNOWN, segment_duration, label="indoor_entry"),
+    ]
+    if dropout:
+        segments += [
+            StreamSegment(ScenarioKind.OUTDOOR_KNOWN, half, label="outdoor_mapped"),
+            StreamSegment(ScenarioKind.OUTDOOR_KNOWN, half,
+                          gps_outage_probability=1.0, label="gps_dropout"),
+            StreamSegment(ScenarioKind.OUTDOOR_KNOWN, half, label="gps_reacquired"),
+        ]
+    else:
+        segments.append(StreamSegment(ScenarioKind.OUTDOOR_KNOWN, segment_duration,
+                                      label="outdoor_mapped"))
+    segments.append(StreamSegment(ScenarioKind.INDOOR_KNOWN, segment_duration,
+                                  label="map_entry"))
+    rotate %= len(segments)
+    segments = segments[rotate:] + segments[:rotate]
+    return StreamSpec(
+        stream_id=stream_id,
+        segments=tuple(segments),
+        platform_kind=platform_kind,
+        camera_rate_hz=camera_rate_hz,
+        landmark_count=landmark_count,
+        seed=seed,
+    )
+
+
+def random_stream(stream_id: str, seed: int = 0, segment_count: int = 6,
+                  segment_duration: float = 2.0, platform_kind: str = "drone",
+                  camera_rate_hz: float = 5.0, landmark_count: int = 150,
+                  dropout_probability: float = 0.2,
+                  imu_burst_probability: float = 0.2,
+                  imu_burst_scale: float = 4.0) -> StreamSpec:
+    """A seeded random walk over the Fig. 2 taxonomy with injected events."""
+    rng = np.random.default_rng(seed)
+    kinds = list(ScenarioKind)
+    segments: List[StreamSegment] = []
+    for _ in range(segment_count):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        outage = 0.0
+        noise_scale = None
+        bias_scale = None
+        label = kind.value
+        if kind.has_gps and rng.random() < dropout_probability:
+            outage = 1.0
+            label = "gps_dropout"
+        elif kind.is_indoor and rng.random() < imu_burst_probability:
+            base = scenario_catalog(duration=segment_duration)[kind]
+            noise_scale = base.imu_noise_scale * imu_burst_scale
+            bias_scale = base.imu_bias_scale * imu_burst_scale
+            label = "imu_burst"
+        segments.append(StreamSegment(
+            kind=kind,
+            duration=segment_duration,
+            gps_outage_probability=outage,
+            imu_noise_scale=noise_scale,
+            imu_bias_scale=bias_scale,
+            label=label,
+        ))
+    return StreamSpec(
+        stream_id=stream_id,
+        segments=tuple(segments),
+        platform_kind=platform_kind,
+        camera_rate_hz=camera_rate_hz,
+        landmark_count=landmark_count,
+        seed=seed,
+    )
+
+
+def mixed_fleet(count: int, base_seed: int = 0, segment_duration: float = 2.0,
+                platform_kind: str = "drone", camera_rate_hz: float = 5.0,
+                landmark_count: int = 150) -> List[StreamSpec]:
+    """A fleet of mixed-deployment sessions with distinct seeds and phases.
+
+    Every session follows the 50/25/25 mix, but each starts at a different
+    point of the cycle (``rotate``) and runs on its own seed, so at any
+    instant the fleet spans all four environments — the mixed-deployment
+    traffic shape the serving engine is benchmarked on.
+    """
+    return [
+        mixed_deployment_stream(
+            stream_id=f"session-{i:03d}",
+            seed=base_seed + STREAM_SEED_STRIDE * i,
+            segment_duration=segment_duration,
+            platform_kind=platform_kind,
+            camera_rate_hz=camera_rate_hz,
+            landmark_count=landmark_count,
+            rotate=i,
+        )
+        for i in range(count)
+    ]

@@ -1,9 +1,13 @@
 """Fast guard for the Fig. 3 qualitative result (per-scenario winners).
 
-The 15 s benchmark sweep in ``benchmarks/test_fig03_accuracy.py`` asserts the
-paper's winner ordering; this test pins the same facts on a short (3 s)
-single-frame-rate sequence so the qualitative result is guarded by the unit
-suite without paying for the benchmark.
+The benchmark sweep in ``benchmarks/test_fig03_accuracy.py`` asserts the
+paper's winner ordering at full characterization length; this test pins the
+same facts on a short (6 s) single-frame-rate sequence so the qualitative
+result is guarded by the unit suite without paying for the benchmark.  The
+6 s duration matters for Fig. 3a: the indoor IMU degradation
+(:mod:`repro.sensors.scenarios`) needs a few seconds of bias random walk
+before unaided VIO falls behind SLAM, which is exactly the effect the paper
+attributes to indoor environments.
 """
 
 import pytest
@@ -14,19 +18,33 @@ from repro.sensors.scenarios import ScenarioKind
 
 @pytest.fixture(scope="module")
 def report():
+    # Same cells as the smoke benchmark tier, so the persistent run store is
+    # shared between this guard and `pytest benchmarks -m smoke`.
     return accuracy_vs_framerate(
-        frame_rates=(10.0,), duration=3.0, platform_kind="drone", landmark_count=150,
+        frame_rates=(10.0,), duration=6.0, platform_kind="drone", landmark_count=250,
     )
 
 
 def test_winner_per_scenario(report):
     best = best_algorithm_per_scenario(report)
+    # SLAM wins indoors without a map (Fig. 3a): the degraded indoor IMU
+    # makes unaided VIO drift while SLAM never consumes the IMU.
+    assert best[ScenarioKind.INDOOR_UNKNOWN.value] == "slam"
     # VIO+GPS wins outdoors — including outdoor_known, where the degraded
     # outdoor survey map keeps registration behind GPS aiding (Fig. 3d).
     assert best[ScenarioKind.OUTDOOR_UNKNOWN.value] == "vio"
     assert best[ScenarioKind.OUTDOOR_KNOWN.value] == "vio"
     # Indoors with a map, a map-based method wins.
     assert best[ScenarioKind.INDOOR_KNOWN.value] in ("registration", "slam")
+
+
+def test_indoor_unknown_slam_beats_vio(report):
+    """Fig. 3a margin: SLAM beats drift-prone VIO indoors without a map."""
+    rows = report[ScenarioKind.INDOOR_UNKNOWN.value]
+    slam = [r["rmse_m"] for r in rows if r["algorithm"] == "slam"]
+    vio = [r["rmse_m"] for r in rows if r["algorithm"] == "vio"]
+    assert slam and vio
+    assert max(slam) < min(vio)
 
 
 def test_outdoor_map_registration_degrades(report):

@@ -238,3 +238,73 @@ class TestExecuteCell:
     def test_auto_mode_follows_scenario(self):
         result = execute_cell(_cell(mode=None, scenario=ScenarioKind.OUTDOOR_UNKNOWN))
         assert all(estimate.mode == "vio" for estimate in result.estimates)
+
+
+class TestStoreEviction:
+    """The run store is a bounded LRU: size and age limits, hits refresh."""
+
+    def _fill(self, store, keys, size=64):
+        for i, key in enumerate(keys):
+            store.save_key(key, b"x" * size)
+            # Space the mtimes out so LRU order is unambiguous.
+            entry = store.path_for(key)
+            stamp = time.time() - 1000.0 + 10.0 * i
+            os.utime(entry, (stamp, stamp))
+
+    def test_size_bound_evicts_least_recently_used(self, tmp_path):
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        self._fill(store, ["a", "b", "c", "d"])
+        sizes = [store.path_for(k).stat().st_size for k in ("a", "b", "c", "d")]
+        removed = store.evict(max_bytes=sum(sizes[2:]) + 1)
+        assert removed == 2
+        assert not store.path_for("a").exists() and not store.path_for("b").exists()
+        assert store.path_for("c").exists() and store.path_for("d").exists()
+
+    def test_age_bound_evicts_expired_entries(self, tmp_path):
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        self._fill(store, ["old", "new"])
+        old = store.path_for("old")
+        stamp = time.time() - 7200.0
+        os.utime(old, (stamp, stamp))
+        removed = store.evict(max_age_s=3600.0)
+        assert removed == 1
+        assert not old.exists() and store.path_for("new").exists()
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        self._fill(store, ["cold", "hot"])
+        # Make "hot" the older entry, then touch it via a load.
+        stamp = time.time() - 5000.0
+        os.utime(store.path_for("hot"), (stamp, stamp))
+        assert store.load_key("hot") == b"x" * 64
+        removed = store.evict(max_bytes=store.path_for("cold").stat().st_size + 1)
+        assert removed == 1
+        assert store.path_for("hot").exists() and not store.path_for("cold").exists()
+
+    def test_eviction_applied_on_construction(self, tmp_path):
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        self._fill(store, ["stale"])
+        stamp = time.time() - 10 * 86400.0
+        os.utime(store.path_for("stale"), (stamp, stamp))
+        rebuilt = RunStore(tmp_path, max_age_s=5 * 86400.0, max_bytes=-1)
+        assert rebuilt.evicted == 1
+        assert len(rebuilt) == 0
+
+    def test_bounds_disabled_with_nonpositive_values(self, tmp_path):
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        assert store.max_bytes is None and store.max_age_s is None
+        self._fill(store, ["keep"])
+        assert store.evict() == 0
+        assert store.path_for("keep").exists()
+
+    def test_env_bounds_parsed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(runner_module.STORE_MAX_MB_ENV, "2")
+        monkeypatch.setenv(runner_module.STORE_MAX_AGE_DAYS_ENV, "1.5")
+        store = RunStore(tmp_path)
+        assert store.max_bytes == 2 * 1024 * 1024
+        assert store.max_age_s == 1.5 * 86400.0
+        monkeypatch.setenv(runner_module.STORE_MAX_MB_ENV, "not-a-number")
+        monkeypatch.setenv(runner_module.STORE_MAX_AGE_DAYS_ENV, "0")
+        fallback = RunStore(tmp_path)
+        assert fallback.max_bytes == runner_module.DEFAULT_STORE_MAX_MB * 1024 * 1024
+        assert fallback.max_age_s is None

@@ -1,0 +1,261 @@
+"""Serving layer: streams, online mode switching, engine determinism.
+
+The load-bearing guarantees pinned here:
+
+* N concurrent sessions served through the process pool produce
+  bit-identical trajectories and mode switches to the same sessions served
+  serially through the multiplexing event loop;
+* mode switches fire at the injected transition frames (exactly at map
+  entry/exit, within the hysteresis window of GPS loss/reacquisition);
+* session results round-trip through the persistent run store;
+* served telemetry trains the runtime offload scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import accelerator_for
+from repro.experiments.runner import RunStore
+from repro.sensors.scenarios import ScenarioKind
+from repro.serving import (
+    ModeSwitchPolicy,
+    ServingEngine,
+    Session,
+    StreamSegment,
+    StreamSpec,
+    mixed_deployment_stream,
+    mixed_fleet,
+    random_stream,
+    run_session,
+    serving_key,
+)
+from repro.serving.engine import scheduler_training_samples, train_offload_scheduler
+
+SEGMENT = 2.0
+RATE = 5.0
+FRAMES_PER_SEGMENT = int(SEGMENT * RATE)  # 10
+
+
+def _spec(stream_id, kinds_and_events, seed=0):
+    segments = tuple(
+        StreamSegment(kind=kind, duration=SEGMENT, gps_outage_probability=outage)
+        for kind, outage in kinds_and_events
+    )
+    return StreamSpec(stream_id=stream_id, segments=segments,
+                      camera_rate_hz=RATE, landmark_count=120, seed=seed)
+
+
+class TestStreams:
+    def test_spec_payload_roundtrip(self):
+        spec = random_stream("client-7", seed=13, segment_count=5)
+        assert StreamSpec.from_payload(spec.payload()) == spec
+
+    def test_mixed_fleet_distinct_and_mixed(self):
+        fleet = mixed_fleet(8, segment_duration=1.0)
+        assert len({spec.stream_id for spec in fleet}) == 8
+        assert len({spec.seed for spec in fleet}) == 8
+        # Phase rotation: the fleet does not start in lockstep.
+        assert len({spec.segments[0].kind for spec in fleet}) > 1
+        # Every session is the 50/25/25 mix over the four environments.
+        for spec in fleet:
+            kinds = {segment.kind for segment in spec.segments}
+            assert kinds == set(ScenarioKind)
+
+    def test_mixed_stream_contains_dropout_event(self):
+        spec = mixed_deployment_stream("client-0", segment_duration=1.0)
+        assert any(segment.gps_outage_probability >= 1.0 for segment in spec.segments)
+
+    def test_stream_frame_count(self):
+        spec = _spec("c", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0),
+                           (ScenarioKind.INDOOR_UNKNOWN, 0.0)])
+        assert spec.frame_count == 2 * FRAMES_PER_SEGMENT
+
+
+class TestModeSwitchPolicy:
+    def test_warm_start_trusts_first_fix(self):
+        policy = ModeSwitchPolicy()
+        assert policy.observe(True) is True
+        policy.reset()
+        assert policy.observe(False) is False
+
+    def test_hysteresis(self):
+        policy = ModeSwitchPolicy(acquire_frames=2, lose_frames=3)
+        policy.observe(True)
+        # A single multipath dropout must not flip the mode.
+        assert policy.observe(False) is True
+        assert policy.observe(True) is True
+        # Three consecutive misses do.
+        assert [policy.observe(False) for _ in range(3)] == [True, True, False]
+        # Two consecutive fixes re-acquire.
+        assert [policy.observe(True) for _ in range(2)] == [False, True]
+
+
+class TestOnlineModeSwitching:
+    def test_switches_fire_at_injected_transitions(self):
+        spec = _spec("transitions", [
+            (ScenarioKind.OUTDOOR_UNKNOWN, 0.0),   # frames 0-9: GPS -> VIO
+            (ScenarioKind.INDOOR_UNKNOWN, 0.0),    # frames 10-19: no GPS, no map
+            (ScenarioKind.INDOOR_KNOWN, 0.0),      # frames 20-29: map entry
+            (ScenarioKind.OUTDOOR_KNOWN, 0.0),     # frames 30-39: GPS back
+        ])
+        result = run_session(spec)
+        events = [(s.frame_index, s.to_mode, s.reason) for s in result.mode_switches]
+        assert events[0] == (0, "vio", "startup")
+        # GPS loss is declared after lose_frames consecutive missing fixes.
+        assert events[1] == (10 + 2, "slam", "gps_lost")
+        # Map availability switches without hysteresis: exactly at the boundary.
+        assert events[2] == (20, "registration", "map_entry")
+        # Reacquisition after acquire_frames consecutive fixes.
+        assert events[3] == (30 + 1, "vio", "gps_reacquired")
+        assert len(events) == 4
+        assert result.segment_starts == [0, 10, 20, 30]
+
+    def test_dropout_burst_and_reacquisition(self):
+        spec = _spec("dropout", [
+            (ScenarioKind.OUTDOOR_KNOWN, 0.0),
+            (ScenarioKind.OUTDOOR_KNOWN, 1.0),     # full outage burst
+            (ScenarioKind.OUTDOOR_KNOWN, 0.0),
+        ])
+        result = run_session(spec)
+        events = [(s.frame_index, s.to_mode, s.reason) for s in result.mode_switches]
+        # With a survey map on board, GPS loss falls back to registration,
+        # not SLAM (Fig. 2), and the client reacquires VIO afterwards.
+        assert (10 + 2, "registration", "gps_lost") in events
+        assert (20 + 1, "vio", "gps_reacquired") in events
+
+    def test_modes_executed_match_policy(self):
+        spec = _spec("modes", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0),
+                               (ScenarioKind.INDOOR_UNKNOWN, 0.0)])
+        result = run_session(spec)
+        modes = [estimate.mode for estimate in result.trajectory.estimates]
+        assert modes[:10] == ["vio"] * 10
+        # After the dropout is declared (3-frame hysteresis) SLAM serves.
+        assert modes[13:] == ["slam"] * 7
+
+    def test_session_stays_localized_through_switches(self):
+        result = run_session(mixed_deployment_stream("acc", segment_duration=SEGMENT,
+                                                     camera_rate_hz=RATE))
+        assert result.trajectory.rmse_error() < 2.0
+
+
+class TestServingDeterminism:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return mixed_fleet(4, segment_duration=SEGMENT, camera_rate_hz=RATE)
+
+    @pytest.fixture(scope="class")
+    def serial_report(self, fleet):
+        return ServingEngine(store=None, max_workers=1).serve(fleet, parallel=False)
+
+    def test_serial_event_loop_multiplexes(self, serial_report):
+        assert serial_report.session_count == 4
+        # All sessions share a frame rate, so every tick batches the fleet.
+        assert serial_report.mean_batch_size > 1.0
+
+    def test_parallel_bit_identical_to_serial(self, fleet, serial_report):
+        parallel_report = ServingEngine(store=None, max_workers=2).serve(fleet, parallel=True)
+        # Guard against a vacuous pass: a pool must actually have spawned
+        # (report.parallel stays False when fan_out falls back in-process).
+        assert parallel_report.parallel
+        assert parallel_report.session_count == serial_report.session_count
+        for stream_id, serial_result in serial_report.results.items():
+            parallel_result = parallel_report.results[stream_id]
+            assert parallel_result.signature() == serial_result.signature()
+            # Signature equality is backed by exact pose equality.
+            for a, b in zip(serial_result.trajectory.estimates,
+                            parallel_result.trajectory.estimates):
+                np.testing.assert_array_equal(a.pose.rotation, b.pose.rotation)
+                np.testing.assert_array_equal(a.pose.translation, b.pose.translation)
+                assert a.mode == b.mode
+            assert ([(s.frame_index, s.to_mode, s.reason) for s in serial_result.mode_switches]
+                    == [(s.frame_index, s.to_mode, s.reason) for s in parallel_result.mode_switches])
+
+    def test_signature_ignores_wall_time_telemetry(self, serial_report):
+        result = next(iter(serial_report.results.values()))
+        signature = result.signature()
+        result.frame_wall_ms[0] += 123.0
+        assert result.signature() == signature
+
+    def test_interleaved_equals_isolated(self, fleet, serial_report):
+        """The event loop's interleaving cannot leak state across sessions."""
+        isolated = run_session(fleet[0])
+        assert isolated.signature() == serial_report.results[fleet[0].stream_id].signature()
+
+    def test_exhausted_stream_served_on_both_paths(self):
+        """A zero-segment stream yields an empty result, serially and pooled."""
+        fleet = [StreamSpec(stream_id="empty", segments=(), camera_rate_hz=RATE),
+                 _spec("real", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0)])]
+        serial = ServingEngine(store=None, max_workers=1).serve(fleet, parallel=False)
+        pooled = ServingEngine(store=None, max_workers=2).serve(fleet, parallel=True)
+        for report in (serial, pooled):
+            assert report.session_count == 2
+            assert report.results["empty"].frame_count == 0
+        assert serial.results["empty"].signature() == pooled.results["empty"].signature()
+
+
+class TestServingStore:
+    def test_session_results_roundtrip(self, tmp_path):
+        fleet = mixed_fleet(2, segment_duration=1.0, camera_rate_hz=RATE)
+        store = RunStore(tmp_path)
+        first = ServingEngine(store=store, max_workers=1).serve(fleet)
+        assert first.computed_sessions == 2 and first.store_hits == 0
+        second = ServingEngine(store=store, max_workers=1).serve(fleet)
+        assert second.computed_sessions == 0 and second.store_hits == 2
+        for stream_id in first.results:
+            assert second.results[stream_id].signature() == first.results[stream_id].signature()
+
+    def test_key_covers_spec(self, tmp_path):
+        a = mixed_deployment_stream("a", seed=0, segment_duration=1.0)
+        b = mixed_deployment_stream("a", seed=1, segment_duration=1.0)
+        assert serving_key(a) != serving_key(b)
+
+    def test_duplicate_stream_ids_rejected(self):
+        spec = mixed_deployment_stream("dup", segment_duration=1.0)
+        with pytest.raises(ValueError):
+            ServingEngine().serve([spec, spec])
+
+
+class TestSchedulerTelemetryFeed:
+    @pytest.fixture(scope="class")
+    def results(self):
+        fleet = mixed_fleet(2, segment_duration=SEGMENT, camera_rate_hz=RATE)
+        return ServingEngine(store=None, max_workers=1).serve(fleet).results
+
+    def test_samples_cover_served_modes(self, results):
+        accelerator = accelerator_for("drone")
+        samples = scheduler_training_samples(results, accelerator)
+        served_modes = {estimate.mode for result in results.values()
+                        for estimate in result.trajectory.estimates}
+        assert set(samples) == served_modes
+        for workloads, latencies in samples.values():
+            assert len(workloads) == len(latencies) > 0
+
+    def test_trains_offload_scheduler(self, results):
+        accelerator = accelerator_for("drone")
+        fits = train_offload_scheduler(results, accelerator)
+        assert fits, "no mode had enough traffic to train"
+        for mode, r2 in fits.items():
+            assert accelerator.scheduler.is_trained(mode)
+            assert r2 <= 1.0 + 1e-9
+        mode = next(iter(fits))
+        workload = next(
+            backend_result.workload
+            for result in results.values()
+            for backend_result in result.trajectory.backend_results
+            if backend_result.mode == mode
+        )
+        decision = accelerator.scheduler.decide(mode, workload, actual_cpu_ms=1.0)
+        assert decision.predicted_cpu_ms >= 0.0
+
+    def test_online_observation_refits(self, results):
+        accelerator = accelerator_for("drone")
+        scheduler = accelerator.scheduler
+        samples = scheduler_training_samples(results, accelerator)
+        mode, (workloads, latencies) = max(samples.items(), key=lambda kv: len(kv[1][0]))
+        assert len(workloads) >= 8
+        refit_r2 = None
+        for workload, cpu_ms in zip(workloads, latencies):
+            fit = scheduler.observe(mode, workload, cpu_ms, refit_every=8)
+            refit_r2 = fit if fit is not None else refit_r2
+        assert refit_r2 is not None
+        assert scheduler.is_trained(mode)
