@@ -8,15 +8,29 @@ sharded across worker processes, verifies the two are bit-identical
 (deterministic per-session seeds, the same guarantee the experiment runner
 makes for cells), and reports the headline serving metrics: sessions/sec,
 frames/sec, and p50/p95 per-frame latency.
+
+The streaming case serves the same fleet through the arrival-time
+ingestion event loop under a latency-aware autoscaler: frames are admitted
+as they arrive on the virtual clock, an under-provisioned pool builds a
+backlog whose serving latency breaches the per-session deadline, the
+autoscaler grows the pool until the fleet keeps up, and shrinks it again
+once the backlog drains — while the served results stay bit-identical to
+the materialized path.
 """
 
+import numpy as np
 from conftest import print_banner
 
 from repro.characterization.report import format_table
+from repro.experiments.common import accelerator_for
 from repro.experiments.runner import resolve_max_workers
+from repro.scheduler import LatencyAutoscaler
 from repro.serving import ServingEngine, mixed_fleet
 
 FLEET_SIZE = 16
+# Streaming-case QoS: two frame intervals at 5 Hz between a frame's arrival
+# and its served estimate.
+DEADLINE_MS = 400.0
 
 
 def test_serving_throughput(benchmark, serving_settings):
@@ -62,3 +76,66 @@ def test_serving_throughput(benchmark, serving_settings):
     assert report.mode_switch_count > 0
     assert report.latency_percentile(95.0) > 0.0
     assert serial.mean_batch_size > 1.0
+
+
+def test_serving_streaming_autoscale(benchmark, serving_settings):
+    """Streaming ingestion under load: autoscaled capacity, identical bits."""
+    fleet = mixed_fleet(
+        FLEET_SIZE,
+        segment_duration=serving_settings["segment_duration"],
+        camera_rate_hz=5.0,
+        deadline_ms=DEADLINE_MS,
+    )
+
+    materialized = ServingEngine(store=None, max_workers=1).serve(
+        fleet, parallel=False, ingestion="materialized")
+
+    accelerator = accelerator_for("drone")
+
+    def serve_streaming():
+        # A fresh autoscaler per round: it starts under-provisioned (one
+        # worker against sixteen sessions) and must discover the right size.
+        autoscaler = LatencyAutoscaler(min_workers=1, max_workers=8, window=48,
+                                       grow_patience=2, shrink_patience=4,
+                                       cooldown=2)
+        engine = ServingEngine(store=None, max_workers=1, autoscaler=autoscaler,
+                               accelerator=accelerator)
+        return engine.serve(fleet, parallel=False, ingestion="streaming")
+
+    report = benchmark.pedantic(serve_streaming, rounds=1, iterations=1)
+
+    identical = all(
+        report.results[stream_id].signature() == result.signature()
+        for stream_id, result in materialized.results.items()
+    )
+    grows = [d for d in report.scale_decisions if d.action == "grow"]
+    shrinks = [d for d in report.scale_decisions if d.action == "shrink"]
+    # Steady state: the second half of the run, after the scaler converged.
+    steady = report.virtual_latency_ms[len(report.virtual_latency_ms) // 2:]
+    steady_p95 = float(np.percentile(steady, 95.0)) if steady else 0.0
+
+    print_banner("Serving — streaming ingestion + latency-aware autoscaling")
+    rows = [[d.tick, d.action, d.workers_before, d.workers_after,
+             round(d.p95_ms, 1), round(d.pressure, 2)]
+            for d in report.scale_decisions if d.resized]
+    print(format_table(
+        ["tick", "action", "workers", "->", "p95_ms", "pressure"], rows))
+    print(f"\nframes served: {report.frame_count} over {report.ticks} virtual ticks")
+    print(f"serving latency: p50 {report.virtual_latency_percentile(50.0):.1f} ms, "
+          f"p95 {report.virtual_latency_percentile(95.0):.1f} ms "
+          f"(steady-state p95 {steady_p95:.1f} ms vs {DEADLINE_MS:.0f} ms deadline)")
+    print(f"deadline misses while converging: {report.deadline_misses}")
+    print(f"pool: {report.scale_decisions[0].workers_before if report.scale_decisions else 1} "
+          f"-> {report.final_workers} workers "
+          f"({len(grows)} grow / {len(shrinks)} shrink decisions)")
+    print(f"streaming bit-identical to materialized: {identical}")
+    trained = {m: accelerator.scheduler.observation_count(m)
+               for m in ("vio", "slam", "registration")}
+    print(f"online offload-scheduler observations: {trained}")
+
+    assert identical, "streaming ingestion diverged from the materialized path"
+    assert grows, "an under-provisioned pool must grow under backlog pressure"
+    assert shrinks, "the pool must shrink once the backlog drains"
+    assert steady_p95 < DEADLINE_MS, (
+        "converged serving latency must meet the per-session deadline")
+    assert sum(trained.values()) == report.frame_count

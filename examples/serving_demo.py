@@ -8,13 +8,23 @@ persistent run store, shards cold sessions across worker processes, and
 switches each client's backend mode online as its environment changes.
 Afterwards, the served telemetry trains the runtime offload scheduler.
 
+The second half is the streaming/deadline variant: the same fleet arrives
+frame by frame on a virtual clock with a 400 ms per-session serving
+deadline.  A deliberately under-provisioned pool falls behind, the
+latency-aware autoscaler grows it until the fleet keeps up and shrinks it
+again once the backlog drains — and the served trajectories stay
+bit-identical to the materialized pass above.
+
 Run with:  python examples/serving_demo.py
 """
 
 from repro.experiments.common import accelerator_for
 from repro.experiments.runner import RunStore
+from repro.scheduler import LatencyAutoscaler
 from repro.serving import ServingEngine, mixed_fleet
 from repro.serving.engine import train_offload_scheduler
+
+DEADLINE_MS = 400.0
 
 
 def main() -> None:
@@ -55,6 +65,38 @@ def main() -> None:
     print("\nOffload predictor trained from serving telemetry (R^2 per mode):")
     for mode, r2 in sorted(fits.items()):
         print(f"  {mode:13s} {r2:.3f}")
+
+    # 6. Streaming/deadline variant: the same clients now upload frames as
+    #    their cameras produce them, each with a serving deadline.  Start
+    #    the pool at one worker and let the autoscaler find the right size.
+    print("\n--- streaming ingestion with a latency-aware autoscaler ---")
+    streaming_fleet = mixed_fleet(8, segment_duration=2.0, camera_rate_hz=5.0,
+                                  deadline_ms=DEADLINE_MS)
+    accelerator = accelerator_for("drone")
+    autoscaler = LatencyAutoscaler(min_workers=1, max_workers=8, window=48,
+                                   grow_patience=2, shrink_patience=4, cooldown=2)
+    streaming_engine = ServingEngine(store=None, max_workers=1,
+                                     autoscaler=autoscaler,
+                                     accelerator=accelerator)
+    streaming = streaming_engine.serve(streaming_fleet, parallel=False,
+                                       ingestion="streaming")
+
+    print(f"Served {streaming.frame_count} frames over {streaming.ticks} "
+          f"virtual ticks (deadline {DEADLINE_MS:.0f} ms/frame)")
+    print(f"Serving latency: p50 {streaming.virtual_latency_percentile(50.0):.1f} ms, "
+          f"p95 {streaming.virtual_latency_percentile(95.0):.1f} ms; "
+          f"{streaming.deadline_misses} deadline misses while converging")
+    print("Autoscaler decisions:")
+    for decision in streaming.scale_decisions:
+        if decision.resized:
+            print(f"  tick {decision.tick:3d}: {decision.action:6s} "
+                  f"{decision.workers_before} -> {decision.workers_after} workers "
+                  f"(p95 {decision.p95_ms:.0f} ms, pressure {decision.pressure:.2f})")
+    print(f"Final pool: {streaming.final_workers} workers")
+    observed = {mode: accelerator.scheduler.observation_count(mode)
+                for mode in ("vio", "slam", "registration")}
+    print(f"Offload scheduler trained online from {sum(observed.values())} "
+          f"served frames: {observed}")
 
 
 if __name__ == "__main__":

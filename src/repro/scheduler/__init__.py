@@ -12,15 +12,23 @@ The models can also be fit from live traffic: the serving layer
 samples (``train_offload_scheduler``), and
 :meth:`RuntimeScheduler.observe` offers an incremental per-frame path
 (bounded sliding window, periodic refit) for long-running deployments.
+
+The package also hosts the serving layer's resource control loop:
+:class:`LatencyAutoscaler` (:mod:`repro.scheduler.autoscaler`) sizes the
+shared worker pool from rolling p50/p95 frame latency against per-session
+deadlines, with grow/shrink hysteresis and a decision log.
 """
 
+from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
 from repro.scheduler.regression import PolynomialRegression, r_squared
 from repro.scheduler.scheduler import OracleScheduler, RuntimeScheduler, SchedulerEvaluation
 
 __all__ = [
+    "LatencyAutoscaler",
     "PolynomialRegression",
     "r_squared",
     "RuntimeScheduler",
     "OracleScheduler",
+    "ScaleDecision",
     "SchedulerEvaluation",
 ]

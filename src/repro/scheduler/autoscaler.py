@@ -1,0 +1,183 @@
+"""Latency-aware worker-pool autoscaling for the serving layer.
+
+The serving engine multiplexes a fleet of localization sessions over a
+shared worker pool.  Traffic is bursty — sessions connect in waves, GPS
+dropouts shift work onto heavier backends — so a fixed pool is either
+over-provisioned (wasted workers) or under-provisioned (frames queue and
+blow their deadlines).  :class:`LatencyAutoscaler` closes that loop: it
+watches rolling p50/p95 frame latency against each session's serving
+deadline (:attr:`~repro.serving.streams.StreamSpec.deadline_ms`) and
+resizes the pool with hysteresis.
+
+The control signal is *deadline pressure*: the p95 of ``latency/deadline``
+over a sliding window.  Pressure above ``grow_pressure`` for
+``grow_patience`` consecutive evaluations doubles the pool (bounded by
+``max_workers``); pressure below ``shrink_pressure`` for
+``shrink_patience`` evaluations releases one worker at a time (bounded by
+``min_workers``).  Asymmetric patience plus a post-resize cooldown — during
+which the observation window is discarded so decisions never act on
+pre-resize traffic — is what keeps the controller from oscillating: growing
+is cheap to undo, missing deadlines is not, so the scaler grows eagerly and
+shrinks reluctantly.
+
+Every evaluation is appended to :attr:`LatencyAutoscaler.decisions`, the
+decision log the serving report exposes and the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One autoscaler evaluation (held, grew or shrank)."""
+
+    tick: int
+    clock: float
+    action: str  # "grow" | "shrink" | "hold"
+    workers_before: int
+    workers_after: int
+    p50_ms: float
+    p95_ms: float
+    pressure: float  # p95 of latency/deadline over the window
+    reason: str
+
+    @property
+    def resized(self) -> bool:
+        return self.workers_after != self.workers_before
+
+
+class LatencyAutoscaler:
+    """Deadline-pressure pool sizing with hysteresis and cooldown."""
+
+    # Decision-log retention: every evaluation is logged, but a long-running
+    # deployment evaluates once per tick forever, so the log is a bounded
+    # deque (like the observation windows) rather than an unbounded list.
+    DECISION_LOG_LIMIT = 4096
+
+    def __init__(self, min_workers: int = 1, max_workers: int = 8,
+                 initial_workers: Optional[int] = None, window: int = 256,
+                 grow_pressure: float = 0.9, shrink_pressure: float = 0.3,
+                 grow_patience: int = 2, shrink_patience: int = 6,
+                 cooldown: int = 3, grow_factor: float = 2.0,
+                 default_deadline_ms: Optional[float] = None) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if shrink_pressure >= grow_pressure:
+            raise ValueError("shrink_pressure must be below grow_pressure")
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.grow_pressure = float(grow_pressure)
+        self.shrink_pressure = float(shrink_pressure)
+        self.grow_patience = max(1, int(grow_patience))
+        self.shrink_patience = max(1, int(shrink_patience))
+        self.cooldown = max(0, int(cooldown))
+        self.grow_factor = max(1.0, float(grow_factor))
+        self.default_deadline_ms = default_deadline_ms
+        self.workers = self._clamp(initial_workers if initial_workers is not None
+                                   else min_workers)
+        self.decisions: Deque[ScaleDecision] = deque(maxlen=self.DECISION_LOG_LIMIT)
+        self._latency: Deque[float] = deque(maxlen=max(1, int(window)))
+        self._pressure: Deque[float] = deque(maxlen=max(1, int(window)))
+        self._over_streak = 0
+        self._under_streak = 0
+        self._cooldown_left = 0
+        self._tick = 0
+
+    # ------------------------------------------------------------ observing
+
+    def observe(self, latency_ms: float, deadline_ms: Optional[float] = None) -> None:
+        """Fold one served frame's latency (and its deadline) into the window.
+
+        Frames without a deadline (``None``, and no ``default_deadline_ms``)
+        contribute to the latency percentiles but exert no pressure — a
+        best-effort session can never force the pool to grow.
+        """
+        self._latency.append(float(latency_ms))
+        deadline = deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        if deadline is not None and deadline > 0:
+            self._pressure.append(float(latency_ms) / float(deadline))
+
+    def latency_percentile(self, percent: float) -> float:
+        if not self._latency:
+            return 0.0
+        return float(np.percentile(list(self._latency), percent))
+
+    def pressure(self) -> float:
+        """p95 of latency/deadline over the window (0 with no deadlines)."""
+        if not self._pressure:
+            return 0.0
+        return float(np.percentile(list(self._pressure), 95.0))
+
+    # ------------------------------------------------------------- deciding
+
+    def decide(self, clock: float = 0.0) -> ScaleDecision:
+        """Evaluate the window once; resize ``workers`` when warranted."""
+        self._tick += 1
+        before = self.workers
+        p50 = self.latency_percentile(50.0)
+        p95 = self.latency_percentile(95.0)
+        pressure = self.pressure()
+        action = "hold"
+        reason = "within band"
+
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            reason = "cooldown"
+        elif not self._pressure:
+            reason = "no deadline traffic"
+        else:
+            if pressure > self.grow_pressure:
+                self._over_streak += 1
+                self._under_streak = 0
+                reason = (f"pressure {pressure:.2f} > {self.grow_pressure:.2f} "
+                          f"({self._over_streak}/{self.grow_patience})")
+            elif pressure < self.shrink_pressure:
+                self._under_streak += 1
+                self._over_streak = 0
+                reason = (f"pressure {pressure:.2f} < {self.shrink_pressure:.2f} "
+                          f"({self._under_streak}/{self.shrink_patience})")
+            else:
+                self._over_streak = 0
+                self._under_streak = 0
+            if self._over_streak >= self.grow_patience and self.workers < self.max_workers:
+                action = "grow"
+                self.workers = self._clamp(max(
+                    self.workers + 1, int(np.ceil(self.workers * self.grow_factor))))
+            elif self._under_streak >= self.shrink_patience and self.workers > self.min_workers:
+                action = "shrink"
+                self.workers = self._clamp(self.workers - 1)
+            if action != "hold":
+                # Hysteresis: start a cooldown and drop the window so the
+                # next decision only ever sees post-resize traffic.
+                self._over_streak = 0
+                self._under_streak = 0
+                self._cooldown_left = self.cooldown
+                self._latency.clear()
+                self._pressure.clear()
+
+        decision = ScaleDecision(
+            tick=self._tick,
+            clock=float(clock),
+            action=action,
+            workers_before=before,
+            workers_after=self.workers,
+            p50_ms=p50,
+            p95_ms=p95,
+            pressure=pressure,
+            reason=reason,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------ internals
+
+    def _clamp(self, workers: int) -> int:
+        return max(self.min_workers, min(self.max_workers, int(workers)))

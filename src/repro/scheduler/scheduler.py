@@ -13,12 +13,15 @@ times exactly) provides the upper bound the paper compares against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hardware.backend_accel import BackendAcceleratorModel
 from repro.scheduler.regression import PolynomialRegression, r_squared
+
+if TYPE_CHECKING:  # import only for annotations: repro.hardware imports this
+    # module back (accelerator wiring), so a runtime import would be a cycle.
+    from repro.hardware.backend_accel import BackendAcceleratorModel
 
 # The workload feature that predicts each kernel's CPU latency (Fig. 16):
 # the projected (visible) map subset for projection, the measurement
@@ -131,6 +134,10 @@ class RuntimeScheduler:
 
     def is_trained(self, mode: str) -> bool:
         return mode in self.models
+
+    def observation_count(self, mode: str) -> int:
+        """Lifetime count of live observations folded in via :meth:`observe`."""
+        return self._observation_counts.get(mode, 0)
 
     # ------------------------------------------------------------- decision
 

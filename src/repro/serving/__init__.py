@@ -6,20 +6,33 @@ per client device — over a shared pool of backend workers:
 * :mod:`repro.serving.streams` describes time-varying deployments
   (:class:`StreamSpec` / :class:`ScenarioStream`): ordered scenario segments
   with injected GPS dropouts, IMU degradation bursts and map entry/exit.
+  :meth:`ScenarioStream.frames` is the arrival-time view: an incremental
+  iterator of :class:`StreamFrame`\\ s with lazily built segments;
+  :attr:`StreamSpec.deadline_ms` carries the per-session serving deadline.
 * :mod:`repro.serving.session` holds per-client state (:class:`Session`):
-  it steps the unified framework frame by frame and switches the backend
-  mode online via the Fig. 2 policy with GPS hysteresis.
+  it steps the unified framework frame by frame, switches the backend mode
+  online via the Fig. 2 policy with GPS hysteresis, and accepts frames as
+  they arrive through a bounded ingress queue with backpressure.
 * :mod:`repro.serving.engine` dispatches fleets (:class:`ServingEngine`):
-  an event loop that batches ready frames across sessions, shards cold
-  sessions over the shared process pool with deterministic per-session
-  seeds (serial == parallel), persists results in the run store, and
-  reports throughput/latency/mode-switch telemetry.
+  an arrival-time event loop on a virtual clock that serves whatever is
+  ready now across sessions (capacity sized by the latency-aware
+  :class:`~repro.scheduler.LatencyAutoscaler` when one is attached), shards
+  cold sessions over the shared process pool with deterministic per-session
+  seeds (serial == streaming == parallel), persists results in the run
+  store, and reports throughput/latency/autoscaling telemetry.
 """
 
 from repro.serving.engine import ServingEngine, ServingReport, run_session, serving_key
-from repro.serving.session import ModeSwitch, ModeSwitchPolicy, Session, SessionResult
+from repro.serving.session import (
+    DEFAULT_INGRESS_CAPACITY,
+    ModeSwitch,
+    ModeSwitchPolicy,
+    Session,
+    SessionResult,
+)
 from repro.serving.streams import (
     ScenarioStream,
+    StreamFrame,
     StreamSegment,
     StreamSpec,
     mixed_deployment_stream,
@@ -28,6 +41,7 @@ from repro.serving.streams import (
 )
 
 __all__ = [
+    "DEFAULT_INGRESS_CAPACITY",
     "ModeSwitch",
     "ModeSwitchPolicy",
     "ScenarioStream",
@@ -35,6 +49,7 @@ __all__ = [
     "ServingReport",
     "Session",
     "SessionResult",
+    "StreamFrame",
     "StreamSegment",
     "StreamSpec",
     "mixed_deployment_stream",

@@ -1,4 +1,4 @@
-"""The serving engine: fleet dispatch over a shared worker pool.
+"""The serving engine: arrival-time fleet dispatch over a shared worker pool.
 
 :class:`ServingEngine` resolves a fleet of :class:`~repro.serving.streams.StreamSpec`
 sessions through the same three layers as the experiment runner:
@@ -6,28 +6,44 @@ sessions through the same three layers as the experiment runner:
 1. the persistent :class:`~repro.experiments.runner.RunStore` (session
    results are content-addressed by spec + code + config fingerprints, so a
    fleet served once is nearly free to serve again);
-2. a serial *event loop* that multiplexes the remaining cold sessions in
-   one process: each tick gathers the batch of sessions whose next frame is
-   ready (within one frame interval of the earliest), steps them in
-   deterministic ``(timestamp, stream_id)`` order and records the batch
-   width;
+2. a **streaming-ingestion event loop** keyed on a virtual clock: every
+   session exposes an incremental frame iterator
+   (:meth:`~repro.serving.streams.ScenarioStream.frames`), frames are
+   admitted into bounded per-session ingress queues as they *arrive* on the
+   clock, and each tick serves whatever is ready now — across sessions, in
+   deterministic ``(arrival, stream_id)`` order, up to the pool's service
+   capacity.  Segments are built lazily; the stream is never materialized.
+   A frame served later than it arrived has *serving latency* (virtual
+   clock delta), the signal the autoscaler regulates;
 3. a process-pool fan-out (:func:`repro.experiments.runner.fan_out`) that
    shards whole cold sessions across workers.  Every session is a pure
-   function of its spec with deterministic per-session seeds, so serial and
-   parallel execution produce bit-identical trajectories and mode switches
-   (the same guarantee the experiment runner makes for cells) — verified by
-   comparing :meth:`~repro.serving.session.SessionResult.signature`.
+   function of its spec with deterministic per-session seeds, so serial,
+   streaming and parallel execution produce bit-identical trajectories and
+   mode switches — verified by comparing
+   :meth:`~repro.serving.session.SessionResult.signature`.
+
+**Autoscaling.**  With a :class:`~repro.scheduler.LatencyAutoscaler`
+attached, the engine closes the resource loop of the deployment story:
+served frame latencies (virtual in the streaming loop, wall in the pool
+path) are folded into the scaler's rolling window against each session's
+``deadline_ms``, and its grow/shrink decisions resize the service capacity
+— the virtual worker count in the streaming loop, and a live, resizable
+:class:`~repro.experiments.runner.WorkerPool` between dispatch waves in the
+parallel path.  The decision log lands in the report.
 
 The engine also closes the loop to the runtime offload scheduler
-(Sec. VI-B): :func:`scheduler_training_samples` converts served telemetry
-(per-frame backend workloads and kernel latencies) into regression training
-data, and :func:`train_offload_scheduler` fits an accelerator's scheduler
-from live traffic instead of an offline characterization pass.
+(Sec. VI-B), two ways: :func:`train_offload_scheduler` batch-fits an
+accelerator's scheduler from a served fleet's telemetry, and an engine
+constructed with ``accelerator=`` feeds every streamed frame to
+:meth:`~repro.scheduler.RuntimeScheduler.observe` as it is served — the
+predictor tracks live traffic instead of waiting for a characterization
+pass.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import time
 from dataclasses import dataclass, field
@@ -38,23 +54,33 @@ import numpy as np
 from repro.experiments.runner import (
     CACHE_SCHEMA_VERSION,
     RunStore,
+    WorkerPool,
     code_fingerprint,
     config_fingerprint,
     fan_out,
     resolve_max_workers,
 )
-from repro.serving.session import Session, SessionResult
+from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
+from repro.serving.session import DEFAULT_INGRESS_CAPACITY, Session, SessionResult
 from repro.serving.streams import StreamSpec
 
 
 def serving_key(spec: StreamSpec) -> str:
-    """Content-hash key of one session: spec + code + config fingerprints."""
+    """Content-hash key of one session: spec + code + config fingerprints.
+
+    ``deadline_ms`` is excluded: it is a QoS contract that never enters the
+    localization math (results are bit-identical with or without it), so a
+    deadline change must keep the cache warm rather than recompute the
+    whole fleet.
+    """
+    spec_payload = spec.payload()
+    spec_payload.pop("deadline_ms", None)
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "kind": "serving-session",
         "code": code_fingerprint(),
         "config": config_fingerprint(spec.platform_kind, spec.camera_rate_hz, spec.seed),
-        "spec": spec.payload(),
+        "spec": spec_payload,
     }
     return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
 
@@ -71,11 +97,14 @@ def _run_session_payload(payload: Dict) -> SessionResult:
 
 @dataclass
 class ServingReport:
-    """Fleet results plus throughput / latency / mode-switch telemetry.
+    """Fleet results plus throughput / latency / autoscaling telemetry.
 
-    Latency percentiles are computed over the frames served *in this call*
-    (store hits carry stale wall times from the run that computed them, so
-    they are excluded from latency aggregates but counted as sessions).
+    Wall latency percentiles are computed over the frames served *in this
+    call* (store hits carry stale wall times from the run that computed
+    them, so they are excluded from latency aggregates but counted as
+    sessions).  ``virtual_latency_ms`` is the streaming loop's
+    arrival-to-service delay on the virtual clock — the deadline the
+    autoscaler protects; it is empty on the materialized and pool paths.
     """
 
     results: Dict[str, SessionResult] = field(default_factory=dict)
@@ -84,8 +113,13 @@ class ServingReport:
     store_hits: int = 0
     parallel: bool = False
     workers: int = 1
+    ingestion: str = ""
     batch_sizes: List[int] = field(default_factory=list)
     served_frame_wall_ms: List[float] = field(default_factory=list)
+    virtual_latency_ms: List[float] = field(default_factory=list)
+    deadline_misses: int = 0
+    ticks: int = 0
+    scale_decisions: List[ScaleDecision] = field(default_factory=list)
 
     @property
     def session_count(self) -> int:
@@ -112,11 +146,26 @@ class ServingReport:
             return 0.0
         return float(np.percentile(self.served_frame_wall_ms, percent))
 
+    def virtual_latency_percentile(self, percent: float) -> float:
+        if not self.virtual_latency_ms:
+            return 0.0
+        return float(np.percentile(self.virtual_latency_ms, percent))
+
     @property
     def mean_batch_size(self) -> float:
         if not self.batch_sizes:
             return 0.0
         return float(np.mean(self.batch_sizes))
+
+    @property
+    def resize_count(self) -> int:
+        return sum(1 for decision in self.scale_decisions if decision.resized)
+
+    @property
+    def final_workers(self) -> int:
+        if self.scale_decisions:
+            return self.scale_decisions[-1].workers_after
+        return self.workers
 
     def summary(self) -> Dict[str, float]:
         """The headline serving metrics (what the benchmark prints)."""
@@ -128,11 +177,16 @@ class ServingReport:
             "frames_per_second": self.frames_per_second,
             "p50_frame_ms": self.latency_percentile(50.0),
             "p95_frame_ms": self.latency_percentile(95.0),
+            "p50_serving_ms": self.virtual_latency_percentile(50.0),
+            "p95_serving_ms": self.virtual_latency_percentile(95.0),
+            "deadline_misses": self.deadline_misses,
             "mode_switches": self.mode_switch_count,
             "mean_batch_size": self.mean_batch_size,
             "store_hits": self.store_hits,
             "computed_sessions": self.computed_sessions,
             "workers": self.workers,
+            "final_workers": self.final_workers,
+            "resizes": self.resize_count,
         }
 
 
@@ -140,23 +194,60 @@ class ServingEngine:
     """Multiplexes many localization sessions over shared workers."""
 
     # A frame is "ready" within this fraction of a frame interval of the
-    # earliest pending frame; such frames form one dispatch batch.
+    # earliest pending frame; such frames form one dispatch batch
+    # (materialized event loop only — the streaming loop admits frames by
+    # arrival time instead).
     BATCH_WINDOW_FRACTION = 0.5
+    # Service capacity of one worker in the streaming loop: frames served
+    # per frame interval.  The virtual analogue of a worker's real
+    # throughput; with a fleet wider than workers x this, frames queue and
+    # serving latency grows — the congestion signal the autoscaler closes on.
+    FRAMES_PER_WORKER_TICK = 4
 
     def __init__(self, store: Optional[RunStore] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 autoscaler: Optional[LatencyAutoscaler] = None,
+                 accelerator=None,
+                 ingress_capacity: int = DEFAULT_INGRESS_CAPACITY,
+                 frames_per_worker_tick: Optional[int] = None) -> None:
         self.store = store
         self.max_workers = resolve_max_workers(max_workers)
+        self.autoscaler = autoscaler
+        self.accelerator = accelerator
+        self.ingress_capacity = max(1, int(ingress_capacity))
+        self.frames_per_worker_tick = max(
+            1, int(frames_per_worker_tick if frames_per_worker_tick is not None
+                   else self.FRAMES_PER_WORKER_TICK))
+        self._kernel_of: Dict[str, str] = {}
 
-    def serve(self, specs: Sequence[StreamSpec],
-              parallel: Optional[bool] = None) -> ServingReport:
+    def serve(self, specs: Sequence[StreamSpec], parallel: Optional[bool] = None,
+              ingestion: Optional[str] = None) -> ServingReport:
         """Resolve every session: store -> event loop / process pool.
 
         ``parallel`` of ``None`` shards across the process pool whenever
         more than one cold session and more than one worker are available;
-        ``False`` forces the serial event loop (used to verify bit-identity
-        against the parallel path).
+        ``False`` forces the in-process event loop.  ``ingestion`` selects
+        that loop's flavor: ``"streaming"`` is the arrival-time event loop
+        with bounded ingress queues and autoscaled capacity (the default
+        when the serial loop runs); ``"materialized"`` is the legacy
+        ready-batch multiplexer that pulls frames straight from the segment
+        builders.  Naming an ingestion explicitly *requests the serial
+        loop*: it overrides the automatic pool choice (so the telemetry the
+        caller asked to measure does not depend on the host's core count)
+        and is rejected alongside ``parallel=True``.  All paths produce
+        bit-identical :meth:`SessionResult.signature` values.
+
+        The engine's ``autoscaler`` and ``accelerator`` hooks are features
+        of the *streaming* loop (and, for the autoscaler, the pool path):
+        the materialized reference loop has no arrival clock to scale
+        against and no per-frame hook, so it reports no scale decisions and
+        feeds no online observations.
         """
+        if ingestion not in (None, "streaming", "materialized"):
+            raise ValueError(f"unknown ingestion mode: {ingestion!r}")
+        if ingestion is not None and parallel is True:
+            raise ValueError("ingestion selects the serial event loop; "
+                             "it cannot be combined with parallel=True")
         started = time.perf_counter()
         report = ServingReport(workers=self.max_workers)
         cold: List[StreamSpec] = []
@@ -169,27 +260,216 @@ class ServingEngine:
                 stored = self.store.load_key(serving_key(spec), expect=SessionResult)
                 if stored is not None:
                     report.store_hits += 1
+                    # The key ignores deadline_ms, so the hit may have been
+                    # computed under a different QoS contract; refresh the
+                    # provenance payload to the spec actually requested
+                    # (everything else is identical by key construction).
+                    stored.spec_payload = spec.payload()
                     report.results[spec.stream_id] = stored
                     continue
             cold.append(spec)
 
-        use_pool = (self.max_workers > 1 and len(cold) > 1) if parallel is None else bool(parallel)
+        if parallel is None:
+            use_pool = (ingestion is None and self.max_workers > 1 and len(cold) > 1)
+        else:
+            use_pool = bool(parallel)
+        # Recorded even for a fully store-warm serve, so callers can always
+        # see which path their request resolved to.
+        report.ingestion = "pool" if use_pool else (ingestion or "streaming")
         if cold:
             if use_pool:
-                def _mark_parallel() -> None:
-                    # Only set once a pool actually spawned — fan_out may
-                    # fall back to in-process execution.
-                    report.parallel = True
-
-                for index, result in fan_out(_run_session_payload,
-                                             [spec.payload() for spec in cold],
-                                             self.max_workers, on_pool=_mark_parallel):
-                    self._absorb(report, cold[index], result)
+                self._serve_pool(cold, report)
+            elif report.ingestion == "streaming":
+                for spec, result in self._serve_streaming(cold, report):
+                    self._absorb(report, spec, result)
             else:
-                for spec, result in self._serve_serial(cold, report.batch_sizes):
+                for spec, result in self._serve_materialized(cold, report.batch_sizes):
                     self._absorb(report, spec, result)
         report.wall_s = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------- streaming event loop
+
+    def _serve_streaming(self, specs: Sequence[StreamSpec], report: ServingReport):
+        """Arrival-time event loop: ingest what arrived, serve what is ready.
+
+        The loop advances a virtual clock over the fleet's frame arrivals.
+        Each tick:
+
+        1. every active session admits frames that have arrived by ``clock``
+           into its bounded ingress queue (a full queue pushes back instead
+           of buffering — congestion becomes latency, not memory);
+        2. pending frames are served in ``(arrival, stream_id)`` order, up
+           to ``workers x frames_per_worker_tick`` frames — the pool's
+           service capacity this tick;
+        3. served latencies (``clock - arrival``) feed the autoscaler, which
+           may resize ``workers`` (grow/shrink with hysteresis);
+        4. the clock advances one frame interval while a backlog remains,
+           else jumps to the next arrival.
+
+        Sessions share no state, so any serving order is bit-identical to
+        running each session straight through; the scheduling only shapes
+        *when* each frame is served, i.e. the latency telemetry.
+        """
+        sessions = [Session(spec, ingress_capacity=self.ingress_capacity)
+                    for spec in specs]
+        active: List[Session] = []
+        for session in sessions:
+            # A stream with no segments is complete on arrival; yield its
+            # (empty) result so the streaming path matches the pool path.
+            if session.done:
+                yield session.spec, session.result()
+            else:
+                active.append(session)
+        if not active:
+            return
+        tick_interval = min(session.spec.frame_interval for session in active)
+        workers = self.autoscaler.workers if self.autoscaler is not None else self.max_workers
+        # The width serving actually starts at, so final_workers stays
+        # truthful even when no scale decision is ever logged.
+        report.workers = workers
+        clock = min(session.next_arrival() for session in active)
+
+        while active:
+            report.ticks += 1
+            for session in active:
+                session.ingest_ready(clock)
+            # The worker pool's service capacity this tick.  The virtual
+            # pool is the autoscaler's actuator; without one, the loop
+            # serves everything that is ready (no artificial throttle).
+            if self.autoscaler is not None:
+                capacity = max(1, workers * self.frames_per_worker_tick)
+            else:
+                capacity = float("inf")
+            heads = [(session.next_pending(), session.spec.stream_id, session)
+                     for session in active if session.pending]
+            heapq.heapify(heads)
+            served = 0
+            while heads and served < capacity:
+                arrival, stream_id, session = heapq.heappop(heads)
+                session.serve_pending()
+                served += 1
+                latency_ms = max(0.0, (clock - arrival) * 1000.0)
+                report.virtual_latency_ms.append(latency_ms)
+                deadline = session.spec.deadline_ms
+                if deadline is not None and latency_ms > deadline:
+                    report.deadline_misses += 1
+                if self.autoscaler is not None:
+                    self.autoscaler.observe(latency_ms, deadline)
+                if self.accelerator is not None:
+                    self._observe_scheduler(session)
+                # Serving freed an ingress slot: admit any backpressured
+                # frame that has been waiting at the door.
+                session.ingest_ready(clock)
+                if session.pending:
+                    heapq.heappush(heads, (session.next_pending(), stream_id, session))
+            if served:
+                report.batch_sizes.append(served)
+
+            still_active: List[Session] = []
+            for session in active:
+                if session.done:
+                    yield session.spec, session.result()
+                else:
+                    still_active.append(session)
+            active = still_active
+            if not active:
+                return
+            # Evaluate the scaler only while sessions remain: a decision on
+            # the final tick would be logged but could never act.
+            if self.autoscaler is not None:
+                decision = self.autoscaler.decide(clock)
+                report.scale_decisions.append(decision)
+                workers = decision.workers_after
+            if any(session.pending for session in active):
+                clock += tick_interval
+            else:
+                arrivals = [session.next_arrival() for session in active]
+                clock = min(arrival for arrival in arrivals if arrival is not None)
+
+    def _observe_scheduler(self, session: Session) -> None:
+        """Feed the just-served frame to the accelerator's offload scheduler."""
+        backend_results = session.result().trajectory.backend_results
+        if not backend_results:
+            return
+        backend_result = backend_results[-1]
+        latency = _kernel_training_latency_ms(self.accelerator, backend_result,
+                                              self._kernel_of)
+        self.accelerator.scheduler.observe(
+            backend_result.mode, backend_result.workload, latency)
+
+    # ------------------------------------------------------------ pool path
+
+    def _serve_pool(self, cold: List[StreamSpec], report: ServingReport) -> None:
+        """Shard whole cold sessions across worker processes.
+
+        Without an autoscaler this is one fan-out over the fleet.  With one,
+        sessions are dispatched in waves sized by the current pool width
+        through a shared resizable :class:`WorkerPool`.  The latency signal
+        has two components: per-frame compute wall time (served sessions)
+        and — the congestion term that makes *growing* reachable — the
+        accumulated wall time every still-queued session has spent waiting
+        behind the current width, observed once per session per wave.  The
+        autoscaler's worker bounds are narrowed to the engine's
+        ``max_workers`` up front, so its decision log never reports a width
+        the pool could not actually have.
+        """
+        def _mark_parallel() -> None:
+            # Only set once a pool actually spawned — fan_out may fall back
+            # to in-process execution.
+            report.parallel = True
+
+        if self.autoscaler is None:
+            for index, result in fan_out(_run_session_payload,
+                                         [spec.payload() for spec in cold],
+                                         self.max_workers, on_pool=_mark_parallel):
+                self._absorb(report, cold[index], result)
+            return
+
+        autoscaler = self.autoscaler
+        # Clamp the scaler's sizing state to the real pool cap for the
+        # duration of this call only — the decision log must never report a
+        # width the pool could not have, but a later *streaming* serve's
+        # virtual capacity is host-independent and must not inherit this
+        # host's core count (bounds AND workers are restored; pool sizing
+        # is per-call).
+        saved_bounds = (autoscaler.min_workers, autoscaler.max_workers,
+                        autoscaler.workers)
+        autoscaler.max_workers = min(autoscaler.max_workers, self.max_workers)
+        autoscaler.min_workers = min(autoscaler.min_workers, autoscaler.max_workers)
+        autoscaler.workers = max(autoscaler.min_workers,
+                                 min(autoscaler.workers, autoscaler.max_workers))
+        dispatch_started = time.perf_counter()
+        try:
+            with WorkerPool(autoscaler.workers) as pool:
+                # As in the streaming loop: report the width the pool
+                # actually opened at, not the engine's cap.
+                report.workers = pool.width
+                queue = list(cold)
+                while queue:
+                    wave = queue[:max(1, pool.width)]
+                    del queue[:len(wave)]
+                    for index, result in fan_out(_run_session_payload,
+                                                 [spec.payload() for spec in wave],
+                                                 pool.width, on_pool=_mark_parallel,
+                                                 pool=pool):
+                        spec = wave[index]
+                        self._absorb(report, spec, result)
+                        for wall_ms in result.frame_wall_ms:
+                            autoscaler.observe(wall_ms, spec.deadline_ms)
+                    if queue:
+                        # Only decide while there is still work to size for:
+                        # a decision after the last wave would mutate the
+                        # scaler and the log without ever being applied.
+                        waited_ms = 1000.0 * (time.perf_counter() - dispatch_started)
+                        for spec in queue:
+                            autoscaler.observe(waited_ms, spec.deadline_ms)
+                        decision = autoscaler.decide()
+                        report.scale_decisions.append(decision)
+                        pool.resize(decision.workers_after)
+        finally:
+            (autoscaler.min_workers, autoscaler.max_workers,
+             autoscaler.workers) = saved_bounds
 
     # ------------------------------------------------------------ internals
 
@@ -201,8 +481,8 @@ class ServingEngine:
         if self.store is not None:
             self.store.save_key(serving_key(spec), result)
 
-    def _serve_serial(self, specs: Sequence[StreamSpec], batch_sizes: List[int]):
-        """The multiplexing event loop: step ready frames in batches.
+    def _serve_materialized(self, specs: Sequence[StreamSpec], batch_sizes: List[int]):
+        """The legacy ready-batch multiplexer (kept as the reference path).
 
         Sessions are stepped in deterministic ``(timestamp, stream_id)``
         order, so the loop's output is independent of dict/set iteration
@@ -210,13 +490,10 @@ class ServingEngine:
         to running each session straight through in a worker.
         """
         sessions = [Session(spec) for spec in specs]
-        spec_of = {session.spec.stream_id: spec for session, spec in zip(sessions, specs)}
         active = []
         for session in sessions:
-            # A stream with no segments is complete on arrival; yield its
-            # (empty) result so the serial path matches the pool path.
             if session.done:
-                yield spec_of[session.spec.stream_id], session.result()
+                yield session.spec, session.result()
             else:
                 active.append(session)
         window = self.BATCH_WINDOW_FRACTION / max(
@@ -231,11 +508,27 @@ class ServingEngine:
                 session.step()
             finished = [session for session in active if session.done]
             for session in finished:
-                yield spec_of[session.spec.stream_id], session.result()
+                yield session.spec, session.result()
             active = [session for session in active if not session.done]
 
 
 # ------------------------------------------------- scheduler telemetry feed
+
+
+def _kernel_training_latency_ms(accelerator, backend_result,
+                                kernel_of: Dict[str, str]) -> float:
+    """One frame's training target: the CPU latency (on the accelerator's
+    platform) of the mode's variation-contributing kernel — the quantity
+    the Sec. VI-B scheduler predicts.  Shared by the batch fit
+    (:func:`scheduler_training_samples`) and the engine's online per-frame
+    feed, so both train on the same target by construction.
+    """
+    mode = backend_result.mode
+    kernel = kernel_of.setdefault(
+        mode, accelerator.backend_model.accelerated_kernel_name(mode))
+    cpu = accelerator.cpu_model
+    latency = cpu.backend.kernel_ms(mode, backend_result.workload).get(kernel, 0.0)
+    return latency * cpu.platform.speed_factor
 
 
 def scheduler_training_samples(results: Dict[str, SessionResult],
@@ -243,23 +536,18 @@ def scheduler_training_samples(results: Dict[str, SessionResult],
     """Convert served telemetry into offload-predictor training data.
 
     For every frame the fleet served, the backend workload record and the
-    CPU latency of the mode's variation-contributing kernel (the quantity
-    the Sec. VI-B scheduler predicts) are extracted per mode, exactly like
-    the offline Sec. VII-F characterization does — but from live traffic.
+    CPU latency of the mode's variation-contributing kernel are extracted
+    per mode, exactly like the offline Sec. VII-F characterization does —
+    but from live traffic.
     """
     samples: Dict[str, Tuple[List, List[float]]] = {}
     kernel_of: Dict[str, str] = {}
-    backend_cost = accelerator.cpu_model.backend
-    speed_factor = accelerator.cpu_model.platform.speed_factor
     for result in results.values():
         for backend_result in result.trajectory.backend_results:
-            mode = backend_result.mode
-            kernel = kernel_of.setdefault(
-                mode, accelerator.backend_model.accelerated_kernel_name(mode))
-            latency = backend_cost.kernel_ms(mode, backend_result.workload).get(kernel, 0.0)
-            workloads, latencies = samples.setdefault(mode, ([], []))
+            workloads, latencies = samples.setdefault(backend_result.mode, ([], []))
             workloads.append(backend_result.workload)
-            latencies.append(latency * speed_factor)
+            latencies.append(_kernel_training_latency_ms(accelerator, backend_result,
+                                                         kernel_of))
     return samples
 
 

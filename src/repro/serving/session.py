@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -41,8 +42,15 @@ from repro.core.framework import EudoxusLocalizer
 from repro.core.modes import BackendMode
 from repro.core.result import TrajectoryResult
 from repro.experiments.runner import localizer_config_for, sensor_config_for
-from repro.sensors.dataset import Frame, SyntheticSequence
-from repro.serving.streams import ScenarioStream, StreamSpec
+from repro.sensors.dataset import Frame
+from repro.serving.streams import ScenarioStream, StreamFrame, StreamSpec
+
+# Per-session ingress bound: how many arrived-but-unserved frames a session
+# buffers before it pushes back on ingestion.  Two seconds of frames at the
+# default 5 Hz — enough to ride out a scheduling hiccup, small enough that a
+# congested fleet's memory stays bounded (backpressure, not buffering, is
+# the overload response).
+DEFAULT_INGRESS_CAPACITY = 10
 
 
 @dataclass
@@ -147,61 +155,137 @@ class SessionResult:
 
 
 class Session:
-    """One client's serving state: stream position, localizer, policy."""
+    """One client's serving state: stream position, ingress queue, localizer.
+
+    Frames reach a session through two equivalent paths:
+
+    * **materialized** — :meth:`step` pulls the next frame straight from the
+      stream's incremental iterator and serves it (the worker-process path,
+      and the legacy serial loop);
+    * **streaming ingestion** — the engine's event loop calls
+      :meth:`ingest_ready` to admit frames that have *arrived* on the
+      virtual clock into a bounded ingress queue, then :meth:`serve_pending`
+      to serve the queue head.  A full queue refuses further ingestion
+      (backpressure): the un-admitted frames keep their arrival stamps, so
+      congestion shows up as serving latency, not as dropped frames.
+
+    Both paths funnel every frame through the same :meth:`_serve` core, so
+    they produce bit-identical :class:`SessionResult`s — the engine's
+    serial/parallel/streaming signature contract rests on this.
+    """
 
     def __init__(self, spec: StreamSpec, config: Optional[LocalizerConfig] = None,
-                 policy: Optional[ModeSwitchPolicy] = None) -> None:
+                 policy: Optional[ModeSwitchPolicy] = None,
+                 ingress_capacity: int = DEFAULT_INGRESS_CAPACITY) -> None:
         self.spec = spec
         self.stream = ScenarioStream(
             spec, sensor_config_for(spec.platform_kind, spec.camera_rate_hz, spec.seed)
         )
         self.localizer = EudoxusLocalizer(config or localizer_config_for(spec.platform_kind))
         self.policy = policy or ModeSwitchPolicy()
+        self.ingress_capacity = max(1, int(ingress_capacity))
         self._result = SessionResult(stream_id=spec.stream_id, spec_payload=spec.payload())
-        self._sequence: Optional[SyntheticSequence] = None
+        self._frames: Iterator[StreamFrame] = self.stream.frames()
+        self._peek: Optional[StreamFrame] = None
+        self._generator_done = False
+        self._ingress: Deque[StreamFrame] = deque()
         self._segment_index = -1
-        self._pos = 0
         self._segment_fresh = True
         self._current_mode: Optional[BackendMode] = None
         self._had_map = False
+
+    # ---------------------------------------------------------- arrival side
+
+    def _advance(self) -> None:
+        """Generate the next frame into the peek slot (if any remain)."""
+        if self._peek is None and not self._generator_done:
+            try:
+                self._peek = next(self._frames)
+            except StopIteration:
+                self._generator_done = True
+
+    def next_arrival(self) -> Optional[float]:
+        """Arrival time of the next not-yet-ingested frame (None at EOS)."""
+        self._advance()
+        return self._peek.arrival_time if self._peek is not None else None
+
+    # Admission tolerance, as a fraction of the frame interval: an event
+    # loop that advances its clock by repeated float adds drifts a few ulps
+    # below the exact arrival grid (e.g. 8 x 0.2 = 1.5999999999999999 vs a
+    # frame stamped 1.6); without the slack such a frame would be refused
+    # and admitted one full tick late, recording a phantom frame interval
+    # of serving latency.
+    INGEST_SLACK_FRACTION = 1e-6
+
+    def ingest_ready(self, clock: float) -> int:
+        """Admit frames that have arrived by ``clock`` into the ingress queue.
+
+        Stops at the queue bound (backpressure) or at the first frame that
+        has not arrived yet; returns the number of frames admitted.  The
+        comparison tolerates :data:`INGEST_SLACK_FRACTION` of a frame
+        interval of clock drift, so a frame is never deferred a tick by
+        float rounding alone.
+        """
+        slack = self.INGEST_SLACK_FRACTION * self.spec.frame_interval
+        admitted = 0
+        while len(self._ingress) < self.ingress_capacity:
+            self._advance()
+            if self._peek is None or self._peek.arrival_time > clock + slack:
+                break
+            self._ingress.append(self._peek)
+            self._peek = None
+            admitted += 1
+        return admitted
+
+    def ingest(self, stream_frame: StreamFrame) -> bool:
+        """Push one externally-produced frame; False when the queue is full."""
+        if len(self._ingress) >= self.ingress_capacity:
+            return False
+        self._ingress.append(stream_frame)
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Frames admitted but not yet served."""
+        return len(self._ingress)
+
+    def next_pending(self) -> Optional[float]:
+        """Arrival time of the queue head (None when the queue is empty)."""
+        return self._ingress[0].arrival_time if self._ingress else None
+
+    def serve_pending(self) -> Optional[StreamFrame]:
+        """Serve the ingress-queue head; None when nothing is pending."""
+        if not self._ingress:
+            return None
+        stream_frame = self._ingress.popleft()
+        self._serve(stream_frame)
+        return stream_frame
 
     # ------------------------------------------------------------- stepping
 
     @property
     def done(self) -> bool:
-        self._ensure_segment()
-        return self._sequence is None
+        if self._ingress:
+            return False
+        return self.next_arrival() is None
 
     def next_timestamp(self) -> Optional[float]:
         """Timestamp of the next ready frame (None when the stream ended)."""
-        self._ensure_segment()
-        if self._sequence is None:
-            return None
-        return self._sequence.frames[self._pos].timestamp
+        if self._ingress:
+            return self._ingress[0].frame.timestamp
+        return self.next_arrival()
 
     def step(self) -> bool:
         """Serve one frame; returns False once the stream is exhausted."""
-        self._ensure_segment()
-        if self._sequence is None:
+        if self._ingress:
+            self.serve_pending()
+            return True
+        self._advance()
+        if self._peek is None:
             return False
-        sequence = self._sequence
-        frame = sequence.frames[self._pos]
-
-        started = time.perf_counter()
-        mode = self.policy.decide(frame, has_map=sequence.has_prebuilt_map)
-        if mode is not self._current_mode:
-            self._on_switch(frame, mode, has_map=sequence.has_prebuilt_map)
-        self.localizer.mode_selector.override = mode
-        estimate = self.localizer.process_frame(frame, sequence)
-        self.localizer.collect_last_frame(estimate, self._result.trajectory)
-        self._result.frame_wall_ms.append(1000.0 * (time.perf_counter() - started))
-
-        self._current_mode = mode
-        self._had_map = sequence.has_prebuilt_map
-        self._segment_fresh = False
-        self._pos += 1
-        if self._pos >= len(sequence.frames):
-            self._sequence = None
+        stream_frame = self._peek
+        self._peek = None
+        self._serve(stream_frame)
         return True
 
     def run(self) -> SessionResult:
@@ -215,27 +299,30 @@ class Session:
 
     # ------------------------------------------------------------ internals
 
-    def _ensure_segment(self) -> None:
-        """Build the next segment and prepare the localizer when needed."""
-        if self._sequence is not None or self._segment_index >= len(self.stream):
-            return
-        start_time = 0.0
-        start_index = 0
-        trajectory = self._result.trajectory
-        if trajectory.estimates:
-            last = trajectory.estimates[-1]
-            start_time = last.timestamp + 1.0 / self.spec.camera_rate_hz
-            start_index = last.frame_index + 1
-        self._segment_index += 1
-        if self._segment_index >= len(self.stream):
-            return
-        self._sequence = self.stream.build_segment(
-            self._segment_index, start_time=start_time, start_index=start_index
-        )
-        self.localizer.prepare(self._sequence)
-        self._result.segment_starts.append(start_index)
-        self._pos = 0
-        self._segment_fresh = True
+    def _serve(self, stream_frame: StreamFrame) -> None:
+        """Serve one frame: segment turnover, mode policy, backend, telemetry."""
+        frame = stream_frame.frame
+        sequence = stream_frame.sequence
+        if stream_frame.segment_index != self._segment_index:
+            # First frame of a new segment: re-prepare the backends exactly
+            # like process_mixed does at segment boundaries.
+            self.localizer.prepare(sequence)
+            self._result.segment_starts.append(frame.index)
+            self._segment_index = stream_frame.segment_index
+            self._segment_fresh = True
+
+        started = time.perf_counter()
+        mode = self.policy.decide(frame, has_map=sequence.has_prebuilt_map)
+        if mode is not self._current_mode:
+            self._on_switch(frame, mode, has_map=sequence.has_prebuilt_map)
+        self.localizer.mode_selector.override = mode
+        estimate = self.localizer.process_frame(frame, sequence)
+        self.localizer.collect_last_frame(estimate, self._result.trajectory)
+        self._result.frame_wall_ms.append(1000.0 * (time.perf_counter() - started))
+
+        self._current_mode = mode
+        self._had_map = sequence.has_prebuilt_map
+        self._segment_fresh = False
 
     def _on_switch(self, frame: Frame, mode: BackendMode, has_map: bool) -> None:
         if self._current_mode is None:

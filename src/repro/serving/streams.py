@@ -28,12 +28,12 @@ field:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.common.config import SensorConfig
-from repro.sensors.dataset import SequenceBuilder, SyntheticSequence, segment_frame_count
+from repro.sensors.dataset import Frame, SequenceBuilder, SyntheticSequence, segment_frame_count
 from repro.sensors.scenarios import OperatingScenario, ScenarioKind, scenario_catalog
 
 # Seed stride between segments of one stream (matches SequenceBuilder.build_mixed)
@@ -68,10 +68,14 @@ class StreamSegment:
     label: str = ""
 
     def payload(self) -> Dict:
+        # Floats are serialized exactly (json round-trips repr), not rounded:
+        # a worker process rebuilds the segment from this payload, and any
+        # quantization here would make the pool serve a *different* segment
+        # than the serial path (and collide cache keys across specs).
         return {
             "kind": self.kind.value,
-            "duration": round(float(self.duration), 6),
-            "gps_outage_probability": round(float(self.gps_outage_probability), 6),
+            "duration": float(self.duration),
+            "gps_outage_probability": float(self.gps_outage_probability),
             "imu_noise_scale": self.imu_noise_scale,
             "imu_bias_scale": self.imu_bias_scale,
             "label": self.label,
@@ -91,7 +95,15 @@ class StreamSegment:
 
 @dataclass(frozen=True)
 class StreamSpec:
-    """A complete, deterministic description of one serving session."""
+    """A complete, deterministic description of one serving session.
+
+    ``deadline_ms`` is the per-session serving deadline: the frame latency
+    budget the client tolerates between a frame's arrival and its served
+    estimate.  It is a quality-of-service contract, not an input to the
+    localization math — results are bit-identical with or without it — but
+    the engine's autoscaler sizes the worker pool against it.  ``None``
+    means best-effort (no deadline).
+    """
 
     stream_id: str
     segments: Tuple[StreamSegment, ...]
@@ -99,6 +111,7 @@ class StreamSpec:
     camera_rate_hz: float = 5.0
     landmark_count: int = 150
     seed: int = 0
+    deadline_ms: Optional[float] = None
 
     @property
     def total_duration(self) -> float:
@@ -110,14 +123,22 @@ class StreamSpec:
         return sum(segment_frame_count(segment.duration, self.camera_rate_hz)
                    for segment in self.segments)
 
+    @property
+    def frame_interval(self) -> float:
+        return 1.0 / self.camera_rate_hz
+
     def payload(self) -> Dict:
+        # Exact float serialization for the same reason as StreamSegment:
+        # the payload must reconstruct this spec bit-for-bit in a worker.
         return {
             "stream_id": self.stream_id,
             "segments": [segment.payload() for segment in self.segments],
             "platform_kind": self.platform_kind,
-            "camera_rate_hz": round(float(self.camera_rate_hz), 6),
+            "camera_rate_hz": float(self.camera_rate_hz),
             "landmark_count": int(self.landmark_count),
             "seed": int(self.seed),
+            "deadline_ms": (float(self.deadline_ms)
+                            if self.deadline_ms is not None else None),
         }
 
     @classmethod
@@ -129,7 +150,28 @@ class StreamSpec:
             camera_rate_hz=payload["camera_rate_hz"],
             landmark_count=payload["landmark_count"],
             seed=payload["seed"],
+            deadline_ms=payload.get("deadline_ms"),
         )
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """One frame of a stream as it arrives at the serving engine.
+
+    ``arrival_time`` is the frame's position on the stream's virtual clock
+    (its sensor timestamp: a client uploads a frame the moment its camera
+    produces it).  ``sequence`` is the segment the frame belongs to — frames
+    keep a reference so the localizer can be prepared with the segment's
+    world/rig exactly when its first frame is served, and so that the
+    number of segments alive at once is bounded by the ingress depth (at
+    most one per queued frame, plus the one being generated) regardless of
+    stream length.
+    """
+
+    frame: Frame
+    sequence: SyntheticSequence
+    segment_index: int
+    arrival_time: float
 
 
 class ScenarioStream:
@@ -168,6 +210,36 @@ class ScenarioStream:
             seed_offset=SEGMENT_SEED_STRIDE * index,
         )
 
+    def frames(self) -> Iterator[StreamFrame]:
+        """Incremental frame iterator: the arrival-time view of the stream.
+
+        Yields every frame of the stream in arrival order, stamped with its
+        position on the virtual clock.  Segments are built lazily — one at a
+        time, only when the iterator reaches them — so a stream of any
+        length occupies the memory of a single segment; the full stream is
+        never materialized.
+
+        Segment stitching uses the same arithmetic as the materialized path
+        (:meth:`~repro.serving.session.Session.step` via its segment
+        bookkeeping): the next segment starts one frame interval after the
+        previous segment's last frame, at the next frame index.  Because
+        segment contents depend only on ``(spec, start_time, start_index)``,
+        the frames this iterator yields are bit-identical to the
+        materialized ones.
+        """
+        start_time = 0.0
+        start_index = 0
+        for index in range(len(self.spec.segments)):
+            sequence = self.build_segment(index, start_time=start_time,
+                                          start_index=start_index)
+            for frame in sequence.frames:
+                yield StreamFrame(frame=frame, sequence=sequence,
+                                  segment_index=index, arrival_time=frame.timestamp)
+            if sequence.frames:
+                last = sequence.frames[-1]
+                start_time = last.timestamp + 1.0 / self.spec.camera_rate_hz
+                start_index = last.index + 1
+
 
 # ------------------------------------------------------------------ factories
 
@@ -178,7 +250,8 @@ def mixed_deployment_stream(stream_id: str, seed: int = 0,
                             camera_rate_hz: float = 5.0,
                             landmark_count: int = 150,
                             rotate: int = 0,
-                            dropout: bool = True) -> StreamSpec:
+                            dropout: bool = True,
+                            deadline_ms: Optional[float] = None) -> StreamSpec:
     """The paper's 50/25/25 mixed deployment as a time-varying stream.
 
     Segments follow the Sec. VII-A mix (50 % outdoor, 25 % indoor unmapped,
@@ -214,6 +287,7 @@ def mixed_deployment_stream(stream_id: str, seed: int = 0,
         camera_rate_hz=camera_rate_hz,
         landmark_count=landmark_count,
         seed=seed,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -222,7 +296,8 @@ def random_stream(stream_id: str, seed: int = 0, segment_count: int = 6,
                   camera_rate_hz: float = 5.0, landmark_count: int = 150,
                   dropout_probability: float = 0.2,
                   imu_burst_probability: float = 0.2,
-                  imu_burst_scale: float = 4.0) -> StreamSpec:
+                  imu_burst_scale: float = 4.0,
+                  deadline_ms: Optional[float] = None) -> StreamSpec:
     """A seeded random walk over the Fig. 2 taxonomy with injected events."""
     rng = np.random.default_rng(seed)
     kinds = list(ScenarioKind)
@@ -256,12 +331,14 @@ def random_stream(stream_id: str, seed: int = 0, segment_count: int = 6,
         camera_rate_hz=camera_rate_hz,
         landmark_count=landmark_count,
         seed=seed,
+        deadline_ms=deadline_ms,
     )
 
 
 def mixed_fleet(count: int, base_seed: int = 0, segment_duration: float = 2.0,
                 platform_kind: str = "drone", camera_rate_hz: float = 5.0,
-                landmark_count: int = 150) -> List[StreamSpec]:
+                landmark_count: int = 150,
+                deadline_ms: Optional[float] = None) -> List[StreamSpec]:
     """A fleet of mixed-deployment sessions with distinct seeds and phases.
 
     Every session follows the 50/25/25 mix, but each starts at a different
@@ -278,6 +355,7 @@ def mixed_fleet(count: int, base_seed: int = 0, segment_duration: float = 2.0,
             camera_rate_hz=camera_rate_hz,
             landmark_count=landmark_count,
             rotate=i,
+            deadline_ms=deadline_ms,
         )
         for i in range(count)
     ]

@@ -1,6 +1,7 @@
 """Tests for the parallel experiment engine and its persistent run store."""
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -13,10 +14,17 @@ from repro.experiments.runner import (
     ExperimentGrid,
     ExperimentRunner,
     RunStore,
+    WorkerPool,
     code_fingerprint,
     execute_cell,
+    fan_out,
 )
 from repro.sensors.scenarios import ScenarioKind
+
+
+def _double_payload(payload):
+    """Module-level so it can cross the process boundary in pool tests."""
+    return {"doubled": payload["x"] * 2}
 
 
 def _cell(seed: int = 0, **overrides) -> ExperimentCell:
@@ -308,3 +316,147 @@ class TestStoreEviction:
         fallback = RunStore(tmp_path)
         assert fallback.max_bytes == runner_module.DEFAULT_STORE_MAX_MB * 1024 * 1024
         assert fallback.max_age_s is None
+
+
+class TestStoreEdgeCases:
+    """Races and degenerate configurations the store must absorb quietly."""
+
+    def test_eviction_under_concurrent_writers(self, tmp_path):
+        """Writers and an evictor hammering one root never corrupt the store.
+
+        Saves are atomic (temp + rename) and eviction tolerates entries
+        appearing or vanishing between its directory scan and its unlinks,
+        so interleaving them arbitrarily must neither raise nor leave a
+        half-written entry behind.
+        """
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        errors = []
+        stop = threading.Event()
+
+        def writer(worker):
+            try:
+                i = 0
+                while not stop.is_set():
+                    store.save_key(f"w{worker}-{i % 25}", b"x" * 256)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        def evictor():
+            try:
+                while not stop.is_set():
+                    store.evict(max_bytes=4 * 256)
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(3)]
+        threads.append(threading.Thread(target=evictor))
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        # Every surviving entry is whole: loadable or a clean miss, never a
+        # crash; and the store still accepts new work.
+        for path in list(store.root.glob("*.pkl")):
+            store.load_key(path.stem)
+        assert store.save_key("after-the-storm", b"y" * 16) is not None
+        assert store.load_key("after-the-storm") == b"y" * 16
+
+    def test_corrupted_entry_recovery_mid_eviction(self, tmp_path):
+        """A concurrently-evicted or corrupted entry degrades to a miss."""
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.save_key("corrupt", b"payload")
+        store.save_key("vanishing", b"payload")
+        # Corruption lands mid-life (another writer died partway through).
+        store.path_for("corrupt").write_bytes(b"\x80\x04 truncated garbage")
+        # Eviction ranks by mtime/size only — it must not choke on the
+        # unreadable entry, and unlinking it is legitimate LRU work.
+        assert store.evict(max_bytes=0.5) >= 1
+        # A reader that raced the evictor sees clean misses either way.
+        racing = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        assert racing.load_key("corrupt") is None
+        assert racing.load_key("vanishing") is None
+        # And the keys are immediately writable again.
+        store.save_key("corrupt", b"recomputed")
+        assert store.load_key("corrupt") == b"recomputed"
+
+    def test_eviction_tolerates_vanishing_files(self, tmp_path, monkeypatch):
+        """An entry unlinked between the scan and the unlink is not an error."""
+        store = RunStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.save_key("mine", b"x" * 64)
+        store.save_key("theirs", b"x" * 64)
+        original_unlink = runner_module.Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            # Another evictor got there first: the file is already gone.
+            original_unlink(self, *args, **kwargs)
+            raise FileNotFoundError(self)
+
+        monkeypatch.setattr(runner_module.Path, "unlink", racing_unlink)
+        removed = store.evict(max_bytes=1)
+        monkeypatch.undo()
+        assert removed == 0  # both unlinks "lost the race"...
+        assert len(store) == 0  # ...but the files are gone regardless
+
+    def test_zero_max_mb_env_disables_size_bound(self, tmp_path, monkeypatch):
+        """EUDOXUS_RUN_CACHE_MAX_MB=0 means unbounded, not evict-everything."""
+        monkeypatch.setenv(runner_module.STORE_MAX_MB_ENV, "0")
+        monkeypatch.setenv(runner_module.STORE_MAX_AGE_DAYS_ENV, "0")
+        store = RunStore(tmp_path)
+        assert store.max_bytes is None and store.max_age_s is None
+        for i in range(8):
+            store.save_key(f"entry-{i}", b"x" * 1024)
+        assert store.evict() == 0
+        assert len(store) == 8
+        rebuilt = RunStore(tmp_path)  # construction-time sweep is a no-op too
+        assert rebuilt.evicted == 0
+        assert len(rebuilt) == 8
+
+
+class TestWorkerPool:
+    """The resizable shared pool the serving autoscaler drives."""
+
+    def test_resize_changes_width(self):
+        pool = WorkerPool(2)
+        assert pool.width == 2
+        assert not pool.resize(2)  # same width: no churn
+        assert pool.resizes == 0
+        assert pool.resize(3)
+        assert pool.width == 3 and pool.resizes == 1
+        assert pool.resize(0) and pool.width == 1  # floored at one worker
+
+    def test_resize_respawns_executor(self):
+        with WorkerPool(2) as pool:
+            first = pool.executor()
+            assert pool.executor() is first  # reused between batches
+            pool.resize(3)
+            second = pool.executor()
+            assert second is not first
+
+    def test_fan_out_through_shared_pool(self):
+        payloads = [{"x": i} for i in range(5)]
+        spawned = []
+        with WorkerPool(2) as pool:
+            results = dict(fan_out(_double_payload, payloads, 1,
+                                   on_pool=lambda: spawned.append(True),
+                                   pool=pool))
+            assert {i: r["doubled"] for i, r in results.items()} == \
+                {i: 2 * i for i in range(5)}
+            # The pool's width governs, not the max_workers argument.
+            assert spawned
+            # A second batch reuses the same executor.
+            again = dict(fan_out(_double_payload, payloads, 1, pool=pool))
+            assert len(again) == 5
+
+    def test_width_one_pool_runs_in_process(self):
+        payloads = [{"x": i} for i in range(3)]
+        spawned = []
+        with WorkerPool(1) as pool:
+            results = dict(fan_out(_double_payload, payloads, 8,
+                                   on_pool=lambda: spawned.append(True),
+                                   pool=pool))
+        assert not spawned
+        assert results[2]["doubled"] == 4

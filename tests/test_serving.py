@@ -4,21 +4,30 @@ The load-bearing guarantees pinned here:
 
 * N concurrent sessions served through the process pool produce
   bit-identical trajectories and mode switches to the same sessions served
-  serially through the multiplexing event loop;
+  serially — through the legacy materialized multiplexer *and* through the
+  arrival-time streaming-ingestion event loop (with or without autoscaled
+  capacity);
+* the incremental frame iterator reproduces the materialized frame grid
+  exactly — no dropped or duplicated frames at segment transitions;
+* bounded ingress queues push back instead of buffering without limit;
 * mode switches fire at the injected transition frames (exactly at map
   entry/exit, within the hysteresis window of GPS loss/reacquisition);
 * session results round-trip through the persistent run store;
-* served telemetry trains the runtime offload scheduler.
+* served telemetry trains the runtime offload scheduler (batch after the
+  fact, and online per served frame).
 """
 
 import numpy as np
 import pytest
 
 from repro.experiments.common import accelerator_for
-from repro.experiments.runner import RunStore
+from repro.experiments.runner import RunStore, sensor_config_for
+from repro.scheduler import LatencyAutoscaler
+from repro.sensors.dataset import segment_frame_count
 from repro.sensors.scenarios import ScenarioKind
 from repro.serving import (
     ModeSwitchPolicy,
+    ScenarioStream,
     ServingEngine,
     Session,
     StreamSegment,
@@ -34,6 +43,10 @@ from repro.serving.engine import scheduler_training_samples, train_offload_sched
 SEGMENT = 2.0
 RATE = 5.0
 FRAMES_PER_SEGMENT = int(SEGMENT * RATE)  # 10
+
+
+def _sensor_config(spec):
+    return sensor_config_for(spec.platform_kind, spec.camera_rate_hz, spec.seed)
 
 
 def _spec(stream_id, kinds_and_events, seed=0):
@@ -69,6 +82,118 @@ class TestStreams:
         spec = _spec("c", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0),
                            (ScenarioKind.INDOOR_UNKNOWN, 0.0)])
         assert spec.frame_count == 2 * FRAMES_PER_SEGMENT
+
+    def test_payload_serializes_floats_exactly(self):
+        """The pool worker rebuilds specs from payloads — no quantization.
+
+        A duration that differs from a round value only past the sixth
+        decimal must survive the payload round-trip bit-for-bit; otherwise
+        the pool path would serve a different segment than the serial path
+        and distinct specs would collide onto one cache key.
+        """
+        awkward = StreamSpec(
+            stream_id="exact",
+            segments=(StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, 0.5000001),),
+            camera_rate_hz=RATE, landmark_count=100, seed=1,
+            deadline_ms=123.4567890123,
+        )
+        rebuilt = StreamSpec.from_payload(awkward.payload())
+        assert rebuilt == awkward
+        assert rebuilt.frame_count == awkward.frame_count
+        plain = StreamSpec(
+            stream_id="exact",
+            segments=(StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, 0.5),),
+            camera_rate_hz=RATE, landmark_count=100, seed=1,
+        )
+        assert serving_key(awkward) != serving_key(plain)
+
+    def test_deadline_roundtrips_and_defaults_to_none(self):
+        spec = mixed_deployment_stream("qos", deadline_ms=250.0)
+        assert StreamSpec.from_payload(spec.payload()).deadline_ms == 250.0
+        assert random_stream("best-effort").deadline_ms is None
+        fleet = mixed_fleet(2, segment_duration=1.0, deadline_ms=100.0)
+        assert all(s.deadline_ms == 100.0 for s in fleet)
+
+
+class TestStreamBoundaryExactness:
+    """The incremental iterator's frame grid is exact at segment boundaries.
+
+    Segment pacing quantizes each segment to ``round(duration * rate)``
+    frames (floored at 2) on the fixed 30 s trajectory timescale; these
+    tests pin that the quantization never drops or duplicates a frame at a
+    transition — the stream is one contiguous, uniformly spaced grid whose
+    length is exactly ``spec.frame_count`` — and that the iterator's view
+    is frame-for-frame identical to what a served session records.
+    """
+
+    # Durations chosen to stress the quantization: 0.5 s and 0.7 s at 5 Hz
+    # are 2.5 and 3.5 nominal frames (banker's rounding: 2 and 4), 0.3 s
+    # hits the 2-frame floor.
+    AWKWARD = (0.5, 0.7, 2.0, 0.3, 1.0)
+
+    def _awkward_spec(self):
+        kinds = list(ScenarioKind)
+        segments = tuple(
+            StreamSegment(kind=kinds[i % len(kinds)], duration=duration)
+            for i, duration in enumerate(self.AWKWARD)
+        )
+        return StreamSpec(stream_id="awkward", segments=segments,
+                          camera_rate_hz=RATE, landmark_count=100, seed=3)
+
+    def test_iterator_grid_is_contiguous_and_uniform(self):
+        spec = self._awkward_spec()
+        stream = ScenarioStream(spec, _sensor_config(spec))
+        frames = list(stream.frames())
+        assert len(frames) == spec.frame_count
+        indices = [sf.frame.index for sf in frames]
+        assert indices == list(range(spec.frame_count))
+        times = np.array([sf.frame.timestamp for sf in frames])
+        np.testing.assert_allclose(np.diff(times), 1.0 / RATE, atol=1e-9)
+        arrivals = np.array([sf.arrival_time for sf in frames])
+        np.testing.assert_array_equal(arrivals, times)
+
+    def test_segment_counts_match_quantization(self):
+        spec = self._awkward_spec()
+        stream = ScenarioStream(spec, _sensor_config(spec))
+        per_segment = {}
+        for sf in stream.frames():
+            per_segment[sf.segment_index] = per_segment.get(sf.segment_index, 0) + 1
+        assert per_segment == {
+            i: segment_frame_count(duration, RATE)
+            for i, duration in enumerate(self.AWKWARD)
+        }
+
+    def test_iterator_matches_served_session_frame_for_frame(self):
+        """No off-by-one between the arrival view and the served trajectory."""
+        spec = self._awkward_spec()
+        stream = ScenarioStream(spec, _sensor_config(spec))
+        iterated = [(sf.frame.index, sf.frame.timestamp, sf.segment_index)
+                    for sf in stream.frames()]
+        result = run_session(spec)
+        served = [(e.frame_index, e.timestamp) for e in result.trajectory.estimates]
+        assert [(i, t) for i, t, _ in iterated] == served
+        # Segment starts land exactly where the iterator changes segments.
+        boundaries = [iterated[k][0] for k in range(len(iterated))
+                      if k == 0 or iterated[k][2] != iterated[k - 1][2]]
+        assert result.segment_starts == boundaries
+
+    def test_segments_are_built_lazily(self, monkeypatch):
+        """Pulling early frames must not materialize later segments."""
+        spec = self._awkward_spec()
+        session = Session(spec)
+        built = []
+        original = ScenarioStream.build_segment
+
+        def counting_build(self, index, start_time=0.0, start_index=0):
+            built.append(index)
+            return original(self, index, start_time=start_time,
+                           start_index=start_index)
+
+        monkeypatch.setattr(ScenarioStream, "build_segment", counting_build)
+        for _ in range(3):  # first segment has 2 frames; peek opens the 2nd
+            session.step()
+        assert max(built) <= 1
+        assert len(built) <= 2
 
 
 class TestModeSwitchPolicy:
@@ -193,6 +318,161 @@ class TestServingDeterminism:
         assert serial.results["empty"].signature() == pooled.results["empty"].signature()
 
 
+class TestStreamingIngestion:
+    """The arrival-time event loop: ingress bounds, latency, determinism."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return mixed_fleet(3, segment_duration=1.0, camera_rate_hz=RATE,
+                           deadline_ms=300.0)
+
+    @pytest.fixture(scope="class")
+    def materialized(self, fleet):
+        return ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="materialized")
+
+    def test_streaming_identical_to_materialized(self, fleet, materialized):
+        streaming = ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="streaming")
+        assert streaming.ingestion == "streaming"
+        assert materialized.ingestion == "materialized"
+        for stream_id, expected in materialized.results.items():
+            assert streaming.results[stream_id].signature() == expected.signature()
+
+    def test_streaming_under_autoscaled_capacity_identical(self, fleet, materialized):
+        """Throttled capacity reshuffles *when* frames are served, never what."""
+        autoscaler = LatencyAutoscaler(min_workers=1, max_workers=4, window=32,
+                                       grow_patience=2, shrink_patience=4,
+                                       cooldown=2)
+        engine = ServingEngine(store=None, max_workers=1, autoscaler=autoscaler,
+                               frames_per_worker_tick=1)
+        report = engine.serve(fleet, parallel=False, ingestion="streaming")
+        for stream_id, expected in materialized.results.items():
+            assert report.results[stream_id].signature() == expected.signature()
+        # Under-provisioned start: a backlog formed and latency was measured.
+        assert report.virtual_latency_percentile(95.0) > 0.0
+        assert report.scale_decisions, "every tick logs a decision"
+        assert any(d.action == "grow" for d in report.scale_decisions)
+        assert report.final_workers > 1
+
+    def test_unthrottled_streaming_serves_on_arrival(self, fleet):
+        """Without an autoscaler nothing queues: zero serving latency."""
+        report = ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="streaming")
+        assert report.ticks > 0
+        assert report.virtual_latency_percentile(95.0) == 0.0
+        assert report.deadline_misses == 0
+        assert report.mean_batch_size > 1.0
+
+    def test_ingress_queue_is_bounded(self):
+        spec = _spec("bounded", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0),
+                                 (ScenarioKind.INDOOR_UNKNOWN, 0.0)])
+        session = Session(spec, ingress_capacity=4)
+        admitted = session.ingest_ready(clock=1e9)  # everything has "arrived"
+        assert admitted == 4
+        assert session.pending == 4
+        # Backpressure: a full queue refuses frames...
+        assert session.ingest_ready(clock=1e9) == 0
+        # ...and serving frees slots one for one.
+        session.serve_pending()
+        assert session.ingest_ready(clock=1e9) == 1
+
+    def test_ingest_tolerates_clock_drift(self):
+        """A clock built from repeated float adds must not defer on-time frames.
+
+        Eight accumulated 0.2 s ticks land a few ulps below the exactly
+        stamped 1.6 s arrival; without admission slack that frame would be
+        admitted one tick late and record a phantom frame interval of
+        serving latency.
+        """
+        spec = _spec("drift", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0)])
+        drifted = 0.0
+        for _ in range(8):
+            drifted += 1.0 / RATE
+        assert drifted < 8.0 / RATE  # the drift this test exists for
+        session = Session(spec, ingress_capacity=20)
+        admitted = session.ingest_ready(drifted)
+        # Frames 0..8 (timestamps 0.0 .. 1.6) have all arrived by the
+        # drifted clock and must all be admitted.
+        assert admitted == 9
+
+    def test_ingest_rejects_when_full(self):
+        spec = _spec("rej", [(ScenarioKind.OUTDOOR_UNKNOWN, 0.0)])
+        donor = Session(spec)
+        frames = [donor.stream.frames().__next__()]
+        session = Session(spec, ingress_capacity=1)
+        assert session.ingest(frames[0])
+        assert not session.ingest(frames[0])
+
+    def test_online_scheduler_feed(self, fleet):
+        accelerator = accelerator_for("drone")
+        engine = ServingEngine(store=None, max_workers=1, accelerator=accelerator)
+        report = engine.serve(fleet, parallel=False, ingestion="streaming")
+        served_modes = {estimate.mode for result in report.results.values()
+                        for estimate in result.trajectory.estimates}
+        for mode in served_modes:
+            assert accelerator.scheduler.observation_count(mode) > 0
+        total = sum(accelerator.scheduler.observation_count(m) for m in served_modes)
+        assert total == report.frame_count
+
+    def test_unknown_ingestion_mode_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            ServingEngine(store=None, max_workers=1).serve(fleet, ingestion="psychic")
+
+    def test_explicit_ingestion_forces_serial_loop(self, fleet):
+        """Naming an ingestion must win over the automatic pool choice.
+
+        Otherwise the loop a caller explicitly asked to measure would
+        silently depend on the host's core count.
+        """
+        report = ServingEngine(store=None, max_workers=8).serve(
+            fleet, ingestion="materialized")
+        assert report.ingestion == "materialized"
+        assert not report.parallel
+        with pytest.raises(ValueError):
+            ServingEngine(store=None, max_workers=8).serve(
+                fleet, parallel=True, ingestion="streaming")
+
+    def test_streaming_empty_stream(self):
+        fleet = [StreamSpec(stream_id="empty", segments=(), camera_rate_hz=RATE)]
+        report = ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="streaming")
+        assert report.results["empty"].frame_count == 0
+
+    def test_autoscaled_pool_path_identical(self, fleet, materialized):
+        """Wave dispatch through the resizable pool preserves signatures."""
+        autoscaler = LatencyAutoscaler(min_workers=2, max_workers=2)
+        engine = ServingEngine(store=None, max_workers=2, autoscaler=autoscaler)
+        report = engine.serve(fleet, parallel=True)
+        assert report.ingestion == "pool"
+        assert report.scale_decisions  # one decision per dispatch wave
+        for stream_id, expected in materialized.results.items():
+            assert report.results[stream_id].signature() == expected.signature()
+
+    def test_pool_path_grows_under_queue_pressure(self):
+        """Sessions stuck behind a narrow pool must be able to force growth.
+
+        Per-frame compute is far under the deadline, so only the queue-wait
+        signal can push pressure over the grow threshold; the autoscaler's
+        bounds are also narrowed to the engine's max_workers, so the
+        decision log never reports a width the pool could not have.
+        """
+        fleet = mixed_fleet(5, segment_duration=1.0, camera_rate_hz=RATE,
+                            deadline_ms=100.0)
+        autoscaler = LatencyAutoscaler(min_workers=1, max_workers=8,
+                                       grow_patience=1, shrink_patience=50,
+                                       cooldown=0)
+        engine = ServingEngine(store=None, max_workers=2, autoscaler=autoscaler)
+        report = engine.serve(fleet, parallel=True)
+        assert any(d.action == "grow" for d in report.scale_decisions)
+        # During the call the decision log is bounded by the real pool cap;
+        # afterwards the scaler's full sizing state is restored, so a later
+        # streaming serve's virtual capacity stays host-independent.
+        assert all(d.workers_after <= 2 for d in report.scale_decisions)
+        assert autoscaler.max_workers == 8
+        assert autoscaler.workers == 1
+
+
 class TestServingStore:
     def test_session_results_roundtrip(self, tmp_path):
         fleet = mixed_fleet(2, segment_duration=1.0, camera_rate_hz=RATE)
@@ -208,6 +488,33 @@ class TestServingStore:
         a = mixed_deployment_stream("a", seed=0, segment_duration=1.0)
         b = mixed_deployment_stream("a", seed=1, segment_duration=1.0)
         assert serving_key(a) != serving_key(b)
+
+    def test_key_ignores_deadline(self):
+        """A QoS change must keep the cache warm — results are identical."""
+        a = mixed_deployment_stream("a", segment_duration=1.0)
+        b = mixed_deployment_stream("a", segment_duration=1.0, deadline_ms=400.0)
+        assert serving_key(a) == serving_key(b)
+
+    def test_store_hit_reports_requested_deadline(self, tmp_path):
+        """A hit computed under another QoS contract reports the current one."""
+        cold = mixed_fleet(1, segment_duration=1.0, camera_rate_hz=RATE)
+        warm = mixed_fleet(1, segment_duration=1.0, camera_rate_hz=RATE,
+                           deadline_ms=250.0)
+        store = RunStore(tmp_path)
+        ServingEngine(store=store, max_workers=1).serve(cold)
+        report = ServingEngine(store=store, max_workers=1).serve(warm)
+        assert report.store_hits == 1
+        payload = report.results[warm[0].stream_id].spec_payload
+        assert payload["deadline_ms"] == 250.0
+
+    def test_warm_serve_still_reports_resolution_path(self, tmp_path):
+        fleet = mixed_fleet(2, segment_duration=1.0, camera_rate_hz=RATE)
+        store = RunStore(tmp_path)
+        ServingEngine(store=store, max_workers=1).serve(fleet)
+        warm = ServingEngine(store=store, max_workers=1).serve(
+            fleet, parallel=False, ingestion="streaming")
+        assert warm.store_hits == 2
+        assert warm.ingestion == "streaming"
 
     def test_duplicate_stream_ids_rejected(self):
         spec = mixed_deployment_stream("dup", segment_duration=1.0)

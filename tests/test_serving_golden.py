@@ -1,0 +1,98 @@
+"""Golden-signature regression suite for the serving layer.
+
+``tests/data/serving_signatures.json`` pins the
+:meth:`~repro.serving.session.SessionResult.signature` of a small canonical
+fleet.  Every serving path — the legacy materialized multiplexer, the
+arrival-time streaming event loop (plain and capacity-throttled under the
+autoscaler), and the process-pool shard — must reproduce those exact
+digests.  This catches *silent determinism drift*: a change that perturbs
+poses or mode switches without failing any behavioral test (a reordered
+reduction, an RNG stream that moved, a segment rebuilt with different
+stitching) shows up here as a signature mismatch.
+
+When a change intentionally alters the served results (new noise model,
+different backend math), regenerate the pins and review the diff:
+
+    EUDOXUS_REGEN_GOLDEN=1 python -m pytest tests/test_serving_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.scheduler import LatencyAutoscaler
+from repro.serving import ServingEngine, mixed_fleet
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "serving_signatures.json"
+REGEN_ENV = "EUDOXUS_REGEN_GOLDEN"
+
+FLEET_SIZE = 3
+SEGMENT_DURATION = 1.0
+RATE_HZ = 5.0
+
+
+def canonical_fleet():
+    return mixed_fleet(FLEET_SIZE, segment_duration=SEGMENT_DURATION,
+                       camera_rate_hz=RATE_HZ)
+
+
+def _signatures(report):
+    return {stream_id: result.signature()
+            for stream_id, result in sorted(report.results.items())}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if os.environ.get(REGEN_ENV, "").strip():
+        fleet = canonical_fleet()
+        report = ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="materialized")
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps({
+            "fleet": {"size": FLEET_SIZE, "segment_duration": SEGMENT_DURATION,
+                      "camera_rate_hz": RATE_HZ},
+            "signatures": _signatures(report),
+        }, indent=2) + "\n")
+    if not GOLDEN_PATH.is_file():
+        pytest.fail(f"golden file missing; regenerate with {REGEN_ENV}=1")
+    return json.loads(GOLDEN_PATH.read_text())["signatures"]
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return canonical_fleet()
+
+
+def _assert_matches(report, golden, path):
+    produced = _signatures(report)
+    assert produced == golden, (
+        f"{path} serving drifted from the pinned signatures — if the change "
+        f"is intentional, regenerate with {REGEN_ENV}=1 and review the diff")
+
+
+def test_materialized_path_matches_golden(fleet, golden):
+    report = ServingEngine(store=None, max_workers=1).serve(
+        fleet, parallel=False, ingestion="materialized")
+    _assert_matches(report, golden, "materialized")
+
+
+def test_streaming_path_matches_golden(fleet, golden):
+    report = ServingEngine(store=None, max_workers=1).serve(
+        fleet, parallel=False, ingestion="streaming")
+    _assert_matches(report, golden, "streaming")
+
+
+def test_throttled_streaming_path_matches_golden(fleet, golden):
+    autoscaler = LatencyAutoscaler(min_workers=1, max_workers=4, window=32,
+                                   grow_patience=2, shrink_patience=4, cooldown=2)
+    report = ServingEngine(store=None, max_workers=1, autoscaler=autoscaler,
+                           frames_per_worker_tick=1).serve(
+        fleet, parallel=False, ingestion="streaming")
+    _assert_matches(report, golden, "autoscaled streaming")
+
+
+def test_pool_path_matches_golden(fleet, golden):
+    report = ServingEngine(store=None, max_workers=2).serve(fleet, parallel=True)
+    _assert_matches(report, golden, "process-pool")

@@ -1,0 +1,255 @@
+"""Property-based serving guarantees: mode policy, handover, autoscaler.
+
+Three families of invariants that hold for *any* traffic, not just the
+hand-picked traces in ``test_serving.py``:
+
+* :class:`ModeSwitchPolicy` hysteresis never oscillates faster than its
+  acquire/lose windows, and the mode it picks is always the Fig. 2 cell for
+  the observable signals;
+* a mid-segment mode switch re-anchors the incoming backend *exactly* at
+  the last served estimate (state handover);
+* :class:`LatencyAutoscaler` stays inside its worker bounds, respects its
+  cooldown + patience hysteresis between resizes, and responds monotonically
+  to saturated traffic (all-over pressure never shrinks, all-under never
+  grows).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.slam import SlamBackend
+from repro.backend.vio import VioBackend
+from repro.core.modes import BackendMode
+from repro.scheduler import LatencyAutoscaler
+from repro.sensors.scenarios import ScenarioKind
+from repro.serving import ModeSwitchPolicy, StreamSegment, StreamSpec, run_session
+
+# ------------------------------------------------------------ mode policy
+
+
+gps_traces = st.lists(st.booleans(), min_size=1, max_size=120)
+window_sizes = st.integers(min_value=1, max_value=5)
+
+
+class TestModeSwitchPolicyProperties:
+    @given(trace=gps_traces, acquire=window_sizes, lose=window_sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_trust_flips_are_backed_by_full_windows(self, trace, acquire, lose):
+        """Every trust transition is justified by a full streak of epochs."""
+        policy = ModeSwitchPolicy(acquire_frames=acquire, lose_frames=lose)
+        states = [policy.observe(has_fix) for has_fix in trace]
+        for i in range(1, len(states)):
+            if states[i] == states[i - 1]:
+                continue
+            if states[i]:  # acquired: the last `acquire` epochs all had a fix
+                assert i + 1 >= acquire
+                assert all(trace[i - k] for k in range(acquire))
+            else:  # lost: the last `lose` epochs were all missing
+                assert i + 1 >= lose
+                assert all(not trace[i - k] for k in range(lose))
+
+    @given(trace=gps_traces, acquire=window_sizes, lose=window_sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_never_oscillates_faster_than_windows(self, trace, acquire, lose):
+        """Consecutive flips are separated by at least the relevant window."""
+        policy = ModeSwitchPolicy(acquire_frames=acquire, lose_frames=lose)
+        states = [policy.observe(has_fix) for has_fix in trace]
+        flips = [i for i in range(1, len(states)) if states[i] != states[i - 1]]
+        for previous, current in zip(flips, flips[1:]):
+            window = acquire if states[current] else lose
+            assert current - previous >= window
+
+    @given(trace=gps_traces, has_map=st.booleans(),
+           acquire=window_sizes, lose=window_sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_mode_always_valid_for_observable_signals(self, trace, has_map,
+                                                      acquire, lose):
+        """decide() always lands in the Fig. 2 cell for (trust, map)."""
+        policy = ModeSwitchPolicy(acquire_frames=acquire, lose_frames=lose)
+        for has_fix in trace:
+            frame = SimpleNamespace(has_gps=has_fix)
+            mode = policy.decide(frame, has_map=has_map)
+            if policy.gps_trusted:
+                assert mode is BackendMode.VIO
+            elif has_map:
+                assert mode is BackendMode.REGISTRATION
+            else:
+                assert mode is BackendMode.SLAM
+
+    @given(trace=gps_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_warm_start_matches_first_epoch(self, trace):
+        policy = ModeSwitchPolicy()
+        first = policy.observe(trace[0])
+        assert first == trace[0]
+
+
+# --------------------------------------------------------------- handover
+
+
+class TestHandoverReanchoring:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_midsegment_switch_reanchors_at_last_estimate(self, monkeypatch, seed):
+        """The incoming backend is initialized bit-exactly at the last pose.
+
+        A GPS dropout/reacquisition stream forces mid-segment switches into
+        both SLAM-family backends; every re-anchor call the session makes
+        must carry the exact pose of the estimate served just before the
+        switch (not a copy that drifted through an extra solve).
+        """
+        anchors = []
+
+        original_vio = VioBackend.initialize
+        original_slam = SlamBackend.initialize
+
+        def spy_vio(self, pose, velocity=None):
+            anchors.append(pose)
+            return original_vio(self, pose, velocity)
+
+        def spy_slam(self, pose):
+            anchors.append(pose)
+            return original_slam(self, pose)
+
+        monkeypatch.setattr(VioBackend, "initialize", spy_vio)
+        monkeypatch.setattr(SlamBackend, "initialize", spy_slam)
+
+        spec = StreamSpec(
+            stream_id=f"handover-{seed}",
+            segments=(
+                StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, 2.0),
+                StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, 2.0,
+                              gps_outage_probability=1.0),
+                StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, 2.0),
+            ),
+            camera_rate_hz=5.0,
+            landmark_count=120,
+            seed=seed,
+        )
+        result = run_session(spec)
+        estimates = result.trajectory.estimates
+        segment_starts = set(result.segment_starts)
+        midsegment = [s for s in result.mode_switches
+                      if s.frame_index not in segment_starts
+                      and s.to_mode in ("vio", "slam")]
+        assert midsegment, "the dropout stream must force a mid-segment switch"
+        anchor_ids = {id(pose) for pose in anchors}
+        for switch in midsegment:
+            expected = estimates[switch.frame_index - 1].pose
+            assert id(expected) in anchor_ids, (
+                f"switch at frame {switch.frame_index} did not re-anchor at "
+                f"the last served estimate")
+
+
+# -------------------------------------------------------------- autoscaler
+
+
+def _scaler(min_workers=1, max_workers=8, grow_patience=2, shrink_patience=3,
+            cooldown=2, **kwargs):
+    return LatencyAutoscaler(min_workers=min_workers, max_workers=max_workers,
+                             grow_patience=grow_patience,
+                             shrink_patience=shrink_patience,
+                             cooldown=cooldown, **kwargs)
+
+
+latency_traces = st.lists(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False), min_size=1,
+    max_size=300)
+
+
+class TestAutoscalerProperties:
+    @given(trace=latency_traces, seed=st.integers(0, 2**16))
+    @settings(max_examples=150, deadline=None)
+    def test_workers_always_within_bounds(self, trace, seed):
+        rng = np.random.default_rng(seed)
+        scaler = _scaler(min_workers=int(rng.integers(1, 4)),
+                         max_workers=int(rng.integers(4, 12)))
+        for i, latency in enumerate(trace):
+            scaler.observe(latency, deadline_ms=200.0)
+            if i % 4 == 0:
+                scaler.decide()
+        scaler.decide()
+        assert scaler.min_workers <= scaler.workers <= scaler.max_workers
+        for decision in scaler.decisions:
+            assert scaler.min_workers <= decision.workers_after <= scaler.max_workers
+
+    @given(trace=latency_traces,
+           grow_patience=st.integers(1, 4), shrink_patience=st.integers(1, 4),
+           cooldown=st.integers(0, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_resizes_respect_cooldown_plus_patience(self, trace, grow_patience,
+                                                    shrink_patience, cooldown):
+        """Hysteresis: consecutive resizes are >= cooldown + patience apart.
+
+        After a resize the scaler holds for ``cooldown`` evaluations, then
+        needs a full patience streak of fresh breaches — so the decision log
+        can never oscillate faster than that, whatever the traffic does.
+        """
+        scaler = _scaler(grow_patience=grow_patience,
+                         shrink_patience=shrink_patience, cooldown=cooldown)
+        for latency in trace:
+            scaler.observe(latency, deadline_ms=100.0)
+            scaler.decide()
+        resizes = [d for d in scaler.decisions if d.resized]
+        for previous, current in zip(resizes, resizes[1:]):
+            patience = grow_patience if current.action == "grow" else shrink_patience
+            assert current.tick - previous.tick >= cooldown + patience
+
+    @given(trace=st.lists(st.floats(min_value=500.0, max_value=5000.0,
+                                    allow_nan=False), min_size=5, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_saturated_traffic_never_shrinks(self, trace):
+        scaler = _scaler()
+        for latency in trace:
+            scaler.observe(latency, deadline_ms=100.0)  # pressure >= 5
+            scaler.decide()
+        assert all(d.action != "shrink" for d in scaler.decisions)
+        assert scaler.workers >= 1
+
+    @given(trace=st.lists(st.floats(min_value=0.0, max_value=5.0,
+                                    allow_nan=False), min_size=5, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_idle_traffic_never_grows(self, trace):
+        scaler = _scaler(initial_workers=8)
+        for latency in trace:
+            scaler.observe(latency, deadline_ms=1000.0)  # pressure <= 0.005
+            scaler.decide()
+        assert all(d.action != "grow" for d in scaler.decisions)
+
+    def test_no_deadline_traffic_exerts_no_pressure(self):
+        scaler = _scaler()
+        for _ in range(50):
+            scaler.observe(10_000.0, deadline_ms=None)
+            decision = scaler.decide()
+        assert decision.action == "hold"
+        assert scaler.workers == scaler.min_workers
+        assert scaler.pressure() == 0.0
+
+    def test_decision_log_is_complete(self):
+        scaler = _scaler()
+        for _ in range(10):
+            scaler.observe(1000.0, deadline_ms=100.0)
+            scaler.decide()
+        assert len(scaler.decisions) == 10
+        assert [d.tick for d in scaler.decisions] == list(range(1, 11))
+        assert any(d.action == "grow" for d in scaler.decisions)
+
+    def test_decision_log_is_bounded(self):
+        """A long-running deployment must not grow the log without limit."""
+        scaler = _scaler()
+        limit = LatencyAutoscaler.DECISION_LOG_LIMIT
+        for _ in range(limit + 64):
+            scaler.decide()
+        assert len(scaler.decisions) == limit
+        assert scaler.decisions[-1].tick == limit + 64  # newest retained
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyAutoscaler(min_workers=0)
+        with pytest.raises(ValueError):
+            LatencyAutoscaler(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            LatencyAutoscaler(grow_pressure=0.3, shrink_pressure=0.5)
