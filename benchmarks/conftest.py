@@ -89,15 +89,16 @@ def warm_runs(request):
     """Build the per-mode characterization runs once for the whole session.
 
     All (mode, seed) cells are requested as one batch so cold runs fan out
-    across the worker pool together.  Skipped when only the serving
-    benchmark was collected (it builds its own fleets and reads none of the
-    characterization runs), so the dedicated serving CI job stays lean.
+    across the worker pool together.  Skipped when only serving-shaped
+    benchmarks were collected (they build their own fleets and read none of
+    the characterization runs), so the dedicated serving CI job stays lean.
     """
+    serving_benchmarks = {"test_serving_throughput.py", "test_map_reuse.py"}
     benchmarks_dir = Path(__file__).parent
     paths = [Path(str(getattr(item, "fspath", "")))
              for item in getattr(request.session, "items", [])]
     characterization_selected = any(
-        path.parent == benchmarks_dir and path.name != "test_serving_throughput.py"
+        path.parent == benchmarks_dir and path.name not in serving_benchmarks
         for path in paths
     )
     if characterization_selected:

@@ -1,0 +1,109 @@
+"""Fleet map reuse: cold-start fleet vs warm-map fleet on the same world.
+
+The paper's Fig. 2 economics in one benchmark: full SLAM (sliding-window
+bundle adjustment + marginalization per keyframe) is the expensive mode a
+session runs only because it has no map; registration against a prior map
+is far cheaper.  The fleet map service converts that gap into serving
+throughput: a *cold* wave explores a shared environment with SLAM and
+publishes map snapshots; the merged canonical map then lets a *warm* wave
+of the same shape serve the identical segments through registration.
+
+Both waves run storeless through the serial streaming loop, so the
+sessions/sec comparison is pure compute: the warm fleet must be strictly
+faster, its mode log must show registration displacing SLAM in the shared
+segments, and its accuracy must stay in the same band as the cold wave's.
+"""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.maps import MapStore
+from repro.serving import ServingEngine, cold_start_fleet
+
+FLEET_SIZE = 6
+RATE_HZ = 5.0
+# Short segments build small maps; the permissive gate keeps the benchmark
+# about throughput (gate behavior itself is pinned in tests/test_maps*.py).
+MAP_GATE = 0.05
+
+
+def _wave(prefix, base_seed, serving_settings):
+    return cold_start_fleet(
+        FLEET_SIZE,
+        environment="benchmark-atrium",
+        base_seed=base_seed,
+        segment_duration=serving_settings["segment_duration"],
+        camera_rate_hz=RATE_HZ,
+        explore_segments=2,
+        prefix=prefix,
+    )
+
+
+def _mode_census(report):
+    census = {}
+    for result in report.results.values():
+        for estimate in result.trajectory.estimates:
+            census[estimate.mode] = census.get(estimate.mode, 0) + 1
+    return census
+
+
+def test_map_reuse_throughput(benchmark, serving_settings, tmp_path):
+    store = MapStore(tmp_path / "maps", max_bytes=-1, max_age_s=-1)
+    engine = ServingEngine(store=None, max_workers=1, map_store=store,
+                           min_map_quality=MAP_GATE)
+
+    cold_fleet = _wave("cold", 0, serving_settings)
+    cold = engine.serve(cold_fleet, parallel=False, ingestion="streaming")
+    assert cold.maps_published > 0, "the cold wave published no maps"
+
+    warm_fleet = _wave("warm", 9000, serving_settings)
+    warm = benchmark.pedantic(
+        lambda: engine.serve(warm_fleet, parallel=False, ingestion="streaming"),
+        rounds=1, iterations=1,
+    )
+
+    cold_modes = _mode_census(cold)
+    warm_modes = _mode_census(warm)
+    cold_rmse = float(np.mean([r.trajectory.rmse_error()
+                               for r in cold.results.values()]))
+    warm_rmse = float(np.mean([r.trajectory.rmse_error()
+                               for r in warm.results.values()]))
+
+    print_banner("Fleet map reuse — cold SLAM wave vs warm registration wave")
+    rows = []
+    for label, report, rmse in (("cold", cold, cold_rmse), ("warm", warm, warm_rmse)):
+        summary = report.summary()
+        rows.append([
+            label, summary["sessions"], summary["frames"],
+            round(summary["wall_s"], 2), round(summary["sessions_per_second"], 2),
+            round(summary["frames_per_second"], 1),
+            summary["maps_published"], summary["map_acquisitions"],
+            round(rmse, 3),
+        ])
+    print(format_table(
+        ["wave", "sessions", "frames", "wall_s", "sessions/s", "frames/s",
+         "published", "acquired", "rmse_m"], rows))
+    print(f"\nmode census cold: {cold_modes}")
+    print(f"mode census warm: {warm_modes}")
+    speedup = warm.sessions_per_second / max(cold.sessions_per_second, 1e-9)
+    print(f"warm-map speedup: {speedup:.2f}x sessions/sec "
+          f"(fleet map: {list(warm.fleet_maps.values())})")
+
+    # The headline claim: a warm fleet serves strictly faster than the cold
+    # fleet that had to build the map.
+    assert warm.sessions_per_second > cold.sessions_per_second
+
+    # And the mechanism is visible in the mode logs: the cold wave's SLAM
+    # traffic is displaced by registration in the warm wave.
+    assert cold_modes.get("slam", 0) > 0
+    assert warm_modes.get("registration", 0) > 0
+    assert warm_modes.get("slam", 0) < cold_modes["slam"]
+    assert warm.map_acquisition_count == FLEET_SIZE * 2  # both shared segments
+    for result in warm.results.values():
+        reasons = {switch.to_mode for switch in result.mode_switches}
+        assert "registration" in reasons
+
+    # Reuse must not cost meaningful accuracy: the fleet-built map serves
+    # within the same error band as exploring from scratch.
+    assert warm_rmse < max(2.0, 3.0 * cold_rmse)

@@ -81,6 +81,28 @@ class KeyframeMapper:
             return None
         return self.keyframes[-1].pose.copy()
 
+    def residual_stats(self) -> Tuple[float, float, int]:
+        """Window self-consistency: (mean, max, count) of observation residuals.
+
+        The residual of one observation is the distance between the
+        keyframe-observed body point transformed into the world and the
+        current landmark estimate — the quantity the bundle adjustment
+        minimizes.  This is the observable map-quality statistic a fleet
+        can compute without ground truth; the map service records it in
+        every published snapshot.
+        """
+        residuals: List[float] = []
+        for keyframe in self.keyframes:
+            for track_id, point_body in keyframe.observations.items():
+                landmark = self.landmarks.get(track_id)
+                if landmark is None:
+                    continue
+                predicted = keyframe.pose.transform_point(point_body)
+                residuals.append(float(np.linalg.norm(predicted - landmark)))
+        if not residuals:
+            return 0.0, 0.0, 0
+        return float(np.mean(residuals)), float(np.max(residuals)), len(residuals)
+
     def should_insert_keyframe(self, pose: Pose) -> bool:
         """Insert a keyframe when the pose moved enough since the last one."""
         if not self.keyframes:

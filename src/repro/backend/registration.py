@@ -39,8 +39,29 @@ class RegistrationBackend:
         )
         return cls(localization_map, config=config, camera=camera)
 
+    @classmethod
+    def from_snapshot(cls, snapshot, config: Optional[TrackingConfig] = None,
+                      camera=None) -> "RegistrationBackend":
+        """Build the backend from a fleet-built map snapshot.
+
+        ``snapshot`` is a :class:`~repro.maps.MapSnapshot` (duck-typed to
+        avoid a package cycle): the map one or more SLAM sessions published
+        for a shared environment, acquired by this session at serve time.
+        """
+        return cls(snapshot.to_localization_map(), config=config, camera=camera)
+
     def reset(self) -> None:
         self._last_pose = None
+
+    def initialize(self, pose: Pose) -> None:
+        """Seed the tracking prior (state handover from another backend).
+
+        Registration estimates every frame independently, so only the prior
+        used for map projection/culling carries over — but seeding it keeps
+        the first tracked frame's visible-map workload consistent with the
+        client's actual viewpoint after a mid-stream switch.
+        """
+        self._last_pose = pose.copy()
 
     def process(self, frontend: FrontendResult, frame: Frame) -> BackendResult:
         """Estimate the pose of one frame against the map."""

@@ -417,15 +417,29 @@ class RunStore:
     (512 MB / 30 days); pass or set a value <= 0 to disable a bound.  This
     keeps keys rotated by code or config changes from growing the store
     without bound.
+
+    Subclasses that persist other artifact families (the fleet map store in
+    :mod:`repro.maps`) override the class attributes below to get their own
+    root, environment overrides and default bounds while sharing the
+    atomic-write / corruption-recovery / LRU machinery.
     """
+
+    MAX_MB_ENV = STORE_MAX_MB_ENV
+    MAX_AGE_DAYS_ENV = STORE_MAX_AGE_DAYS_ENV
+    DEFAULT_MAX_MB = DEFAULT_STORE_MAX_MB
+    DEFAULT_MAX_AGE_DAYS = DEFAULT_STORE_MAX_AGE_DAYS
+
+    @classmethod
+    def default_root(cls) -> Path:
+        return default_store_root()
 
     def __init__(self, root: Optional[os.PathLike] = None,
                  max_bytes: Optional[float] = None,
                  max_age_s: Optional[float] = None) -> None:
-        self.root = Path(root) if root is not None else default_store_root()
-        self.max_bytes = (_bound_from_env(STORE_MAX_MB_ENV, DEFAULT_STORE_MAX_MB, 1024.0 * 1024.0)
+        self.root = Path(root) if root is not None else self.default_root()
+        self.max_bytes = (_bound_from_env(self.MAX_MB_ENV, self.DEFAULT_MAX_MB, 1024.0 * 1024.0)
                           if max_bytes is None else (max_bytes if max_bytes > 0 else None))
-        self.max_age_s = (_bound_from_env(STORE_MAX_AGE_DAYS_ENV, DEFAULT_STORE_MAX_AGE_DAYS, 86400.0)
+        self.max_age_s = (_bound_from_env(self.MAX_AGE_DAYS_ENV, self.DEFAULT_MAX_AGE_DAYS, 86400.0)
                           if max_age_s is None else (max_age_s if max_age_s > 0 else None))
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,61 @@
+"""Fleet map service: cross-session SLAM map publishing, merging and reuse.
+
+The paper's Fig. 2 taxonomy hinges on map availability: registration and
+VIO+map are far cheaper than full SLAM but need a prior map.  This package
+turns maps from a static per-stream flag into a fleet-wide resource:
+
+* :mod:`repro.maps.snapshot` — :class:`MapSnapshot`: a versioned,
+  content-addressed map of one shared environment with quality metadata
+  (landmark count, spatial coverage, residual stats) and a scalar
+  :func:`quality_score`; :func:`snapshot_from_mapper` publishes a live SLAM
+  mapper, :func:`degrade_snapshot` injects stale/degraded maps for fleet
+  scenarios.
+* :mod:`repro.maps.merger` — :class:`MapMerger`: aligns (weighted Horn on
+  shared landmarks) and dedups overlapping snapshots into the canonical
+  per-environment map; merging a map with itself is a strict no-op.
+* :mod:`repro.maps.store` — :class:`MapStore`: a persistent LRU store next
+  to the run cache (``~/.cache/eudoxus-repro/maps``, ``EUDOXUS_MAP_CACHE*``
+  overrides) with atomic concurrent-writer-safe publishes and a
+  quality-gated :meth:`~MapStore.resolve` that serves the canonical map.
+
+The serving layer closes the loop: SLAM sessions publish snapshots at
+segment exits, the engine resolves fleet maps up front per serve call (so
+serial/streaming/pool stay bit-identical) and folds the resolved versions
+into its cache keys, and sessions acquire maps mid-stream — shifting fleet
+traffic from SLAM onto registration as the map matures.
+"""
+
+from repro.maps.merger import MapMerger, merge_quality
+from repro.maps.snapshot import (
+    DEFAULT_MIN_MAP_QUALITY,
+    MapSnapshot,
+    degrade_snapshot,
+    quality_score,
+    snapshot_from_mapper,
+)
+from repro.maps.store import (
+    DEFAULT_MAP_CACHE_MAX_AGE_DAYS,
+    DEFAULT_MAP_CACHE_MAX_MB,
+    MAP_CACHE_ENV,
+    MAP_CACHE_MAX_AGE_DAYS_ENV,
+    MAP_CACHE_MAX_MB_ENV,
+    MapStore,
+    default_map_root,
+)
+
+__all__ = [
+    "DEFAULT_MAP_CACHE_MAX_AGE_DAYS",
+    "DEFAULT_MAP_CACHE_MAX_MB",
+    "DEFAULT_MIN_MAP_QUALITY",
+    "MAP_CACHE_ENV",
+    "MAP_CACHE_MAX_AGE_DAYS_ENV",
+    "MAP_CACHE_MAX_MB_ENV",
+    "MapMerger",
+    "MapSnapshot",
+    "MapStore",
+    "default_map_root",
+    "degrade_snapshot",
+    "merge_quality",
+    "quality_score",
+    "snapshot_from_mapper",
+]

@@ -1,0 +1,143 @@
+"""Merging overlapping map snapshots into one canonical environment map.
+
+Different SLAM sessions of the same environment each carry their own drift:
+before their snapshots can be combined, each must be *aligned* to a common
+frame (weighted Horn on the landmarks they share — the same absolute
+orientation kernel the tracking block runs per frame) and the overlapping
+landmarks *deduplicated* (averaged across the aligned contributions).
+
+The merge is deterministic: snapshots are ranked by (quality, version), the
+best one anchors the canonical frame, and exact-duplicate inputs are folded
+away up front — so merging a map with itself is a strict no-op, the
+idempotence property the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.tracking import _weighted_horn
+from repro.maps.snapshot import MapSnapshot
+
+
+class MapMerger:
+    """Aligns and dedups snapshots of one environment into a canonical map.
+
+    ``min_shared_for_alignment`` is the number of shared landmarks below
+    which a Horn alignment would be unreliable; with fewer, a contribution
+    is folded in as-is (sessions anchor in the same world frame, so the
+    unaligned error is bounded by per-session drift).
+
+    ``quarantine_fraction`` protects the canonical map from stale or
+    degraded contributions: snapshots whose quality falls below this
+    fraction of the best input's are excluded from the merge (their
+    inflated residuals would otherwise drag the canonical quality — and
+    with it the serving gate — down for everyone).  A degraded snapshot
+    alone still merges to itself; quarantine only applies once something
+    better exists.
+    """
+
+    def __init__(self, min_shared_for_alignment: int = 8,
+                 quarantine_fraction: float = 0.5) -> None:
+        self.min_shared_for_alignment = max(3, int(min_shared_for_alignment))
+        self.quarantine_fraction = float(np.clip(quarantine_fraction, 0.0, 1.0))
+
+    def signature(self) -> Tuple:
+        """The parameters that change what :meth:`merge` produces.
+
+        Memoization layers (the map store's canonical cache) key on this so
+        the same snapshot set merged under different parameters can never
+        alias to one cached result.
+        """
+        return (self.min_shared_for_alignment, self.quarantine_fraction)
+
+    def merge(self, snapshots: Sequence[MapSnapshot]) -> Optional[MapSnapshot]:
+        """The canonical map for one environment (None for no input)."""
+        if not snapshots:
+            return None
+        # Environment mixing is a caller bug; surface it before dedup or
+        # quarantine can mask it (a quarantined foreign snapshot would
+        # otherwise silently vanish from the merge).
+        environments = {snapshot.environment_id for snapshot in snapshots}
+        if len(environments) != 1:
+            raise ValueError(f"cannot merge across environments: {sorted(environments)}")
+        unique = self._dedup(snapshots)
+        if len(unique) > 1:
+            floor = self.quarantine_fraction * unique[0].quality
+            unique = [snapshot for snapshot in unique if snapshot.quality >= floor]
+        if len(unique) == 1:
+            # A single (possibly self-duplicated) snapshot merges to itself,
+            # bit for bit — no alignment or averaging round-trip.
+            return unique[0]
+
+        reference = unique[0]
+        anchor = reference.positions_by_id()
+        sums: Dict[int, np.ndarray] = {lid: pos.copy() for lid, pos in anchor.items()}
+        counts: Dict[int, int] = {lid: 1 for lid in anchor}
+        for snapshot in unique[1:]:
+            contribution = self._aligned_positions(snapshot, anchor)
+            for lid, position in contribution.items():
+                if lid in sums:
+                    sums[lid] += position
+                    counts[lid] += 1
+                else:
+                    sums[lid] = position.copy()
+                    counts[lid] = 1
+
+        ids = np.fromiter(sorted(sums), dtype=np.int64, count=len(sums))
+        # All-empty inputs (e.g. fully-degraded snapshots) merge to an empty
+        # canonical map — quality 0.0, rejected by any positive gate —
+        # rather than crashing the resolve path.
+        positions = (np.stack([sums[int(lid)] / counts[int(lid)] for lid in ids])
+                     if len(sums) else np.zeros((0, 3)))
+        weights = np.array([max(1, snapshot.landmark_count) for snapshot in unique], dtype=float)
+        mean_residual = float(np.average(
+            [snapshot.mean_residual_m for snapshot in unique], weights=weights))
+        return MapSnapshot(
+            environment_id=reference.environment_id,
+            landmark_ids=ids,
+            positions=positions,
+            mean_residual_m=mean_residual,
+            max_residual_m=max(snapshot.max_residual_m for snapshot in unique),
+            source="merged",
+            segment_index=-1,
+            frame_count=sum(snapshot.frame_count for snapshot in unique),
+            merged_from=sum(snapshot.merged_from for snapshot in unique),
+        )
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _dedup(snapshots: Sequence[MapSnapshot]) -> List[MapSnapshot]:
+        """Drop exact-content duplicates; rank best (quality, version) first."""
+        by_version: Dict[str, MapSnapshot] = {}
+        for snapshot in snapshots:
+            by_version.setdefault(snapshot.version, snapshot)
+        return sorted(by_version.values(),
+                      key=lambda s: (-s.quality, s.version))
+
+    def _aligned_positions(self, snapshot: MapSnapshot,
+                           anchor: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Snapshot landmarks expressed in the canonical (anchor) frame."""
+        own = snapshot.positions_by_id()
+        shared = sorted(lid for lid in own if lid in anchor)
+        if len(shared) < self.min_shared_for_alignment:
+            return own
+        source = np.stack([own[lid] for lid in shared])
+        target = np.stack([anchor[lid] for lid in shared])
+        if np.array_equal(source, target):
+            # Identical shared geometry: the frames already coincide, and an
+            # SVD round-trip would only smear float noise over every point.
+            return own
+        transform = _weighted_horn(source, target, np.ones(len(shared)))
+        return {lid: transform.transform_point(position)
+                for lid, position in own.items()}
+
+
+def merge_quality(snapshots: Sequence[MapSnapshot],
+                  merger: Optional[MapMerger] = None) -> float:
+    """Quality of the canonical merge of ``snapshots`` (0.0 for no input)."""
+    merged = (merger or MapMerger()).merge(snapshots)
+    return merged.quality if merged is not None else 0.0

@@ -1,0 +1,210 @@
+"""Persistent, content-addressed store of fleet map snapshots.
+
+The :class:`MapStore` lives alongside the experiment run store
+(``~/.cache/eudoxus-repro/maps``, overridable with ``EUDOXUS_MAP_CACHE``)
+and inherits its machinery: atomic temp-file + rename writes so concurrent
+publishers never corrupt an entry, corrupted/truncated snapshots degrading
+to clean misses, and LRU eviction bounded by ``EUDOXUS_MAP_CACHE_MAX_MB`` /
+``EUDOXUS_MAP_CACHE_MAX_AGE_DAYS`` (a value <= 0 disables the bound).
+
+The on-disk layout is ``{base}/{code_generation}/{environment_id}__{version}.pkl``:
+
+* the *generation* directory embeds the package code fingerprint, so maps
+  persist only for the code that generated their worlds — a source change
+  that alters world/trajectory generation starts a fresh generation instead
+  of serving geometry that no longer exists (the same invalidation rule the
+  run store applies through its keys; superseded generations are swept once
+  they exceed the age bound);
+* the ``{environment_id}__{version}`` stem makes one environment's snapshot
+  history a single prefix scan, and the content-addressed version suffix
+  makes publishing idempotent: republishing an identical snapshot rewrites
+  the same file.
+
+:meth:`MapStore.resolve` is the serving-side entry point: it merges an
+environment's snapshots into the canonical map (memoized per environment on
+the exact merge inputs) and applies the quality gate that decides whether
+the map is good enough to serve registration.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import RunStore, code_fingerprint
+from repro.maps.merger import MapMerger
+from repro.maps.snapshot import DEFAULT_MIN_MAP_QUALITY, MapSnapshot
+
+MAP_CACHE_ENV = "EUDOXUS_MAP_CACHE"
+MAP_CACHE_MAX_MB_ENV = "EUDOXUS_MAP_CACHE_MAX_MB"
+MAP_CACHE_MAX_AGE_DAYS_ENV = "EUDOXUS_MAP_CACHE_MAX_AGE_DAYS"
+DEFAULT_MAP_CACHE_MAX_MB = 128.0
+DEFAULT_MAP_CACHE_MAX_AGE_DAYS = 30.0
+
+# Environment ids become filename prefixes ahead of a "__" delimiter;
+# anything outside this charset — or anything that would make the delimiter
+# ambiguous: an embedded "__" ("atrium__old" colliding into "atrium"
+# queries) or an edge underscore ("room_" writing "room___v", captured by
+# the "room__*" prefix scan) — is a caller bug better surfaced loudly than
+# written as a stray path.
+_SAFE_ENVIRONMENT = re.compile(r"^[A-Za-z0-9.-](?:[A-Za-z0-9._-]*[A-Za-z0-9.-])?$")
+
+# What a code-generation directory under the base root looks like.  The
+# stale-generation sweep only ever touches children matching this — a user
+# pointing EUDOXUS_MAP_CACHE at a directory with unrelated subdirectories
+# must never lose them.
+_GENERATION_DIR = re.compile(r"^[0-9a-f]{12}$")
+
+
+def _validate_environment(environment_id: str) -> str:
+    if not _SAFE_ENVIRONMENT.match(environment_id) or "__" in environment_id:
+        raise ValueError(f"unsafe environment id: {environment_id!r}")
+    return environment_id
+
+
+def default_map_root() -> Path:
+    override = os.environ.get(MAP_CACHE_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "eudoxus-repro" / "maps"
+
+
+class MapStore(RunStore):
+    """The fleet's shared map library: publish, list, merge, gate."""
+
+    MAX_MB_ENV = MAP_CACHE_MAX_MB_ENV
+    MAX_AGE_DAYS_ENV = MAP_CACHE_MAX_AGE_DAYS_ENV
+    DEFAULT_MAX_MB = DEFAULT_MAP_CACHE_MAX_MB
+    DEFAULT_MAX_AGE_DAYS = DEFAULT_MAP_CACHE_MAX_AGE_DAYS
+
+    @classmethod
+    def default_root(cls) -> Path:
+        return default_map_root()
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 max_bytes: Optional[float] = None,
+                 max_age_s: Optional[float] = None) -> None:
+        self.base_root = Path(root) if root is not None else self.default_root()
+        super().__init__(root=self.base_root / code_fingerprint()[:12],
+                         max_bytes=max_bytes, max_age_s=max_age_s)
+        self._sweep_stale_generations()
+        self.published = 0
+        # Canonical-map memo: one entry per environment, holding the merge
+        # inputs it was computed from (snapshot keys straight from the file
+        # stems — no unpickling on a hit — plus the merger's parameters)
+        # next to the result.  A publish, eviction or different merger
+        # changes the inputs and recomputes; replacing in place keeps the
+        # memo bounded by the number of live environments.
+        self._canonical: Dict[str, Tuple[Tuple, Optional[MapSnapshot]]] = {}
+
+    # -------------------------------------------------------------- lifecycle
+
+    def publish(self, snapshot: MapSnapshot) -> Optional[Path]:
+        """Persist one snapshot (idempotent: content-addressed filename).
+
+        Re-publishing existing content only refreshes the entry's LRU
+        recency — no redundant pickle/write/rename, and ``published``
+        counts newly written snapshots only.
+        """
+        _validate_environment(snapshot.environment_id)
+        path = self.path_for(f"{snapshot.environment_id}__{snapshot.version}")
+        if path.exists():
+            # Content-addressed name: an existing file is byte-identical.
+            try:
+                os.utime(path)
+                return path
+            except OSError:
+                # Evicted between the check and the touch: the caller was
+                # promised persistence, so fall through and rewrite.
+                pass
+        path = self.save_key(f"{snapshot.environment_id}__{snapshot.version}", snapshot)
+        if path is not None:
+            self.published += 1
+        return path
+
+    def snapshots(self, environment_id: str) -> List[MapSnapshot]:
+        """Every loadable snapshot of one environment, in version order."""
+        loaded: List[MapSnapshot] = []
+        for key in self._snapshot_keys(environment_id):
+            snapshot = self.load_key(key, expect=MapSnapshot)
+            if snapshot is not None:
+                loaded.append(snapshot)
+        return loaded
+
+    def environments(self) -> List[str]:
+        """Environment ids with at least one stored snapshot."""
+        if not self.root.is_dir():
+            return []
+        seen = set()
+        for path in self.root.glob("*.pkl"):
+            prefix, separator, _ = path.stem.partition("__")
+            if separator:
+                seen.add(prefix)
+        return sorted(seen)
+
+    def resolve(self, environment_id: str,
+                merger: Optional[MapMerger] = None,
+                min_quality: float = DEFAULT_MIN_MAP_QUALITY) -> Optional[MapSnapshot]:
+        """The canonical map of one environment, if good enough to serve.
+
+        Merges every stored snapshot (memoized on the exact snapshot set)
+        and returns the result only when its quality clears ``min_quality``
+        — the gate between "the fleet is still exploring" (keep running
+        SLAM) and "the map is servable" (later sessions register).
+        """
+        merger = merger or MapMerger()
+        # The content versions live in the file stems, so the memo inputs
+        # can be derived without unpickling the snapshot history.
+        inputs = (tuple(self._snapshot_keys(environment_id)), merger.signature())
+        if not inputs[0]:
+            return None
+        cached = self._canonical.get(environment_id)
+        if cached is None or cached[0] != inputs:
+            # Corrupt entries are dropped (and unlinked) during this load;
+            # the memoed inputs keep their stems, so the next resolve sees
+            # changed inputs and re-merges from the cleaned state.
+            cached = (inputs, merger.merge(self.snapshots(environment_id)))
+            self._canonical[environment_id] = cached
+        merged = cached[1]
+        if merged is None or merged.quality < min_quality:
+            return None
+        return merged
+
+    # ------------------------------------------------------------- internals
+
+    def _sweep_stale_generations(self) -> None:
+        """Remove snapshot directories left behind by previous code versions.
+
+        A generation directory whose newest snapshot exceeds the age bound
+        is dead weight: its maps can only ever be served by code that no
+        longer exists.  Only children shaped like generation directories
+        are considered — anything else under a user-supplied root is left
+        untouched.  With the age bound disabled the sweep is skipped
+        (unbounded means unbounded).
+        """
+        if self.max_age_s is None or not self.base_root.is_dir():
+            return
+        now = time.time()
+        for child in self.base_root.iterdir():
+            if (not child.is_dir() or child == self.root
+                    or not _GENERATION_DIR.match(child.name)):
+                continue
+            try:
+                newest = max((entry.stat().st_mtime for entry in child.glob("*.pkl")),
+                             default=child.stat().st_mtime)
+                if now - newest > self.max_age_s:
+                    shutil.rmtree(child, ignore_errors=True)
+            except OSError:
+                continue
+
+    def _snapshot_keys(self, environment_id: str) -> List[str]:
+        # Queries validate too: an id with glob metacharacters or an
+        # embedded delimiter would otherwise capture other environments.
+        _validate_environment(environment_id)
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob(f"{environment_id}__*.pkl"))

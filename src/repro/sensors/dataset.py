@@ -120,8 +120,17 @@ class SequenceBuilder:
         )
 
     def build(self, scenario: OperatingScenario, start_time: float = 0.0,
-              start_index: int = 0, seed_offset: int = 0) -> SyntheticSequence:
-        """Generate a full sequence for one operating scenario."""
+              start_index: int = 0, seed_offset: int = 0,
+              world_seed: Optional[int] = None) -> SyntheticSequence:
+        """Generate a full sequence for one operating scenario.
+
+        ``world_seed`` decouples the landmark world from the session seed:
+        sessions passing the same ``world_seed`` (and scenario shape)
+        traverse the *same* physical environment while keeping their own
+        sensor-noise streams — the substrate for cross-session map sharing.
+        ``None`` keeps the legacy behavior (world derived from the session
+        seed, every session in its own world).
+        """
         config = self.config
         camera = self._camera()
         rig = StereoRig(camera=camera, baseline=config.stereo_baseline)
@@ -135,10 +144,13 @@ class SequenceBuilder:
             scenario.trajectory.sample(float(t - start_time)) for t in frame_times
         ]
         path_points = np.array([s.pose.translation for s in truth_per_frame])
+        effective_world_seed = seed if world_seed is None else int(world_seed)
         if scenario.is_indoor:
-            world = LandmarkWorld.indoor(path_points, count=scenario.landmark_count, seed=seed)
+            world = LandmarkWorld.indoor(path_points, count=scenario.landmark_count,
+                                         seed=effective_world_seed)
         else:
-            world = LandmarkWorld.outdoor(path_points, count=scenario.landmark_count, seed=seed)
+            world = LandmarkWorld.outdoor(path_points, count=scenario.landmark_count,
+                                          seed=effective_world_seed)
 
         imu = ImuSimulator(
             gyro_noise=config.imu_gyro_noise * scenario.imu_noise_scale,

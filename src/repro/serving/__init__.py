@@ -20,11 +20,21 @@ per client device — over a shared pool of backend workers:
   cold sessions over the shared process pool with deterministic per-session
   seeds (serial == streaming == parallel), persists results in the run
   store, and reports throughput/latency/autoscaling telemetry.
+
+With a :class:`~repro.maps.MapStore` attached, the engine also runs the
+fleet map service lifecycle: segments naming a shared environment
+(:attr:`StreamSegment.environment`) traverse a common landmark world, SLAM
+sessions publish map snapshots at segment exits, and later sessions acquire
+the merged canonical map — registration displacing SLAM mid-stream, with
+the resolved map versions folded into the serving cache keys.
+:func:`cold_start_fleet` / :func:`multi_environment_fleet` generate the
+matching fleet shapes.
 """
 
 from repro.serving.engine import ServingEngine, ServingReport, run_session, serving_key
 from repro.serving.session import (
     DEFAULT_INGRESS_CAPACITY,
+    MapAcquisition,
     ModeSwitch,
     ModeSwitchPolicy,
     Session,
@@ -35,13 +45,18 @@ from repro.serving.streams import (
     StreamFrame,
     StreamSegment,
     StreamSpec,
+    cold_start_fleet,
+    environment_world_seed,
     mixed_deployment_stream,
     mixed_fleet,
+    multi_environment_fleet,
     random_stream,
+    segment_environment_id,
 )
 
 __all__ = [
     "DEFAULT_INGRESS_CAPACITY",
+    "MapAcquisition",
     "ModeSwitch",
     "ModeSwitchPolicy",
     "ScenarioStream",
@@ -52,9 +67,13 @@ __all__ = [
     "StreamFrame",
     "StreamSegment",
     "StreamSpec",
+    "cold_start_fleet",
+    "environment_world_seed",
     "mixed_deployment_stream",
     "mixed_fleet",
+    "multi_environment_fleet",
     "random_stream",
     "run_session",
+    "segment_environment_id",
     "serving_key",
 ]

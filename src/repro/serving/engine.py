@@ -31,6 +31,15 @@ path) are folded into the scaler's rolling window against each session's
 :class:`~repro.experiments.runner.WorkerPool` between dispatch waves in the
 parallel path.  The decision log lands in the report.
 
+**Fleet maps.**  With a :class:`~repro.maps.MapStore` attached, the engine
+runs the cross-session map lifecycle: before dispatch it resolves the
+canonical, quality-gated map of every shared environment the fleet visits
+(once per call, so every execution path sees the same assignment and the
+resolved versions can be folded into the serving cache keys), sessions
+acquire those maps mid-stream (unlocking registration where they would have
+run SLAM), and after serving it publishes every snapshot the fleet's SLAM
+segments produced — the maps the *next* wave will register against.
+
 The engine also closes the loop to the runtime offload scheduler
 (Sec. VI-B), two ways: :func:`train_offload_scheduler` batch-fits an
 accelerator's scheduler from a served fleet's telemetry, and an engine
@@ -60,18 +69,26 @@ from repro.experiments.runner import (
     fan_out,
     resolve_max_workers,
 )
+from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
 from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
 from repro.serving.session import DEFAULT_INGRESS_CAPACITY, Session, SessionResult
 from repro.serving.streams import StreamSpec
 
 
-def serving_key(spec: StreamSpec) -> str:
+def serving_key(spec: StreamSpec, maps: Optional[Dict[str, str]] = None) -> str:
     """Content-hash key of one session: spec + code + config fingerprints.
 
     ``deadline_ms`` is excluded: it is a QoS contract that never enters the
     localization math (results are bit-identical with or without it), so a
     deadline change must keep the cache warm rather than recompute the
     whole fleet.
+
+    ``maps`` is the session's resolved fleet-map assignment (environment id
+    -> canonical map version).  The acquired map changes the served poses
+    and modes, so the versions are part of the key: the same spec served
+    before and after the fleet map matured resolves to different entries,
+    and a cached cold result can never masquerade as a warm one.  An empty
+    assignment hashes identically to the pre-map-service key shape.
     """
     spec_payload = spec.payload()
     spec_payload.pop("deadline_ms", None)
@@ -82,17 +99,25 @@ def serving_key(spec: StreamSpec) -> str:
         "config": config_fingerprint(spec.platform_kind, spec.camera_rate_hz, spec.seed),
         "spec": spec_payload,
     }
+    if maps:
+        payload["maps"] = dict(sorted(maps.items()))
     return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
 
 
-def run_session(spec: StreamSpec) -> SessionResult:
-    """Serve one whole session from scratch (pure function of the spec)."""
-    return Session(spec).run()
+def run_session(spec: StreamSpec,
+                maps: Optional[Dict[str, MapSnapshot]] = None) -> SessionResult:
+    """Serve one whole session from scratch.
+
+    A pure function of the spec *and* the resolved fleet-map assignment —
+    the two inputs the serving cache key covers.
+    """
+    return Session(spec, maps=maps).run()
 
 
 def _run_session_payload(payload: Dict) -> SessionResult:
     """Process-pool entry point (payload dicts pickle smaller than specs)."""
-    return run_session(StreamSpec.from_payload(payload))
+    return run_session(StreamSpec.from_payload(payload["spec"]),
+                       maps=payload.get("maps") or None)
 
 
 @dataclass
@@ -120,6 +145,10 @@ class ServingReport:
     deadline_misses: int = 0
     ticks: int = 0
     scale_decisions: List[ScaleDecision] = field(default_factory=list)
+    # Fleet map service: the canonical maps this serve call resolved
+    # (environment id -> version) and how many snapshots it published back.
+    fleet_maps: Dict[str, str] = field(default_factory=dict)
+    maps_published: int = 0
 
     @property
     def session_count(self) -> int:
@@ -140,6 +169,10 @@ class ServingReport:
     @property
     def mode_switch_count(self) -> int:
         return sum(len(result.mode_switches) for result in self.results.values())
+
+    @property
+    def map_acquisition_count(self) -> int:
+        return sum(len(result.map_acquisitions) for result in self.results.values())
 
     def latency_percentile(self, percent: float) -> float:
         if not self.served_frame_wall_ms:
@@ -187,6 +220,8 @@ class ServingReport:
             "workers": self.workers,
             "final_workers": self.final_workers,
             "resizes": self.resize_count,
+            "map_acquisitions": self.map_acquisition_count,
+            "maps_published": self.maps_published,
         }
 
 
@@ -209,7 +244,10 @@ class ServingEngine:
                  autoscaler: Optional[LatencyAutoscaler] = None,
                  accelerator=None,
                  ingress_capacity: int = DEFAULT_INGRESS_CAPACITY,
-                 frames_per_worker_tick: Optional[int] = None) -> None:
+                 frames_per_worker_tick: Optional[int] = None,
+                 map_store: Optional[MapStore] = None,
+                 map_merger: Optional[MapMerger] = None,
+                 min_map_quality: float = DEFAULT_MIN_MAP_QUALITY) -> None:
         self.store = store
         self.max_workers = resolve_max_workers(max_workers)
         self.autoscaler = autoscaler
@@ -218,6 +256,9 @@ class ServingEngine:
         self.frames_per_worker_tick = max(
             1, int(frames_per_worker_tick if frames_per_worker_tick is not None
                    else self.FRAMES_PER_WORKER_TICK))
+        self.map_store = map_store
+        self.map_merger = map_merger or MapMerger()
+        self.min_map_quality = float(min_map_quality)
         self._kernel_of: Dict[str, str] = {}
 
     def serve(self, specs: Sequence[StreamSpec], parallel: Optional[bool] = None,
@@ -250,6 +291,16 @@ class ServingEngine:
                              "it cannot be combined with parallel=True")
         started = time.perf_counter()
         report = ServingReport(workers=self.max_workers)
+        # Fleet-map resolution happens once, before any path dispatch: every
+        # execution path (store hit, streaming, materialized, pool) of this
+        # call sees the same canonical map per environment, which is what
+        # keeps serial/streaming/pool bit-identical with acquisition enabled.
+        fleet_maps = self._resolve_fleet_maps(specs)
+        report.fleet_maps = {environment_id: snapshot.version
+                             for environment_id, snapshot in fleet_maps.items()}
+        maps_by_stream: Dict[str, Dict[str, MapSnapshot]] = {
+            spec.stream_id: self._maps_for(spec, fleet_maps) for spec in specs
+        }
         cold: List[StreamSpec] = []
         seen = set()
         for spec in specs:
@@ -257,7 +308,8 @@ class ServingEngine:
                 raise ValueError(f"duplicate stream_id in fleet: {spec.stream_id}")
             seen.add(spec.stream_id)
             if self.store is not None:
-                stored = self.store.load_key(serving_key(spec), expect=SessionResult)
+                key = serving_key(spec, self._map_versions(maps_by_stream[spec.stream_id]))
+                stored = self.store.load_key(key, expect=SessionResult)
                 if stored is not None:
                     report.store_hits += 1
                     # The key ignores deadline_ms, so the hit may have been
@@ -278,19 +330,22 @@ class ServingEngine:
         report.ingestion = "pool" if use_pool else (ingestion or "streaming")
         if cold:
             if use_pool:
-                self._serve_pool(cold, report)
+                self._serve_pool(cold, report, maps_by_stream)
             elif report.ingestion == "streaming":
-                for spec, result in self._serve_streaming(cold, report):
-                    self._absorb(report, spec, result)
+                for spec, result in self._serve_streaming(cold, report, maps_by_stream):
+                    self._absorb(report, spec, result, maps_by_stream)
             else:
-                for spec, result in self._serve_materialized(cold, report.batch_sizes):
-                    self._absorb(report, spec, result)
+                for spec, result in self._serve_materialized(cold, report.batch_sizes,
+                                                            maps_by_stream):
+                    self._absorb(report, spec, result, maps_by_stream)
+        self._publish_fleet_maps(report)
         report.wall_s = time.perf_counter() - started
         return report
 
     # ------------------------------------------------- streaming event loop
 
-    def _serve_streaming(self, specs: Sequence[StreamSpec], report: ServingReport):
+    def _serve_streaming(self, specs: Sequence[StreamSpec], report: ServingReport,
+                         maps_by_stream: Dict[str, Dict[str, MapSnapshot]]):
         """Arrival-time event loop: ingest what arrived, serve what is ready.
 
         The loop advances a virtual clock over the fleet's frame arrivals.
@@ -311,7 +366,8 @@ class ServingEngine:
         running each session straight through; the scheduling only shapes
         *when* each frame is served, i.e. the latency telemetry.
         """
-        sessions = [Session(spec, ingress_capacity=self.ingress_capacity)
+        sessions = [Session(spec, ingress_capacity=self.ingress_capacity,
+                            maps=maps_by_stream.get(spec.stream_id))
                     for spec in specs]
         active: List[Session] = []
         for session in sessions:
@@ -400,7 +456,8 @@ class ServingEngine:
 
     # ------------------------------------------------------------ pool path
 
-    def _serve_pool(self, cold: List[StreamSpec], report: ServingReport) -> None:
+    def _serve_pool(self, cold: List[StreamSpec], report: ServingReport,
+                    maps_by_stream: Dict[str, Dict[str, MapSnapshot]]) -> None:
         """Shard whole cold sessions across worker processes.
 
         Without an autoscaler this is one fan-out over the fleet.  With one,
@@ -419,11 +476,15 @@ class ServingEngine:
             # to in-process execution.
             report.parallel = True
 
+        def _pool_payload(spec: StreamSpec) -> Dict:
+            return {"spec": spec.payload(),
+                    "maps": maps_by_stream.get(spec.stream_id) or {}}
+
         if self.autoscaler is None:
             for index, result in fan_out(_run_session_payload,
-                                         [spec.payload() for spec in cold],
+                                         [_pool_payload(spec) for spec in cold],
                                          self.max_workers, on_pool=_mark_parallel):
-                self._absorb(report, cold[index], result)
+                self._absorb(report, cold[index], result, maps_by_stream)
             return
 
         autoscaler = self.autoscaler
@@ -450,11 +511,11 @@ class ServingEngine:
                     wave = queue[:max(1, pool.width)]
                     del queue[:len(wave)]
                     for index, result in fan_out(_run_session_payload,
-                                                 [spec.payload() for spec in wave],
+                                                 [_pool_payload(spec) for spec in wave],
                                                  pool.width, on_pool=_mark_parallel,
                                                  pool=pool):
                         spec = wave[index]
-                        self._absorb(report, spec, result)
+                        self._absorb(report, spec, result, maps_by_stream)
                         for wall_ms in result.frame_wall_ms:
                             autoscaler.observe(wall_ms, spec.deadline_ms)
                     if queue:
@@ -473,15 +534,65 @@ class ServingEngine:
 
     # ------------------------------------------------------------ internals
 
+    def _resolve_fleet_maps(self, specs: Sequence[StreamSpec]) -> Dict[str, MapSnapshot]:
+        """Canonical, quality-gated map per shared environment the fleet visits."""
+        if self.map_store is None:
+            return {}
+        resolved: Dict[str, MapSnapshot] = {}
+        for spec in specs:
+            for environment_id in spec.environment_ids.values():
+                if environment_id in resolved:
+                    continue
+                snapshot = self.map_store.resolve(
+                    environment_id, merger=self.map_merger,
+                    min_quality=self.min_map_quality)
+                if snapshot is not None:
+                    resolved[environment_id] = snapshot
+        return resolved
+
+    @staticmethod
+    def _maps_for(spec: StreamSpec,
+                  fleet_maps: Dict[str, MapSnapshot]) -> Dict[str, MapSnapshot]:
+        """The subset of resolved maps this session's stream can acquire."""
+        wanted = set(spec.environment_ids.values())
+        return {environment_id: snapshot
+                for environment_id, snapshot in fleet_maps.items()
+                if environment_id in wanted}
+
+    @staticmethod
+    def _map_versions(maps: Dict[str, MapSnapshot]) -> Dict[str, str]:
+        return {environment_id: snapshot.version
+                for environment_id, snapshot in maps.items()}
+
+    def _publish_fleet_maps(self, report: ServingReport) -> None:
+        """Write every session-published snapshot back to the map store.
+
+        Runs over *all* results (computed and store hits): publishing is
+        content-addressed and therefore idempotent, so re-publishing a
+        cached session's snapshots only refreshes their store recency.
+        ``maps_published`` reports snapshots the store had not seen before.
+        """
+        if self.map_store is None:
+            return
+        newly_published = self.map_store.published
+        for result in report.results.values():
+            for snapshot in result.published_maps:
+                self.map_store.publish(snapshot)
+        report.maps_published += self.map_store.published - newly_published
+
     def _absorb(self, report: ServingReport, spec: StreamSpec,
-                result: SessionResult) -> None:
+                result: SessionResult,
+                maps_by_stream: Dict[str, Dict[str, MapSnapshot]]) -> None:
         report.computed_sessions += 1
         report.results[spec.stream_id] = result
         report.served_frame_wall_ms.extend(result.frame_wall_ms)
         if self.store is not None:
-            self.store.save_key(serving_key(spec), result)
+            key = serving_key(spec, self._map_versions(
+                maps_by_stream.get(spec.stream_id) or {}))
+            self.store.save_key(key, result)
 
-    def _serve_materialized(self, specs: Sequence[StreamSpec], batch_sizes: List[int]):
+    def _serve_materialized(self, specs: Sequence[StreamSpec], batch_sizes: List[int],
+                            maps_by_stream: Dict[str, Dict[str, MapSnapshot]]):
         """The legacy ready-batch multiplexer (kept as the reference path).
 
         Sessions are stepped in deterministic ``(timestamp, stream_id)``
@@ -489,7 +600,8 @@ class ServingEngine:
         details; because sessions share no state, it is also bit-identical
         to running each session straight through in a worker.
         """
-        sessions = [Session(spec) for spec in specs]
+        sessions = [Session(spec, maps=maps_by_stream.get(spec.stream_id))
+                    for spec in specs]
         active = []
         for session in sessions:
             if session.done:

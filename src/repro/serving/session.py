@@ -33,17 +33,24 @@ import hashlib
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend.registration import RegistrationBackend
 from repro.common.config import LocalizerConfig
 from repro.core.framework import EudoxusLocalizer
 from repro.core.modes import BackendMode
 from repro.core.result import TrajectoryResult
 from repro.experiments.runner import localizer_config_for, sensor_config_for
+from repro.maps import MapSnapshot, snapshot_from_mapper
 from repro.sensors.dataset import Frame
-from repro.serving.streams import ScenarioStream, StreamFrame, StreamSpec
+from repro.serving.streams import (
+    ScenarioStream,
+    StreamFrame,
+    StreamSpec,
+    segment_environment_id,
+)
 
 # Per-session ingress bound: how many arrived-but-unserved frames a session
 # buffers before it pushes back on ingestion.  Two seconds of frames at the
@@ -51,6 +58,12 @@ from repro.serving.streams import ScenarioStream, StreamFrame, StreamSpec
 # congested fleet's memory stays bounded (backpressure, not buffering, is
 # the overload response).
 DEFAULT_INGRESS_CAPACITY = 10
+
+# Publication gates: a segment's SLAM map is only worth publishing once SLAM
+# actually served a few frames there and the mapper accumulated a non-trivial
+# landmark set — tiny fragments would only dilute the fleet merge.
+MIN_PUBLISH_SLAM_FRAMES = 3
+MIN_PUBLISH_LANDMARKS = 12
 
 
 @dataclass
@@ -63,6 +76,25 @@ class ModeSwitch:
     to_mode: str
     reason: str
     segment_index: int
+
+
+@dataclass
+class MapAcquisition:
+    """One fleet-map acquisition: a session entering a mapped environment.
+
+    Recorded when a session enters a segment whose shared environment has a
+    servable fleet map — the map-entry event that unlocks the ``*_KNOWN``
+    modes mid-stream.  ``version`` is the canonical map's content digest
+    (the same value folded into the serving cache key), so the acquisition
+    log is a complete provenance record of which map produced which poses.
+    """
+
+    environment_id: str
+    version: str
+    quality: float
+    segment_index: int
+    frame_index: int
+    timestamp: float
 
 
 class ModeSwitchPolicy:
@@ -130,6 +162,8 @@ class SessionResult:
     mode_switches: List[ModeSwitch] = field(default_factory=list)
     segment_starts: List[int] = field(default_factory=list)
     frame_wall_ms: List[float] = field(default_factory=list)
+    map_acquisitions: List[MapAcquisition] = field(default_factory=list)
+    published_maps: List[MapSnapshot] = field(default_factory=list)
 
     @property
     def frame_count(self) -> int:
@@ -151,6 +185,16 @@ class SessionResult:
             digest.update(
                 f"{switch.frame_index}:{switch.from_mode}:{switch.to_mode}:{switch.reason}".encode()
             )
+        # Fleet-map provenance is a deterministic output too: acquiring a
+        # different map version (or publishing different snapshots) must
+        # never hide behind an identical pose trace.  Sessions that touch no
+        # shared environment contribute nothing here, so their signatures
+        # are unchanged from the pre-map-service era.
+        for acquisition in self.map_acquisitions:
+            digest.update(f"acq:{acquisition.environment_id}:{acquisition.version}:"
+                          f"{acquisition.frame_index}".encode())
+        for snapshot in self.published_maps:
+            digest.update(f"pub:{snapshot.environment_id}:{snapshot.version}".encode())
         return digest.hexdigest()
 
 
@@ -176,7 +220,8 @@ class Session:
 
     def __init__(self, spec: StreamSpec, config: Optional[LocalizerConfig] = None,
                  policy: Optional[ModeSwitchPolicy] = None,
-                 ingress_capacity: int = DEFAULT_INGRESS_CAPACITY) -> None:
+                 ingress_capacity: int = DEFAULT_INGRESS_CAPACITY,
+                 maps: Optional[Dict[str, MapSnapshot]] = None) -> None:
         self.spec = spec
         self.stream = ScenarioStream(
             spec, sensor_config_for(spec.platform_kind, spec.camera_rate_hz, spec.seed)
@@ -193,6 +238,21 @@ class Session:
         self._segment_fresh = True
         self._current_mode: Optional[BackendMode] = None
         self._had_map = False
+        # Fleet maps resolved for this session *before* serving started
+        # (environment id -> canonical snapshot).  Resolution happens once,
+        # up front, in the engine, so every execution path of one serve call
+        # sees the same assignment — the bit-identity contract extends to
+        # map acquisition.
+        self._fleet_maps: Dict[int, Tuple[str, MapSnapshot]] = {}
+        if maps:
+            for index, environment_id in spec.environment_ids.items():
+                snapshot = maps.get(environment_id)
+                if snapshot is not None:
+                    self._fleet_maps[index] = (environment_id, snapshot)
+        self._active_fleet_map: Optional[Tuple[str, MapSnapshot]] = None
+        self._segment_environment_id: Optional[str] = None
+        self._segment_slam_frames = 0
+        self._final_map_flushed = False
 
     # ---------------------------------------------------------- arrival side
 
@@ -295,6 +355,12 @@ class Session:
         return self.result()
 
     def result(self) -> SessionResult:
+        # Stream exhaustion is the final map-exit boundary: flush the last
+        # segment's publishable SLAM map exactly once.  Mid-stream callers
+        # (telemetry hooks) see ``done`` False and leave the result as-is.
+        if not self._final_map_flushed and self.done:
+            self._final_map_flushed = True
+            self._publish_segment_map()
         return self._result
 
     # ------------------------------------------------------------ internals
@@ -304,27 +370,87 @@ class Session:
         frame = stream_frame.frame
         sequence = stream_frame.sequence
         if stream_frame.segment_index != self._segment_index:
+            # Leaving a segment is a map-exit boundary: publish its SLAM map
+            # before the backends (and the mapper's state) are rebuilt.
+            self._publish_segment_map()
             # First frame of a new segment: re-prepare the backends exactly
             # like process_mixed does at segment boundaries.
             self.localizer.prepare(sequence)
             self._result.segment_starts.append(frame.index)
             self._segment_index = stream_frame.segment_index
             self._segment_fresh = True
+            self._enter_segment(stream_frame, sequence)
 
+        has_map = sequence.has_prebuilt_map or self._active_fleet_map is not None
         started = time.perf_counter()
-        mode = self.policy.decide(frame, has_map=sequence.has_prebuilt_map)
+        mode = self.policy.decide(frame, has_map=has_map)
         if mode is not self._current_mode:
-            self._on_switch(frame, mode, has_map=sequence.has_prebuilt_map)
+            self._on_switch(frame, mode, has_map=has_map,
+                            fleet_map=self._active_fleet_map is not None
+                            and not sequence.has_prebuilt_map)
         self.localizer.mode_selector.override = mode
         estimate = self.localizer.process_frame(frame, sequence)
         self.localizer.collect_last_frame(estimate, self._result.trajectory)
         self._result.frame_wall_ms.append(1000.0 * (time.perf_counter() - started))
 
+        if mode is BackendMode.SLAM:
+            self._segment_slam_frames += 1
         self._current_mode = mode
-        self._had_map = sequence.has_prebuilt_map
+        self._had_map = has_map
         self._segment_fresh = False
 
-    def _on_switch(self, frame: Frame, mode: BackendMode, has_map: bool) -> None:
+    def _enter_segment(self, stream_frame: StreamFrame, sequence) -> None:
+        """Segment-entry map acquisition: install the fleet map, log the event."""
+        index = stream_frame.segment_index
+        self._segment_environment_id = segment_environment_id(self.spec, index)
+        self._segment_slam_frames = 0
+        self._active_fleet_map = None
+        assignment = self._fleet_maps.get(index)
+        if assignment is None or sequence.has_prebuilt_map:
+            # A surveyed (prebuilt) map always wins over a fleet map.
+            return
+        environment_id, snapshot = assignment
+        self.localizer.registration = RegistrationBackend.from_snapshot(
+            snapshot,
+            config=self.localizer.config.backend.tracking,
+            camera=sequence.rig.camera,
+        )
+        self._active_fleet_map = assignment
+        self._result.map_acquisitions.append(MapAcquisition(
+            environment_id=environment_id,
+            version=snapshot.version,
+            quality=snapshot.quality,
+            segment_index=index,
+            frame_index=stream_frame.frame.index,
+            timestamp=stream_frame.frame.timestamp,
+        ))
+
+    def _publish_segment_map(self) -> None:
+        """Map-exit publish: snapshot the finished segment's SLAM map.
+
+        Only segments in a *shared* environment publish, and only when SLAM
+        actually built something there (enough served SLAM frames, enough
+        landmarks).  The snapshot lands in the session result — pure data;
+        the engine performs the store write after the session completes, so
+        worker processes stay side-effect-free.
+        """
+        if self._segment_environment_id is None:
+            return
+        if self._segment_slam_frames < MIN_PUBLISH_SLAM_FRAMES:
+            return
+        slam = self.localizer.slam
+        if slam is None or slam.mapper.map_size < MIN_PUBLISH_LANDMARKS:
+            return
+        self._result.published_maps.append(snapshot_from_mapper(
+            slam.mapper,
+            self._segment_environment_id,
+            source=self.spec.stream_id,
+            segment_index=self._segment_index,
+            frame_count=self._segment_slam_frames,
+        ))
+
+    def _on_switch(self, frame: Frame, mode: BackendMode, has_map: bool,
+                   fleet_map: bool = False) -> None:
         if self._current_mode is None:
             reason = "startup"
         elif self.policy.gps_trusted and mode is BackendMode.VIO:
@@ -332,7 +458,9 @@ class Session:
         elif self._current_mode is BackendMode.VIO:
             reason = "gps_lost"
         elif has_map and not self._had_map:
-            reason = "map_entry"
+            # A fleet-built map unlocking a *_KNOWN mode is observably
+            # different from walking into a surveyed environment.
+            reason = "map_acquired" if fleet_map else "map_entry"
         elif self._had_map and not has_map:
             reason = "map_exit"
         else:
@@ -363,5 +491,16 @@ class Session:
         elif mode is BackendMode.SLAM and self.localizer.slam is not None:
             self.localizer.slam.reset()
             self.localizer.slam.initialize(last_pose)
-        # Registration tracks every frame independently against the survey
-        # map; it needs no handover state.
+            # The mapper restarts from scratch: frames served before the
+            # reset no longer back the map, so the publish gate's frame
+            # count must restart too — otherwise a just-reset one-keyframe
+            # fragment (whose window residuals are deceptively near zero)
+            # could pass the gate on a stale count and outrank honest
+            # multi-keyframe snapshots in the fleet merge.
+            self._segment_slam_frames = 0
+        elif mode is BackendMode.REGISTRATION and self.localizer.registration is not None:
+            # Registration estimates every frame independently, but seeding
+            # its projection prior with the last served estimate keeps the
+            # visible-map workload anchored at the client's true viewpoint
+            # (the same re-anchoring contract the other backends get).
+            self.localizer.registration.initialize(last_pose)

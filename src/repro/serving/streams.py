@@ -27,8 +27,10 @@ field:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +68,12 @@ class StreamSegment:
     imu_noise_scale: Optional[float] = None
     imu_bias_scale: Optional[float] = None
     label: str = ""
+    # Naming an environment places the segment in a *shared* world: every
+    # session whose segment names the same environment (with the same
+    # scenario shape) traverses the same landmark world, which is what makes
+    # maps published by one session reusable by another.  ``None`` keeps the
+    # legacy per-session world.
+    environment: Optional[str] = None
 
     def payload(self) -> Dict:
         # Floats are serialized exactly (json round-trips repr), not rounded:
@@ -79,6 +87,7 @@ class StreamSegment:
             "imu_noise_scale": self.imu_noise_scale,
             "imu_bias_scale": self.imu_bias_scale,
             "label": self.label,
+            "environment": self.environment,
         }
 
     @classmethod
@@ -90,6 +99,7 @@ class StreamSegment:
             imu_noise_scale=payload["imu_noise_scale"],
             imu_bias_scale=payload["imu_bias_scale"],
             label=payload.get("label", ""),
+            environment=payload.get("environment"),
         )
 
 
@@ -127,6 +137,16 @@ class StreamSpec:
     def frame_interval(self) -> float:
         return 1.0 / self.camera_rate_hz
 
+    @property
+    def environment_ids(self) -> Dict[int, str]:
+        """Segment index -> shared-environment id, for segments naming one."""
+        ids: Dict[int, str] = {}
+        for index in range(len(self.segments)):
+            environment_id = segment_environment_id(self, index)
+            if environment_id is not None:
+                ids[index] = environment_id
+        return ids
+
     def payload(self) -> Dict:
         # Exact float serialization for the same reason as StreamSegment:
         # the payload must reconstruct this spec bit-for-bit in a worker.
@@ -152,6 +172,48 @@ class StreamSpec:
             seed=payload["seed"],
             deadline_ms=payload.get("deadline_ms"),
         )
+
+
+# --------------------------------------------------------- shared environments
+
+
+def environment_world_seed(name: str) -> int:
+    """Deterministic world seed every session naming ``name`` shares.
+
+    Derived from a cryptographic digest of the environment name (never from
+    Python's salted ``hash``), so two processes — or two serving waves days
+    apart — generate bit-identical landmark worlds for the same name.
+    """
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def segment_environment_id(spec: StreamSpec, index: int) -> Optional[str]:
+    """The map-service identity of one segment's environment (None if unshared).
+
+    Two segments share an environment id exactly when they generate the same
+    landmark world: same environment name *and* same world determinants
+    (scenario kind, duration, frame rate, landmark count).  Folding the
+    determinants into the id means a map can never be wrongly served to a
+    session whose world merely shares the name.
+
+    Segments whose scenario kind carries a prebuilt survey map are outside
+    the map service (the survey map always wins: they never acquire a fleet
+    map, and never run the SLAM that would publish one), so they carry no
+    environment id — which also keeps their serving cache keys independent
+    of map-store evolution they cannot observe.
+    """
+    segment = spec.segments[index]
+    if not segment.environment or segment.kind.has_map:
+        return None
+    payload = {
+        "name": segment.environment,
+        "kind": segment.kind.value,
+        "duration": float(segment.duration),
+        "camera_rate_hz": float(spec.camera_rate_hz),
+        "landmark_count": int(spec.landmark_count),
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -202,12 +264,21 @@ class ScenarioStream:
 
     def build_segment(self, index: int, start_time: float = 0.0,
                       start_index: int = 0) -> SyntheticSequence:
-        """Build segment ``index`` continuing the stream's clock and indices."""
+        """Build segment ``index`` continuing the stream's clock and indices.
+
+        A segment naming a shared environment pins the landmark world to the
+        environment's seed (every session in that environment sees the same
+        world); the sensor-noise streams stay session-seeded either way.
+        """
+        segment = self.spec.segments[index]
+        world_seed = (environment_world_seed(segment.environment)
+                      if segment.environment else None)
         return self.builder.build(
             self.segment_scenario(index),
             start_time=start_time,
             start_index=start_index,
             seed_offset=SEGMENT_SEED_STRIDE * index,
+            world_seed=world_seed,
         )
 
     def frames(self) -> Iterator[StreamFrame]:
@@ -251,7 +322,8 @@ def mixed_deployment_stream(stream_id: str, seed: int = 0,
                             landmark_count: int = 150,
                             rotate: int = 0,
                             dropout: bool = True,
-                            deadline_ms: Optional[float] = None) -> StreamSpec:
+                            deadline_ms: Optional[float] = None,
+                            indoor_environment: Optional[str] = None) -> StreamSpec:
     """The paper's 50/25/25 mixed deployment as a time-varying stream.
 
     Segments follow the Sec. VII-A mix (50 % outdoor, 25 % indoor unmapped,
@@ -259,12 +331,16 @@ def mixed_deployment_stream(stream_id: str, seed: int = 0,
     of a fleet transition at different times and in different directions.
     With ``dropout`` the second outdoor stretch contains a full GPS outage
     followed by reacquisition — the event the online mode switcher must
-    absorb without losing the client.
+    absorb without losing the client.  ``indoor_environment`` places the
+    unmapped indoor stretch in a shared world, so a fleet map published
+    there by one session can displace later sessions' SLAM with
+    registration.
     """
     half = segment_duration / 2.0
     segments: List[StreamSegment] = [
         StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, segment_duration, label="outdoor"),
-        StreamSegment(ScenarioKind.INDOOR_UNKNOWN, segment_duration, label="indoor_entry"),
+        StreamSegment(ScenarioKind.INDOOR_UNKNOWN, segment_duration, label="indoor_entry",
+                      environment=indoor_environment),
     ]
     if dropout:
         segments += [
@@ -338,13 +414,16 @@ def random_stream(stream_id: str, seed: int = 0, segment_count: int = 6,
 def mixed_fleet(count: int, base_seed: int = 0, segment_duration: float = 2.0,
                 platform_kind: str = "drone", camera_rate_hz: float = 5.0,
                 landmark_count: int = 150,
-                deadline_ms: Optional[float] = None) -> List[StreamSpec]:
+                deadline_ms: Optional[float] = None,
+                indoor_environment: Optional[str] = None) -> List[StreamSpec]:
     """A fleet of mixed-deployment sessions with distinct seeds and phases.
 
     Every session follows the 50/25/25 mix, but each starts at a different
     point of the cycle (``rotate``) and runs on its own seed, so at any
     instant the fleet spans all four environments — the mixed-deployment
-    traffic shape the serving engine is benchmarked on.
+    traffic shape the serving engine is benchmarked on.  With
+    ``indoor_environment`` the fleet's unmapped indoor stretches share one
+    world, making them eligible for fleet-map reuse.
     """
     return [
         mixed_deployment_stream(
@@ -356,6 +435,88 @@ def mixed_fleet(count: int, base_seed: int = 0, segment_duration: float = 2.0,
             landmark_count=landmark_count,
             rotate=i,
             deadline_ms=deadline_ms,
+            indoor_environment=indoor_environment,
         )
         for i in range(count)
     ]
+
+
+def cold_start_fleet(count: int, environment: str = "shared-warehouse",
+                     base_seed: int = 0, segment_duration: float = 2.0,
+                     explore_segments: int = 2, platform_kind: str = "drone",
+                     camera_rate_hz: float = 5.0, landmark_count: int = 150,
+                     deadline_ms: Optional[float] = None,
+                     prefix: str = "session") -> List[StreamSpec]:
+    """A fleet converging on one shared, initially unmapped environment.
+
+    Every session approaches outdoors (VIO) and then works inside the same
+    shared indoor world for ``explore_segments`` stretches.  Against an
+    empty map store the indoor stretches run SLAM and publish snapshots at
+    every segment exit; once the merged fleet map clears the quality gate,
+    a later wave of the same shape acquires it and serves the identical
+    segments through registration instead — the cold-start -> warm-map
+    transition the map-reuse benchmark measures.
+    """
+    fleet: List[StreamSpec] = []
+    for i in range(count):
+        segments: List[StreamSegment] = [
+            StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, segment_duration,
+                          label="approach"),
+        ]
+        for k in range(max(1, int(explore_segments))):
+            segments.append(StreamSegment(
+                ScenarioKind.INDOOR_UNKNOWN, segment_duration,
+                label=f"{environment}#{k}", environment=environment,
+            ))
+        fleet.append(StreamSpec(
+            stream_id=f"{prefix}-{i:03d}",
+            segments=tuple(segments),
+            platform_kind=platform_kind,
+            camera_rate_hz=camera_rate_hz,
+            landmark_count=landmark_count,
+            seed=base_seed + STREAM_SEED_STRIDE * i,
+            deadline_ms=deadline_ms,
+        ))
+    return fleet
+
+
+def multi_environment_fleet(count: int,
+                            environments: Sequence[str] = ("atrium", "warehouse"),
+                            base_seed: int = 0, segment_duration: float = 2.0,
+                            platform_kind: str = "drone",
+                            camera_rate_hz: float = 5.0,
+                            landmark_count: int = 150,
+                            deadline_ms: Optional[float] = None,
+                            prefix: str = "session") -> List[StreamSpec]:
+    """A fleet touring several shared worlds in session-rotated order.
+
+    Session ``i`` visits every named environment, starting ``i`` positions
+    into the tour, so at any instant different sessions occupy different
+    environments — some publishing maps where the store is cold, some
+    registering against maps earlier sessions built.
+    """
+    if not environments:
+        raise ValueError("multi_environment_fleet needs at least one environment")
+    fleet: List[StreamSpec] = []
+    for i in range(count):
+        tour = [environments[(i + k) % len(environments)]
+                for k in range(len(environments))]
+        segments: List[StreamSegment] = [
+            StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, segment_duration,
+                          label="transit"),
+        ]
+        for name in tour:
+            segments.append(StreamSegment(
+                ScenarioKind.INDOOR_UNKNOWN, segment_duration,
+                label=name, environment=name,
+            ))
+        fleet.append(StreamSpec(
+            stream_id=f"{prefix}-{i:03d}",
+            segments=tuple(segments),
+            platform_kind=platform_kind,
+            camera_rate_hz=camera_rate_hz,
+            landmark_count=landmark_count,
+            seed=base_seed + STREAM_SEED_STRIDE * i,
+            deadline_ms=deadline_ms,
+        ))
+    return fleet

@@ -1,0 +1,470 @@
+"""Fleet map service: snapshots, merging, and the persistent map store.
+
+The load-bearing guarantees pinned here:
+
+* snapshots are content-addressed (canonical landmark order, version digest
+  covering everything that affects served results) and carry an honest
+  quality score (monotone in landmarks/coverage, falling with residuals);
+* the merger aligns and dedups overlapping snapshots deterministically, and
+  merging a map with itself is a strict no-op;
+* the map store mirrors the run store's robustness contract: atomic
+  concurrent-writer-safe publishes, corrupt snapshots degrading to clean
+  misses, LRU eviction with ``EUDOXUS_MAP_CACHE_MAX_MB=0`` meaning
+  *unbounded*, and a quality-gated canonical resolve.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.maps import (
+    DEFAULT_MAP_CACHE_MAX_MB,
+    MapMerger,
+    MapSnapshot,
+    MapStore,
+    degrade_snapshot,
+    merge_quality,
+    quality_score,
+)
+from repro.maps import store as store_module
+from repro.maps.snapshot import QUALITY_COUNT_SCALE
+
+
+def _snapshot(environment_id="env-a", count=40, spread=4.0, residual=0.05,
+              seed=0, id_offset=0, **overrides):
+    rng = np.random.default_rng(seed)
+    defaults = dict(
+        environment_id=environment_id,
+        landmark_ids=np.arange(id_offset, id_offset + count),
+        positions=rng.uniform(-spread, spread, size=(count, 3)),
+        mean_residual_m=residual,
+        max_residual_m=3.0 * residual,
+        source="test",
+    )
+    defaults.update(overrides)
+    return MapSnapshot(**defaults)
+
+
+class TestSnapshot:
+    def test_canonical_order_makes_version_insertion_independent(self):
+        rng = np.random.default_rng(3)
+        ids = np.array([5, 1, 9, 2])
+        positions = rng.normal(size=(4, 3))
+        a = MapSnapshot("env", ids, positions)
+        shuffle = np.array([2, 0, 3, 1])
+        b = MapSnapshot("env", ids[shuffle], positions[shuffle])
+        assert a.version == b.version
+        np.testing.assert_array_equal(a.landmark_ids, np.sort(ids))
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_version_covers_content(self):
+        base = _snapshot()
+        moved = _snapshot()
+        moved.positions = moved.positions + 1e-9
+        assert base.version != moved.version
+        noisier = _snapshot(residual=0.2)
+        assert base.version != noisier.version
+        elsewhere = _snapshot(environment_id="env-b")
+        assert base.version != elsewhere.version
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            MapSnapshot("env", np.arange(3), np.zeros((2, 3)))
+
+    def test_snapshots_compare_by_identity_not_arrays(self):
+        """eq=False: comparisons return booleans instead of raising on the
+        numpy fields; content equality is what ``version`` is for."""
+        a = MapSnapshot("env", np.arange(2), np.zeros((2, 3)))
+        b = MapSnapshot("env", np.arange(2), np.zeros((2, 3)))
+        assert a != b and a == a
+        assert a in [b, a]
+        assert len({a, b}) == 2
+        assert a.version == b.version
+
+    def test_quality_shape(self):
+        assert quality_score(0, 0.0, 0.0) == 0.0
+        small = quality_score(10, 1.0, 0.05)
+        big = quality_score(200, 10.0, 0.05)
+        assert 0.0 < small < big < 1.0
+        # Residuals only ever hurt.
+        assert quality_score(200, 10.0, 2.0) < big
+
+    def test_empty_snapshot_has_zero_quality(self):
+        empty = MapSnapshot("env", np.zeros(0, dtype=np.int64), np.zeros((0, 3)))
+        assert empty.landmark_count == 0
+        assert empty.coverage_m == 0.0
+        assert empty.quality == 0.0
+
+    def test_localization_map_view(self):
+        snapshot = _snapshot(count=12)
+        localization_map = snapshot.to_localization_map()
+        assert len(localization_map) == 12
+        lid = int(snapshot.landmark_ids[3])
+        np.testing.assert_array_equal(localization_map.points[lid].position,
+                                      snapshot.positions[3])
+
+    def test_degrade_lowers_quality_and_changes_version(self):
+        snapshot = _snapshot(count=80, residual=0.05)
+        degraded = degrade_snapshot(snapshot, position_noise_m=0.8,
+                                    drop_fraction=0.5, seed=1)
+        assert degraded.environment_id == snapshot.environment_id
+        assert degraded.landmark_count < snapshot.landmark_count
+        assert degraded.mean_residual_m > snapshot.mean_residual_m
+        assert degraded.quality < snapshot.quality
+        assert degraded.version != snapshot.version
+        # Deterministic injection: same seed, same degraded map.
+        again = degrade_snapshot(snapshot, position_noise_m=0.8,
+                                 drop_fraction=0.5, seed=1)
+        assert again.version == degraded.version
+
+
+class TestMerger:
+    def test_self_merge_is_noop(self):
+        snapshot = _snapshot()
+        merged = MapMerger().merge([snapshot, snapshot])
+        assert merged is snapshot
+
+    def test_merge_across_environments_rejected(self):
+        with pytest.raises(ValueError):
+            MapMerger().merge([_snapshot(environment_id="a", residual=0.05),
+                               _snapshot(environment_id="b", residual=0.2)])
+
+    def test_merge_unions_landmarks(self):
+        a = _snapshot(count=30, id_offset=0, seed=1)
+        b = _snapshot(count=30, id_offset=20, seed=2)  # 10 shared ids
+        merged = MapMerger().merge([a, b])
+        assert merged.landmark_count == 50
+        assert merged.merged_from == 2
+        assert merged.source == "merged"
+        # Added coverage/landmarks never lower the canonical quality below
+        # the best input (residuals held comparable).
+        assert merged.quality >= max(a.quality, b.quality) - 1e-9
+
+    def test_merge_aligns_drifted_snapshot(self):
+        """A rigidly-drifted duplicate must be pulled back onto the anchor."""
+        anchor = _snapshot(count=40, seed=3)
+        rotation = np.array([[0.0, -1.0, 0.0],
+                             [1.0, 0.0, 0.0],
+                             [0.0, 0.0, 1.0]])
+        drifted = MapSnapshot(
+            environment_id=anchor.environment_id,
+            landmark_ids=anchor.landmark_ids.copy(),
+            positions=anchor.positions @ rotation.T + np.array([0.5, -0.2, 0.1]),
+            mean_residual_m=anchor.mean_residual_m * 2.0,  # worse: not anchor
+            max_residual_m=anchor.max_residual_m,
+        )
+        merged = MapMerger().merge([anchor, drifted])
+        assert merged.landmark_count == anchor.landmark_count
+        np.testing.assert_allclose(merged.positions, anchor.positions, atol=1e-6)
+
+    def test_tiny_overlap_skips_alignment(self):
+        a = _snapshot(count=20, id_offset=0, seed=4)
+        b = _snapshot(count=20, id_offset=18, seed=5)  # 2 shared < min_shared
+        merged = MapMerger(min_shared_for_alignment=8).merge([a, b])
+        assert merged.landmark_count == 38
+
+    def test_merge_order_invariant(self):
+        a = _snapshot(count=25, id_offset=0, seed=6, residual=0.04)
+        b = _snapshot(count=25, id_offset=10, seed=7, residual=0.08)
+        c = _snapshot(count=25, id_offset=20, seed=8, residual=0.06)
+        forward = MapMerger().merge([a, b, c])
+        backward = MapMerger().merge([c, b, a])
+        assert forward.version == backward.version
+
+    def test_merge_quality_empty(self):
+        assert merge_quality([]) == 0.0
+
+    def test_all_empty_snapshots_merge_to_empty_canonical(self):
+        """Distinct-version zero-landmark inputs must not crash the merge."""
+        a = degrade_snapshot(_snapshot(residual=0.05), drop_fraction=1.0, seed=1)
+        b = degrade_snapshot(_snapshot(residual=0.10), drop_fraction=1.0, seed=2)
+        assert a.landmark_count == b.landmark_count == 0
+        assert a.version != b.version
+        merged = MapMerger().merge([a, b])
+        assert merged.landmark_count == 0
+        assert merged.quality == 0.0
+
+
+class TestMapStore:
+    def test_publish_and_resolve_roundtrip(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot(count=120, spread=6.0, residual=0.03)
+        assert store.publish(snapshot) is not None
+        assert store.published == 1
+        assert len(store) == 1
+        resolved = MapStore(tmp_path, max_bytes=-1, max_age_s=-1).resolve("env-a")
+        assert resolved is not None
+        assert resolved.version == snapshot.version
+
+    def test_publish_is_idempotent(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot()
+        first = store.publish(snapshot)
+        assert store.publish(snapshot) == first
+        assert len(store) == 1
+        # Only the first write counts as publishing; the repeat merely
+        # refreshed the entry's LRU recency.
+        assert store.published == 1
+        old = time.time() - 5000.0
+        os.utime(first, (old, old))
+        store.publish(snapshot)
+        assert first.stat().st_mtime > old + 1000.0
+
+    def test_publish_rewrites_entry_evicted_mid_touch(self, tmp_path, monkeypatch):
+        """An entry evicted between the existence check and the recency
+        touch is rewritten — publish never reports a vanished snapshot as
+        persisted."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot()
+        path = store.publish(snapshot)
+        original_utime = store_module.os.utime
+
+        def racing_utime(target, *args, **kwargs):
+            # The evictor got there first: the entry vanishes mid-touch.
+            if str(target) == str(path):
+                path.unlink(missing_ok=True)
+                raise FileNotFoundError(target)
+            return original_utime(target, *args, **kwargs)
+
+        monkeypatch.setattr(store_module.os, "utime", racing_utime)
+        republished = store.publish(snapshot)
+        monkeypatch.undo()
+        assert republished == path and path.exists()
+        assert store.resolve("env-a", min_quality=0.0) is not None
+
+    def test_unsafe_environment_rejected(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        with pytest.raises(ValueError):
+            store.publish(_snapshot(environment_id="../escape"))
+        # "__" is the filename delimiter: "atrium__old" entries would be
+        # captured by resolve("atrium")'s prefix glob, so both publishing
+        # and querying such an id are rejected outright — as are edge
+        # underscores ("room_" would write "room___v", which the "room__*"
+        # scan captures too).
+        for unsafe in ("atrium__old", "room_", "_room", "_"):
+            with pytest.raises(ValueError):
+                store.publish(_snapshot(environment_id=unsafe))
+            with pytest.raises(ValueError):
+                store.resolve(unsafe)
+        with pytest.raises(ValueError):
+            store.snapshots("env*")
+        # Interior single underscores and single-character ids stay legal.
+        assert store.publish(_snapshot(environment_id="room_b")) is not None
+        assert store.publish(_snapshot(environment_id="r")) is not None
+
+    def test_environments_listed_per_prefix(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(environment_id="env-a", seed=1))
+        store.publish(_snapshot(environment_id="env-a", seed=2))
+        store.publish(_snapshot(environment_id="env-b", seed=3))
+        assert store.environments() == ["env-a", "env-b"]
+        assert len(store.snapshots("env-a")) == 2
+        assert store.snapshots("env-missing") == []
+
+    def test_resolve_merges_and_gates(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(count=60, id_offset=0, seed=1, spread=5.0))
+        store.publish(_snapshot(count=60, id_offset=40, seed=2, spread=5.0))
+        merged = store.resolve("env-a", min_quality=0.0)
+        assert merged.landmark_count == 100  # union of 0..59 and 40..99
+        # The gate: an impossible bar yields no servable map.
+        assert store.resolve("env-a", min_quality=0.999) is None
+
+    def test_resolve_memo_tracks_new_publishes(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(count=50, id_offset=0, seed=1))
+        first = store.resolve("env-a", min_quality=0.0)
+        store.publish(_snapshot(count=50, id_offset=30, seed=2))
+        second = store.resolve("env-a", min_quality=0.0)
+        assert second.landmark_count > first.landmark_count
+        # One memo entry per environment, replaced in place — a long-lived
+        # serving process alternating publish/resolve stays bounded.
+        assert len(store._canonical) == 1
+
+    def test_resolve_memo_keyed_by_merger_parameters(self, tmp_path):
+        """Different mergers must not alias to one cached canonical map."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        good = _snapshot(count=120, spread=6.0, residual=0.03, seed=1)
+        store.publish(good)
+        store.publish(degrade_snapshot(good, position_noise_m=1.5,
+                                       drop_fraction=0.4, seed=2))
+        quarantined = store.resolve("env-a", MapMerger(quarantine_fraction=0.9),
+                                    min_quality=0.0)
+        permissive = store.resolve("env-a", MapMerger(quarantine_fraction=0.0),
+                                   min_quality=0.0)
+        assert quarantined.version != permissive.version
+        assert quarantined.mean_residual_m < permissive.mean_residual_m
+
+    def test_degraded_map_fails_the_gate(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        good = _snapshot(count=150, spread=6.0, residual=0.03)
+        gate = good.quality - 1e-6
+        store.publish(degrade_snapshot(good, position_noise_m=1.5,
+                                       drop_fraction=0.6, seed=4))
+        assert store.resolve("env-a", min_quality=gate) is None
+        # A good snapshot restores service: the merger quarantines the
+        # clearly-degraded contribution instead of averaging it in.
+        store.publish(good)
+        assert store.resolve("env-a", min_quality=gate) is not None
+
+
+class TestMapStoreEdgeCases:
+    """The run-store robustness contract, mirrored onto the map store."""
+
+    def test_concurrent_publishers_vs_evictor(self, tmp_path):
+        """Publishers and an evictor hammering one root never corrupt it."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        errors = []
+        stop = threading.Event()
+
+        def publisher(worker):
+            try:
+                i = 0
+                while not stop.is_set():
+                    store.publish(_snapshot(environment_id=f"env-{worker}",
+                                            count=20, seed=i % 25))
+                    i += 1
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        def evictor():
+            try:
+                while not stop.is_set():
+                    store.evict(max_bytes=4 * 1024)
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publisher, args=(w,)) for w in range(3)]
+        threads.append(threading.Thread(target=evictor))
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        # Every surviving snapshot is whole: loadable or a clean miss.
+        for environment in store.environments():
+            store.snapshots(environment)
+        after = _snapshot(environment_id="after-the-storm")
+        assert store.publish(after) is not None
+        assert store.resolve("after-the-storm", min_quality=0.0) is not None
+
+    def test_corrupt_snapshot_recovered_as_miss(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        good = _snapshot(count=60, seed=1)
+        bad = _snapshot(count=60, seed=2)
+        store.publish(good)
+        store.publish(bad)
+        store.path_for(f"env-a__{bad.version}").write_bytes(b"\x80\x04 truncated")
+        fresh = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshots = fresh.snapshots("env-a")
+        assert [s.version for s in snapshots] == [good.version]
+        assert fresh.dropped == 1
+        # The corrupt entry was unlinked; republishing heals the store.
+        assert fresh.publish(bad) is not None
+        assert len(fresh.snapshots("env-a")) == 2
+
+    def test_wrong_payload_type_treated_as_corruption(self, tmp_path):
+        import pickle
+
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path_for("env-a__deadbeef").write_bytes(pickle.dumps({"not": "a map"}))
+        assert store.snapshots("env-a") == []
+        assert store.dropped == 1
+
+    def test_unwritable_root_degrades_quietly(self):
+        store = MapStore("/proc/nonexistent-map-store")
+        assert store.publish(_snapshot()) is None
+        assert store.published == 0
+        assert store.resolve("env-a") is None
+
+    def test_zero_max_mb_env_disables_size_bound(self, tmp_path, monkeypatch):
+        """EUDOXUS_MAP_CACHE_MAX_MB=0 means unbounded, not evict-everything."""
+        monkeypatch.setenv(store_module.MAP_CACHE_MAX_MB_ENV, "0")
+        monkeypatch.setenv(store_module.MAP_CACHE_MAX_AGE_DAYS_ENV, "0")
+        store = MapStore(tmp_path)
+        assert store.max_bytes is None and store.max_age_s is None
+        for i in range(6):
+            store.publish(_snapshot(count=50, seed=i))
+        assert store.evict() == 0
+        assert len(store) == 6
+        rebuilt = MapStore(tmp_path)  # construction-time sweep is a no-op too
+        assert rebuilt.evicted == 0
+        assert len(rebuilt) == 6
+
+    def test_env_bounds_and_root_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store_module.MAP_CACHE_MAX_MB_ENV, "3")
+        monkeypatch.setenv(store_module.MAP_CACHE_MAX_AGE_DAYS_ENV, "1.5")
+        store = MapStore(tmp_path)
+        assert store.max_bytes == 3 * 1024 * 1024
+        assert store.max_age_s == 1.5 * 86400.0
+        monkeypatch.setenv(store_module.MAP_CACHE_MAX_MB_ENV, "not-a-number")
+        fallback = MapStore(tmp_path)
+        assert fallback.max_bytes == DEFAULT_MAP_CACHE_MAX_MB * 1024 * 1024
+        monkeypatch.setenv(store_module.MAP_CACHE_ENV, str(tmp_path / "override"))
+        override = MapStore()
+        assert override.base_root == tmp_path / "override"
+        # The active directory embeds the code generation.
+        assert override.root.parent == override.base_root
+
+    def test_code_generation_isolates_snapshots(self, tmp_path, monkeypatch):
+        """Maps never outlive the code that generated their worlds."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(count=60))
+        assert store.resolve("env-a", min_quality=0.0) is not None
+        monkeypatch.setattr(store_module, "code_fingerprint", lambda: "f" * 64)
+        next_generation = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        assert next_generation.root != store.root
+        assert next_generation.resolve("env-a", min_quality=0.0) is None
+        assert len(next_generation) == 0
+
+    def test_stale_generations_swept_by_age(self, tmp_path, monkeypatch):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(count=60))
+        old_root = store.root
+        stamp = time.time() - 7200.0
+        for path in list(old_root.glob("*.pkl")) + [old_root]:
+            os.utime(path, (stamp, stamp))
+        monkeypatch.setattr(store_module, "code_fingerprint", lambda: "f" * 64)
+        # Age bound disabled: the superseded generation is left alone.
+        MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        assert old_root.is_dir()
+        # With an age bound tighter than the directory's age, it is swept —
+        # but only generation-shaped children: an unrelated subdirectory of
+        # a user-supplied root (e.g. a sibling run cache) is never touched.
+        unrelated = tmp_path / "runs"
+        unrelated.mkdir()
+        (unrelated / "entry.pkl").write_bytes(b"not ours")
+        os.utime(unrelated / "entry.pkl", (stamp, stamp))
+        os.utime(unrelated, (stamp, stamp))
+        MapStore(tmp_path, max_bytes=-1, max_age_s=3600.0)
+        assert not old_root.exists()
+        assert (unrelated / "entry.pkl").exists()
+
+    def test_lru_eviction_keeps_recently_resolved(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        cold = _snapshot(environment_id="cold-env", count=40, seed=1)
+        hot = _snapshot(environment_id="hot-env", count=40, seed=2)
+        store.publish(cold)
+        store.publish(hot)
+        stale = time.time() - 5000.0
+        for key in (f"cold-env__{cold.version}", f"hot-env__{hot.version}"):
+            os.utime(store.path_for(key), (stale, stale))
+        # Resolving touches the hot entry (hits refresh recency)...
+        assert store.resolve("hot-env", min_quality=0.0) is not None
+        # ...so the size bound evicts the cold one first.
+        removed = store.evict(max_bytes=store.path_for(
+            f"hot-env__{hot.version}").stat().st_size + 1)
+        assert removed == 1
+        assert store.snapshots("cold-env") == []
+        assert len(store.snapshots("hot-env")) == 1
+
+    def test_quality_count_scale_sanity(self):
+        # The scale the serving gate is calibrated against; moving it
+        # silently would reshuffle every fleet's SLAM/registration split.
+        assert QUALITY_COUNT_SCALE == 60.0

@@ -1,0 +1,111 @@
+"""Property-based fleet-map guarantees: merger idempotence, quality monotonicity.
+
+Two families of invariants that hold for *any* map, not just the hand-built
+ones in ``test_maps.py``:
+
+* **Idempotence** — merging a map with itself (any number of times, in any
+  order, mixed with exact-content duplicates) is a strict no-op: same
+  landmarks, same positions, same version digest.
+* **Quality monotonicity** — the quality score never decreases when
+  landmarks or coverage are added (more map never hurts) and never
+  increases when residuals grow (a less consistent map is never better).
+  At the snapshot level: a snapshot extended with extra landmarks at equal
+  residuals scores at least as high as the original.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maps import MapMerger, MapSnapshot, quality_score
+
+counts = st.integers(min_value=1, max_value=200)
+coverages = st.floats(min_value=0.0, max_value=50.0,
+                      allow_nan=False, allow_infinity=False)
+residuals = st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False, allow_infinity=False)
+deltas = st.floats(min_value=0.0, max_value=10.0,
+                   allow_nan=False, allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _random_snapshot(seed: int, count: int, residual: float,
+                     environment_id: str = "prop-env") -> MapSnapshot:
+    rng = np.random.default_rng(seed)
+    return MapSnapshot(
+        environment_id=environment_id,
+        landmark_ids=rng.choice(10_000, size=count, replace=False),
+        positions=rng.normal(scale=rng.uniform(0.5, 8.0), size=(count, 3)),
+        mean_residual_m=residual,
+        max_residual_m=residual * 3.0,
+    )
+
+
+class TestMergerIdempotence:
+    @given(seed=seeds, count=counts, residual=residuals,
+           copies=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_self_merge_is_strict_noop(self, seed, count, residual, copies):
+        snapshot = _random_snapshot(seed, count, residual)
+        merged = MapMerger().merge([snapshot] * copies)
+        assert merged is snapshot
+        np.testing.assert_array_equal(merged.landmark_ids, snapshot.landmark_ids)
+        np.testing.assert_array_equal(merged.positions, snapshot.positions)
+        assert merged.version == snapshot.version
+
+    @given(seed=seeds, count=counts, residual=residuals)
+    @settings(max_examples=60, deadline=None)
+    def test_rebuilt_duplicate_folds_away(self, seed, count, residual):
+        """Content-identical snapshots dedup even as distinct objects."""
+        a = _random_snapshot(seed, count, residual)
+        b = _random_snapshot(seed, count, residual)
+        assert a is not b and a.version == b.version
+        merged = MapMerger().merge([a, b, a])
+        assert merged.version == a.version
+
+    @given(seed=seeds, other_seed=seeds, count=counts, residual=residuals)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_then_remerge_converges(self, seed, other_seed, count, residual):
+        """Re-merging the canonical map with its own inputs is stable."""
+        a = _random_snapshot(seed, count, residual)
+        b = _random_snapshot(other_seed, count, residual)
+        merger = MapMerger()
+        merged = merger.merge([a, b])
+        assert merger.merge([merged]) is merged
+
+
+class TestQualityMonotonicity:
+    @given(count=counts, extra=st.integers(min_value=0, max_value=200),
+           coverage=coverages, residual=residuals)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_landmark_count(self, count, extra, coverage, residual):
+        assert (quality_score(count + extra, coverage, residual)
+                >= quality_score(count, coverage, residual))
+
+    @given(count=counts, coverage=coverages, extra=deltas, residual=residuals)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_coverage(self, count, coverage, extra, residual):
+        assert (quality_score(count, coverage + extra, residual)
+                >= quality_score(count, coverage, residual))
+
+    @given(count=counts, coverage=coverages, residual=residuals, extra=deltas)
+    @settings(max_examples=200, deadline=None)
+    def test_antitone_in_residual(self, count, coverage, residual, extra):
+        assert (quality_score(count, coverage, residual + extra)
+                <= quality_score(count, coverage, residual))
+
+    @given(seed=seeds, count=st.integers(min_value=1, max_value=120),
+           extra=st.integers(min_value=1, max_value=120), residual=residuals)
+    @settings(max_examples=80, deadline=None)
+    def test_snapshot_with_added_coverage_never_scores_lower(self, seed, count,
+                                                             extra, residual):
+        """Extending a snapshot (equal residuals) cannot lower its quality."""
+        rng = np.random.default_rng(seed)
+        ids = rng.choice(10_000, size=count + extra, replace=False)
+        positions = rng.normal(scale=3.0, size=(count + extra, 3))
+        base = MapSnapshot("prop-env", ids[:count], positions[:count],
+                           mean_residual_m=residual)
+        extended = MapSnapshot("prop-env", ids, positions,
+                               mean_residual_m=residual)
+        assert extended.coverage_m >= base.coverage_m
+        assert extended.quality >= base.quality

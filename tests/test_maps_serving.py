@@ -1,0 +1,346 @@
+"""Serving integration of the fleet map service.
+
+The contracts pinned here:
+
+* sessions naming the same environment traverse the *same* landmark world
+  (the substrate that makes cross-session map reuse physically meaningful);
+* a cold fleet's SLAM segments publish snapshots at segment/stream exits,
+  and the engine writes them to the map store after serving;
+* a later wave acquires the merged fleet map: acquisitions are logged,
+  registration displaces SLAM in the mode log, and the ``map_acquired``
+  switch reason marks the online map-entry event;
+* materialized, streaming and pool execution stay bit-identical with map
+  acquisition enabled (resolution happens once, up front);
+* the resolved map version is folded into the serving cache key, so warm
+  and cold serves of one spec occupy different run-store entries;
+* the quality gate keeps unusable (degraded/stale) maps out of serving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import RunStore, sensor_config_for
+from repro.maps import MapStore, degrade_snapshot
+from repro.sensors.scenarios import ScenarioKind
+from repro.serving import (
+    ScenarioStream,
+    ServingEngine,
+    Session,
+    StreamSegment,
+    StreamSpec,
+    cold_start_fleet,
+    mixed_fleet,
+    multi_environment_fleet,
+    segment_environment_id,
+    serving_key,
+)
+
+SEGMENT = 2.0
+RATE = 5.0
+# Short test fleets build small maps; a permissive gate keeps the focus on
+# the lifecycle (dedicated tests pin the gate behavior itself).
+EASY_GATE = 0.05
+
+
+def _env_spec(stream_id, environment, seed=0, lead_kind=None,
+              segment_duration=SEGMENT):
+    """One session: optional lead segment, then a shared indoor segment."""
+    segments = []
+    if lead_kind is not None:
+        segments.append(StreamSegment(lead_kind, segment_duration))
+    segments.append(StreamSegment(ScenarioKind.INDOOR_UNKNOWN, segment_duration,
+                                  environment=environment))
+    return StreamSpec(stream_id=stream_id, segments=tuple(segments),
+                      camera_rate_hz=RATE, landmark_count=120, seed=seed)
+
+
+def _warm_store(tmp_path, environment="shared-env", seeds=(0, 1000)):
+    """A map store seeded by a small cold wave over ``environment``."""
+    store = MapStore(tmp_path / "maps", max_bytes=-1, max_age_s=-1)
+    cold = [_env_spec(f"cold-{i}", environment, seed=seed)
+            for i, seed in enumerate(seeds)]
+    ServingEngine(store=None, max_workers=1, map_store=store,
+                  min_map_quality=EASY_GATE).serve(
+        cold, parallel=False, ingestion="streaming")
+    return store
+
+
+class TestSharedWorlds:
+    def test_same_environment_same_world(self):
+        a = _env_spec("a", "atrium", seed=0)
+        b = _env_spec("b", "atrium", seed=123456)
+        world_a = ScenarioStream(a, sensor_config_for("drone", RATE, a.seed)).build_segment(0).world
+        world_b = ScenarioStream(b, sensor_config_for("drone", RATE, b.seed)).build_segment(0).world
+        np.testing.assert_array_equal(world_a.positions, world_b.positions)
+
+    def test_different_environment_different_world(self):
+        a = _env_spec("a", "atrium", seed=0)
+        b = _env_spec("b", "warehouse", seed=0)
+        world_a = ScenarioStream(a, sensor_config_for("drone", RATE, a.seed)).build_segment(0).world
+        world_b = ScenarioStream(b, sensor_config_for("drone", RATE, b.seed)).build_segment(0).world
+        assert not np.array_equal(world_a.positions, world_b.positions)
+
+    def test_unshared_segment_keeps_session_world(self):
+        """Without an environment, sessions stay in per-seed worlds."""
+        a = StreamSpec("a", (StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT),),
+                       camera_rate_hz=RATE, landmark_count=120, seed=0)
+        b = StreamSpec("b", (StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT),),
+                       camera_rate_hz=RATE, landmark_count=120, seed=1000)
+        world_a = ScenarioStream(a, sensor_config_for("drone", RATE, 0)).build_segment(0).world
+        world_b = ScenarioStream(b, sensor_config_for("drone", RATE, 1000)).build_segment(0).world
+        assert not np.array_equal(world_a.positions, world_b.positions)
+
+    def test_environment_id_covers_world_determinants(self):
+        base = _env_spec("a", "atrium")
+        assert segment_environment_id(base, 0) == segment_environment_id(
+            _env_spec("b", "atrium", seed=999), 0)
+        other_rate = StreamSpec("c", base.segments, camera_rate_hz=10.0,
+                                landmark_count=120, seed=0)
+        assert segment_environment_id(base, 0) != segment_environment_id(other_rate, 0)
+        other_count = StreamSpec("d", base.segments, camera_rate_hz=RATE,
+                                 landmark_count=80, seed=0)
+        assert segment_environment_id(base, 0) != segment_environment_id(other_count, 0)
+
+    def test_environment_roundtrips_through_payload(self):
+        spec = _env_spec("a", "atrium", lead_kind=ScenarioKind.OUTDOOR_UNKNOWN)
+        rebuilt = StreamSpec.from_payload(spec.payload())
+        assert rebuilt == spec
+        assert rebuilt.environment_ids == spec.environment_ids
+        assert list(spec.environment_ids) == [1]
+
+    def test_fleet_factories_name_environments(self):
+        cold = cold_start_fleet(3, environment="depot", explore_segments=2)
+        for spec in cold:
+            assert [seg.environment for seg in spec.segments] == [None, "depot", "depot"]
+        tour = multi_environment_fleet(2, environments=("a", "b"))
+        assert [seg.environment for seg in tour[0].segments] == [None, "a", "b"]
+        assert [seg.environment for seg in tour[1].segments] == [None, "b", "a"]
+        mixed = mixed_fleet(2, indoor_environment="depot")
+        for spec in mixed:
+            kinds = {seg.kind: seg.environment for seg in spec.segments}
+            assert kinds[ScenarioKind.INDOOR_UNKNOWN] == "depot"
+
+
+class TestMapLifecycle:
+    def test_cold_session_publishes_at_exits(self, tmp_path):
+        """One snapshot per SLAM stretch: segment exits and the stream end."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        spec = StreamSpec("cold", (
+            StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT, environment="atrium"),
+            StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, SEGMENT),
+            StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT, environment="atrium"),
+        ), camera_rate_hz=RATE, landmark_count=120, seed=0)
+        report = ServingEngine(store=None, max_workers=1, map_store=store).serve(
+            [spec], parallel=False, ingestion="streaming")
+        result = report.results["cold"]
+        # Segment 0 publishes at its exit, segment 2 at stream end; the
+        # unshared outdoor segment publishes nothing.
+        assert [s.segment_index for s in result.published_maps] == [0, 2]
+        assert report.maps_published == 2
+        environment_id = spec.environment_ids[0]
+        assert {s.environment_id for s in result.published_maps} == {environment_id}
+        assert len(store.snapshots(environment_id)) == 2
+        for snapshot in result.published_maps:
+            assert snapshot.source == "cold"
+            assert snapshot.landmark_count > 0
+            assert snapshot.frame_count > 0
+        # Serving the same session again republishes identical content:
+        # store recency refreshes, but nothing new is counted as published.
+        again = ServingEngine(store=None, max_workers=1, map_store=store).serve(
+            [spec], parallel=False, ingestion="streaming")
+        assert again.maps_published == 0
+        assert len(store.snapshots(environment_id)) == 2
+
+    def test_mid_segment_slam_reset_restarts_publish_gate(self):
+        """A mapper reset discards the map, so the frame gate restarts too.
+
+        Otherwise a just-reset one-keyframe fragment — whose window
+        residuals are deceptively near zero — could pass the publish gate
+        on a stale count and outrank honest snapshots in the fleet merge.
+        """
+        from repro.core.modes import BackendMode
+
+        spec = _env_spec("reset", "shared-env", seed=3)
+        session = Session(spec)
+        for _ in range(6):  # serve SLAM frames in the shared segment
+            session.step()
+        assert session._segment_slam_frames >= 3
+        frame = session.stream.build_segment(0).frames[5]
+        session._handover(BackendMode.SLAM, frame)
+        assert session._segment_slam_frames == 0
+
+    def test_registration_sessions_do_not_republish(self, tmp_path):
+        store = _warm_store(tmp_path)
+        warm = [_env_spec("warm", "shared-env", seed=7777)]
+        report = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE).serve(
+            warm, parallel=False, ingestion="streaming")
+        result = report.results["warm"]
+        assert result.map_acquisitions
+        assert not result.published_maps
+        assert report.maps_published == 0
+
+    def test_surveyed_map_beats_fleet_map(self, tmp_path):
+        """A prebuilt (survey) map wins over any fleet map for that segment."""
+        store = _warm_store(tmp_path)
+        spec = StreamSpec("kn", (
+            StreamSegment(ScenarioKind.INDOOR_KNOWN, SEGMENT, environment="shared-env"),
+        ), camera_rate_hz=RATE, landmark_count=120, seed=5)
+        # Surveyed segments sit outside the map service entirely: no
+        # environment id, so their cache keys are independent of map-store
+        # evolution they could never observe.
+        assert spec.environment_ids == {}
+        report = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE).serve(
+            [spec], parallel=False, ingestion="streaming")
+        assert not report.results["kn"].map_acquisitions
+        assert report.fleet_maps == {}
+
+    def test_warm_wave_registers_with_map_acquired_reason(self, tmp_path):
+        store = _warm_store(tmp_path)
+        # Lead with an *unshared* indoor segment: SLAM, then the fleet map
+        # unlocks registration at the shared segment — the online map-entry.
+        warm = [_env_spec("warm", "shared-env", seed=4242,
+                          lead_kind=ScenarioKind.INDOOR_UNKNOWN)]
+        report = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE).serve(
+            warm, parallel=False, ingestion="streaming")
+        result = report.results["warm"]
+        acquisition = result.map_acquisitions[0]
+        assert acquisition.segment_index == 1
+        assert acquisition.version == report.fleet_maps[acquisition.environment_id]
+        modes = [e.mode for e in result.trajectory.estimates]
+        boundary = result.segment_starts[1]
+        assert set(modes[:boundary]) == {"slam"}
+        assert set(modes[boundary:]) == {"registration"}
+        switches = [(s.frame_index, s.to_mode, s.reason) for s in result.mode_switches]
+        assert (boundary, "registration", "map_acquired") in switches
+        # Accuracy stays sane against the fleet-built (not surveyed) map.
+        assert result.trajectory.rmse_error() < 2.0
+
+    def test_quality_gate_blocks_acquisition(self, tmp_path):
+        store = _warm_store(tmp_path)
+        warm = [_env_spec("warm", "shared-env", seed=4242)]
+        report = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=0.999).serve(
+            warm, parallel=False, ingestion="streaming")
+        result = report.results["warm"]
+        assert not result.map_acquisitions
+        assert report.fleet_maps == {}
+        assert {e.mode for e in result.trajectory.estimates} == {"slam"}
+        # Staying cold, the wave keeps publishing snapshots of its own.
+        assert result.published_maps
+
+    def test_stale_map_injection_rejected_by_gate(self, tmp_path):
+        """A degraded (stale) fleet map fails the gate; sessions stay SLAM."""
+        seeded = _warm_store(tmp_path)
+        environment_id = _env_spec("x", "shared-env").environment_ids[0]
+        good = seeded.resolve(environment_id, min_quality=0.0)
+        stale_store = MapStore(tmp_path / "stale", max_bytes=-1, max_age_s=-1)
+        stale_store.publish(degrade_snapshot(good, position_noise_m=2.0,
+                                             drop_fraction=0.5, seed=9))
+        gate = good.quality * 0.8
+        assert stale_store.resolve(environment_id, min_quality=gate) is None
+        warm = [_env_spec("warm", "shared-env", seed=4242)]
+        report = ServingEngine(store=None, max_workers=1, map_store=stale_store,
+                               min_map_quality=gate).serve(
+            warm, parallel=False, ingestion="streaming")
+        assert not report.results["warm"].map_acquisitions
+        assert {e.mode for e in report.results["warm"].trajectory.estimates} == {"slam"}
+
+    def test_multi_environment_tour_acquires_everywhere(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        engine = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE)
+        cold = multi_environment_fleet(2, environments=("atrium", "depot"),
+                                       segment_duration=SEGMENT,
+                                       camera_rate_hz=RATE, landmark_count=120)
+        engine.serve(cold, parallel=False, ingestion="streaming")
+        assert len(store.environments()) == 2
+        warm = multi_environment_fleet(1, environments=("atrium", "depot"),
+                                       base_seed=5000, prefix="wave2",
+                                       segment_duration=SEGMENT,
+                                       camera_rate_hz=RATE, landmark_count=120)
+        report = engine.serve(warm, parallel=False, ingestion="streaming")
+        result = report.results["wave2-000"]
+        assert len(result.map_acquisitions) == 2
+        assert len({a.environment_id for a in result.map_acquisitions}) == 2
+        assert len(report.fleet_maps) == 2
+        assert report.summary()["map_acquisitions"] == 2
+
+
+class TestMapDeterminism:
+    @pytest.fixture(scope="class")
+    def warm_setup(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("maps-determinism")
+        store = _warm_store(tmp)
+        warm = [_env_spec(f"w-{i}", "shared-env", seed=3000 + 1000 * i,
+                          lead_kind=ScenarioKind.OUTDOOR_UNKNOWN)
+                for i in range(3)]
+        return store, warm
+
+    def _engine(self, store, max_workers=1):
+        return ServingEngine(store=None, max_workers=max_workers, map_store=store,
+                             min_map_quality=EASY_GATE)
+
+    def test_all_paths_identical_with_acquisition(self, warm_setup):
+        store, warm = warm_setup
+        materialized = self._engine(store).serve(warm, parallel=False,
+                                                 ingestion="materialized")
+        streaming = self._engine(store).serve(warm, parallel=False,
+                                              ingestion="streaming")
+        pooled = self._engine(store, max_workers=2).serve(warm, parallel=True)
+        assert pooled.parallel, "no pool spawned — the comparison would be vacuous"
+        for report in (materialized, streaming, pooled):
+            assert report.map_acquisition_count == len(warm)
+        for stream_id, expected in materialized.results.items():
+            assert streaming.results[stream_id].signature() == expected.signature()
+            assert pooled.results[stream_id].signature() == expected.signature()
+            pooled_acquisitions = pooled.results[stream_id].map_acquisitions
+            assert ([(a.environment_id, a.version, a.frame_index)
+                     for a in expected.map_acquisitions]
+                    == [(a.environment_id, a.version, a.frame_index)
+                        for a in pooled_acquisitions])
+
+    def test_acquisition_changes_signature(self, warm_setup):
+        store, warm = warm_setup
+        with_map = self._engine(store).serve(warm, parallel=False,
+                                             ingestion="streaming")
+        mapless = ServingEngine(store=None, max_workers=1).serve(
+            warm, parallel=False, ingestion="streaming")
+        for stream_id in with_map.results:
+            assert (with_map.results[stream_id].signature()
+                    != mapless.results[stream_id].signature())
+
+    def test_serving_key_folds_map_versions(self, warm_setup):
+        store, warm = warm_setup
+        spec = warm[0]
+        environment_id = spec.environment_ids[1]
+        version = store.resolve(environment_id, min_quality=EASY_GATE).version
+        assert serving_key(spec) == serving_key(spec, {})
+        assert serving_key(spec) != serving_key(spec, {environment_id: version})
+        assert (serving_key(spec, {environment_id: version})
+                != serving_key(spec, {environment_id: "f" * 16}))
+
+    def test_run_store_separates_cold_and_warm_entries(self, warm_setup, tmp_path):
+        """The same spec before/after the fleet map matured never collides."""
+        store, warm = warm_setup
+        run_store = RunStore(tmp_path / "runs", max_bytes=-1, max_age_s=-1)
+        spec = warm[0]
+        cold_engine = ServingEngine(store=run_store, max_workers=1)
+        cold_report = cold_engine.serve([spec], parallel=False, ingestion="streaming")
+        assert cold_report.computed_sessions == 1
+        warm_engine = ServingEngine(store=run_store, max_workers=1, map_store=store,
+                                    min_map_quality=EASY_GATE)
+        first = warm_engine.serve([spec], parallel=False, ingestion="streaming")
+        assert first.store_hits == 0 and first.computed_sessions == 1
+        second = warm_engine.serve([spec], parallel=False, ingestion="streaming")
+        assert second.store_hits == 1 and second.computed_sessions == 0
+        assert (second.results[spec.stream_id].signature()
+                == first.results[spec.stream_id].signature())
+        # The cached warm result still carries its acquisition provenance.
+        assert second.results[spec.stream_id].map_acquisitions
+        # And the cold entry is untouched: serving mapless hits it again.
+        again_cold = cold_engine.serve([spec], parallel=False, ingestion="streaming")
+        assert again_cold.store_hits == 1
+        assert not again_cold.results[spec.stream_id].map_acquisitions

@@ -22,8 +22,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.maps import MapStore
 from repro.scheduler import LatencyAutoscaler
-from repro.serving import ServingEngine, mixed_fleet
+from repro.serving import ServingEngine, cold_start_fleet, mixed_fleet
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "serving_signatures.json"
 REGEN_ENV = "EUDOXUS_REGEN_GOLDEN"
@@ -32,10 +33,43 @@ FLEET_SIZE = 3
 SEGMENT_DURATION = 1.0
 RATE_HZ = 5.0
 
+# Fleet-map canonical world: a cold wave publishes into a fresh map store,
+# a warm wave acquires the merged map.  Both waves' signatures are pinned
+# (publication and acquisition provenance are part of the signature).
+MAP_ENVIRONMENT = "golden-atrium"
+MAP_GATE = 0.05  # permissive: the 1 s segments build small but real maps
+COLD_SEED = 100
+WARM_SEED = 9100
+
 
 def canonical_fleet():
     return mixed_fleet(FLEET_SIZE, segment_duration=SEGMENT_DURATION,
                        camera_rate_hz=RATE_HZ)
+
+
+def cold_wave():
+    return cold_start_fleet(2, environment=MAP_ENVIRONMENT, base_seed=COLD_SEED,
+                            segment_duration=SEGMENT_DURATION,
+                            camera_rate_hz=RATE_HZ, prefix="cold")
+
+
+def warm_wave():
+    return cold_start_fleet(2, environment=MAP_ENVIRONMENT, base_seed=WARM_SEED,
+                            segment_duration=SEGMENT_DURATION,
+                            camera_rate_hz=RATE_HZ, prefix="warm")
+
+
+def _map_engine(store, max_workers=1):
+    return ServingEngine(store=None, max_workers=max_workers, map_store=store,
+                         min_map_quality=MAP_GATE)
+
+
+def _seed_map_store(root):
+    """Serve the cold wave into a fresh map store; returns (store, report)."""
+    store = MapStore(root, max_bytes=-1, max_age_s=-1)
+    report = _map_engine(store).serve(cold_wave(), parallel=False,
+                                      ingestion="materialized")
+    return store, report
 
 
 def _signatures(report):
@@ -44,25 +78,41 @@ def _signatures(report):
 
 
 @pytest.fixture(scope="module")
-def golden():
+def golden(tmp_path_factory):
     if os.environ.get(REGEN_ENV, "").strip():
         fleet = canonical_fleet()
         report = ServingEngine(store=None, max_workers=1).serve(
             fleet, parallel=False, ingestion="materialized")
+        store, cold_report = _seed_map_store(tmp_path_factory.mktemp("golden-maps"))
+        warm_report = _map_engine(store).serve(warm_wave(), parallel=False,
+                                               ingestion="materialized")
+        assert warm_report.map_acquisition_count > 0, (
+            "golden warm wave acquired no fleet map — pins would be vacuous")
         GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
         GOLDEN_PATH.write_text(json.dumps({
             "fleet": {"size": FLEET_SIZE, "segment_duration": SEGMENT_DURATION,
                       "camera_rate_hz": RATE_HZ},
             "signatures": _signatures(report),
+            "fleet_map": {"environment": MAP_ENVIRONMENT, "gate": MAP_GATE,
+                          "cold_seed": COLD_SEED, "warm_seed": WARM_SEED,
+                          "versions": dict(sorted(warm_report.fleet_maps.items()))},
+            "fleet_map_signatures": {"cold": _signatures(cold_report),
+                                     "warm": _signatures(warm_report)},
         }, indent=2) + "\n")
     if not GOLDEN_PATH.is_file():
         pytest.fail(f"golden file missing; regenerate with {REGEN_ENV}=1")
-    return json.loads(GOLDEN_PATH.read_text())["signatures"]
+    return json.loads(GOLDEN_PATH.read_text())
 
 
 @pytest.fixture(scope="module")
 def fleet():
     return canonical_fleet()
+
+
+@pytest.fixture(scope="module")
+def warm_map_store(tmp_path_factory):
+    store, _ = _seed_map_store(tmp_path_factory.mktemp("maps"))
+    return store
 
 
 def _assert_matches(report, golden, path):
@@ -75,13 +125,13 @@ def _assert_matches(report, golden, path):
 def test_materialized_path_matches_golden(fleet, golden):
     report = ServingEngine(store=None, max_workers=1).serve(
         fleet, parallel=False, ingestion="materialized")
-    _assert_matches(report, golden, "materialized")
+    _assert_matches(report, golden["signatures"], "materialized")
 
 
 def test_streaming_path_matches_golden(fleet, golden):
     report = ServingEngine(store=None, max_workers=1).serve(
         fleet, parallel=False, ingestion="streaming")
-    _assert_matches(report, golden, "streaming")
+    _assert_matches(report, golden["signatures"], "streaming")
 
 
 def test_throttled_streaming_path_matches_golden(fleet, golden):
@@ -90,9 +140,40 @@ def test_throttled_streaming_path_matches_golden(fleet, golden):
     report = ServingEngine(store=None, max_workers=1, autoscaler=autoscaler,
                            frames_per_worker_tick=1).serve(
         fleet, parallel=False, ingestion="streaming")
-    _assert_matches(report, golden, "autoscaled streaming")
+    _assert_matches(report, golden["signatures"], "autoscaled streaming")
 
 
 def test_pool_path_matches_golden(fleet, golden):
     report = ServingEngine(store=None, max_workers=2).serve(fleet, parallel=True)
-    _assert_matches(report, golden, "process-pool")
+    _assert_matches(report, golden["signatures"], "process-pool")
+
+
+# ------------------------------------------------------ fleet-map golden pins
+
+
+def test_cold_wave_publication_matches_golden(golden, tmp_path):
+    """The publishing wave's signatures (which include published-map
+    provenance) are pinned: a snapshot whose content drifted would change
+    every downstream warm result too."""
+    _, cold_report = _seed_map_store(tmp_path)
+    _assert_matches(cold_report, golden["fleet_map_signatures"]["cold"],
+                    "fleet-map cold wave")
+
+
+def test_warm_wave_matches_golden_on_all_paths(golden, warm_map_store):
+    """Map acquisition enabled, every execution path reproduces the pins."""
+    expected = golden["fleet_map_signatures"]["warm"]
+    versions = golden["fleet_map"]["versions"]
+    for label, serve in (
+        ("materialized", lambda e: e.serve(warm_wave(), parallel=False,
+                                           ingestion="materialized")),
+        ("streaming", lambda e: e.serve(warm_wave(), parallel=False,
+                                        ingestion="streaming")),
+        ("pool", lambda e: e.serve(warm_wave(), parallel=True)),
+    ):
+        workers = 2 if label == "pool" else 1
+        report = serve(_map_engine(warm_map_store, max_workers=workers))
+        assert report.map_acquisition_count > 0, f"{label}: nothing acquired"
+        assert dict(sorted(report.fleet_maps.items())) == versions, (
+            f"{label}: canonical map version drifted from the pinned one")
+        _assert_matches(report, expected, f"fleet-map warm {label}")
