@@ -19,7 +19,12 @@ The finale is the fleet map service: a cold-start fleet explores a shared,
 unmapped environment with SLAM and publishes map snapshots at every
 segment exit; the service merges them into a canonical map, and a second
 wave of sessions acquires it — serving the same segments through cheap
-registration instead of SLAM, with the throughput delta printed.
+registration instead of SLAM, with the throughput delta printed.  The
+lifecycle then *closes*: the registering wave hands back MapUpdate deltas,
+a landmark-displacement burst demonstrates staleness detection
+(``map_stale`` demotion) and update-driven repair, and the map-aware
+autoscaler shows a warm registration-heavy fleet priming — and staying —
+at a fraction of the cold fleet's worker count.
 
 Run with:  python examples/serving_demo.py
 """
@@ -30,7 +35,12 @@ from repro.experiments.common import accelerator_for
 from repro.experiments.runner import RunStore
 from repro.maps import MapStore
 from repro.scheduler import LatencyAutoscaler
-from repro.serving import ServingEngine, cold_start_fleet, mixed_fleet
+from repro.serving import (
+    ServingEngine,
+    cold_start_fleet,
+    drifting_environment_fleet,
+    mixed_fleet,
+)
 from repro.serving.engine import train_offload_scheduler
 
 DEADLINE_MS = 400.0
@@ -149,6 +159,84 @@ def main() -> None:
         print(f"Throughput: cold {cold.sessions_per_second:.2f} -> "
               f"warm {warm.sessions_per_second:.2f} sessions/s "
               f"({speedup:.2f}x from registration displacing SLAM)")
+        print(f"Closed lifecycle: the warm wave handed back "
+              f"{warm.map_update_count} MapUpdate deltas; canonical refreshed "
+              f"to {sorted(set(warm.maps_updated.values())) or 'n/a'}")
+
+    # 8. The world drifts: a displacement burst moves 40% of the shared
+    #    environment's landmarks between waves.  The published map is now
+    #    silently stale — sessions detect it from their own registration
+    #    residuals (map_stale demotion to SLAM), hand back update deltas
+    #    that prune/relocate the moved landmarks, and the next wave
+    #    registers against the repaired canonical.
+    print("\n--- drifting world: staleness -> update -> recovery ---")
+    with tempfile.TemporaryDirectory() as map_root:
+        map_store = MapStore(map_root, max_bytes=-1, max_age_s=-1)
+        drift_engine = ServingEngine(store=None, max_workers=1,
+                                     map_store=map_store,
+                                     min_map_quality=MAP_GATE)
+        pre_drift = drifting_environment_fleet(
+            4, environment="shifting-yard", base_seed=0,
+            segment_duration=2.0, camera_rate_hz=5.0, prefix="map")
+        mapped = drift_engine.serve(pre_drift, parallel=False,
+                                    ingestion="streaming")
+        print(f"Pre-drift wave published {mapped.maps_published} snapshots")
+
+        drift_kwargs = dict(environment="shifting-yard", segment_duration=2.0,
+                            camera_rate_hz=5.0, drift_m=2.0,
+                            drift_fraction=0.4, drift_seed=7)
+        stale_wave = drifting_environment_fleet(4, base_seed=20000,
+                                                prefix="stale", **drift_kwargs)
+        stale = drift_engine.serve(stale_wave, parallel=False,
+                                   ingestion="streaming")
+        demotions = sum(1 for result in stale.results.values()
+                        for switch in result.mode_switches
+                        if switch.reason == "map_stale")
+        print(f"Drift burst (40% of landmarks moved ~2 m): the next wave "
+              f"demoted the stale map {demotions}x (map_stale -> SLAM), "
+              f"handed back {stale.map_update_count} update deltas; canonical "
+              f"repaired to {sorted(set(stale.maps_updated.values()))}")
+
+        recovery_wave = drifting_environment_fleet(4, base_seed=30000,
+                                                   prefix="recov", **drift_kwargs)
+        recovered = drift_engine.serve(recovery_wave, parallel=False,
+                                       ingestion="streaming")
+        recovered_modes = recovered.mode_census()
+        print(f"Recovery wave on the drifted world: "
+              f"{recovered.map_acquisition_count} acquisitions, mode census "
+              f"{recovered_modes} — registration again, no re-demotion")
+
+    # 9. Map-aware autoscaling: the engine's pre-dispatch map resolution
+    #    knows each session's expected mode mix, so the autoscaler starts
+    #    from a mode-mix sizing prior — a cold SLAM-heavy fleet primes wide,
+    #    a warm registration-heavy fleet primes narrow and stays there.
+    print("\n--- map-aware autoscaling: mode-mix sizing prior ---")
+    with tempfile.TemporaryDirectory() as map_root:
+        map_store = MapStore(map_root, max_bytes=-1, max_age_s=-1)
+
+        def autoscaled_serve(prefix, base_seed):
+            engine = ServingEngine(
+                store=None, max_workers=1, map_store=map_store,
+                min_map_quality=MAP_GATE, frames_per_worker_tick=2,
+                autoscaler=LatencyAutoscaler(min_workers=1, max_workers=8,
+                                             window=48, grow_patience=2,
+                                             shrink_patience=4, cooldown=2))
+            wave = drifting_environment_fleet(
+                6, environment="sized-depot", base_seed=base_seed,
+                segment_duration=2.0, camera_rate_hz=5.0, prefix=prefix,
+                deadline_ms=DEADLINE_MS)
+            return engine.serve(wave, parallel=False, ingestion="streaming")
+
+        sized_cold = autoscaled_serve("cold", 0)
+        sized_warm = autoscaled_serve("warm", 9000)
+        for label, report in (("cold (no map, SLAM-heavy)", sized_cold),
+                              ("warm (mapped, registration)", sized_warm)):
+            prime = report.scale_decisions[0]
+            print(f"  {label}: primed {prime.workers_before} -> "
+                  f"{prime.workers_after} workers "
+                  f"({prime.reason.split(':')[1].strip()}), "
+                  f"final {report.final_workers} workers, "
+                  f"{report.deadline_misses} deadline misses")
 
 
 if __name__ == "__main__":

@@ -53,6 +53,20 @@ class RegistrationBackend:
     def reset(self) -> None:
         self._last_pose = None
 
+    @property
+    def map_observations(self):
+        """Per-landmark evidence of the last tracked frame.
+
+        ``(map point id, observed world position, residual)`` triples from
+        :attr:`~repro.backend.tracking.MapTracker.last_map_observations` —
+        the raw material of the fleet map-update lifecycle: a registration
+        session re-observes the same landmarks every frame, and these
+        observations are what it accumulates into a
+        :class:`~repro.maps.update.MapUpdate` at map exit.  Empty when the
+        last frame's tracking failed.
+        """
+        return self.tracker.last_map_observations
+
     def initialize(self, pose: Pose) -> None:
         """Seed the tracking prior (state handover from another backend).
 

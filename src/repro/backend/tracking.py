@@ -154,6 +154,12 @@ class MapTracker:
         self.camera = camera
         self.last_workload = RegistrationWorkload()
         self.last_kernel_ms: Dict[str, float] = {}
+        # Basis of the last tracked frame's per-landmark evidence; the
+        # triples themselves are computed lazily in last_map_observations —
+        # only registration sessions with an active fleet map ever read
+        # them, and every other MapTracker frame must not pay for them.
+        self._observation_basis: Optional[Tuple[Pose, List]] = None
+        self._map_observations: Optional[List[Tuple[int, np.ndarray, float]]] = None
 
     def track(self, frontend: FrontendResult, localization_map: LocalizationMap,
               prior_pose: Optional[Pose] = None) -> Tuple[Optional[Pose], RegistrationWorkload]:
@@ -177,6 +183,13 @@ class MapTracker:
                 workload.inliers = inliers
                 workload.pose_iterations = iterations
 
+        # Stash the basis for the fleet map-update lifecycle's per-landmark
+        # evidence; the triples are derived lazily (see
+        # last_map_observations) so frames nobody asks about cost nothing.
+        self._observation_basis = ((pose, correspondences)
+                                   if pose is not None and correspondences else None)
+        self._map_observations = None
+
         with stopwatch.measure("update"):
             if pose is not None and localization_map.vocabulary is not None and localization_map.vocabulary.trained:
                 descriptors = synthetic_descriptors_for_tracks(frontend.observations)
@@ -186,6 +199,33 @@ class MapTracker:
         self.last_workload = workload
         self.last_kernel_ms = stopwatch.as_dict()
         return pose, workload
+
+    @property
+    def last_map_observations(self) -> List[Tuple[int, np.ndarray, float]]:
+        """Per-landmark evidence of the last tracked frame, computed lazily.
+
+        ``(map point id, observed world position — the body point through
+        the solved pose — residual against the map)`` triples; empty when
+        tracking failed.  The serving layer's map-update lifecycle is the
+        only consumer, so the array work happens on first access per frame
+        (cached until the next :meth:`track`), not on every tracked frame
+        of every experiment.
+        """
+        if self._map_observations is None:
+            basis = self._observation_basis
+            if basis is None:
+                self._map_observations = []
+            else:
+                pose, correspondences = basis
+                body = np.array([c[1] for c in correspondences])
+                world = np.array([c[2] for c in correspondences])
+                observed = pose.transform_points(body)
+                residuals = np.linalg.norm(observed - world, axis=1)
+                self._map_observations = [
+                    (int(c[0]), observed[i], float(residuals[i]))
+                    for i, c in enumerate(correspondences)
+                ]
+        return self._map_observations
 
     # ------------------------------------------------------------ internals
 
@@ -223,18 +263,20 @@ class MapTracker:
         return matmul(camera.projection_matrix, homogeneous_points)
 
     def _match(self, frontend: FrontendResult,
-               localization_map: LocalizationMap) -> List[Tuple[np.ndarray, np.ndarray, float]]:
+               localization_map: LocalizationMap) -> List[Tuple[int, np.ndarray, np.ndarray, float]]:
         """Associate observations to map points.
 
-        Returns (body point, map point, noise std) triples, where the noise
-        std summarises the stereo triangulation uncertainty of the body point.
+        Returns (map point id, body point, map point, noise std) tuples,
+        where the noise std summarises the stereo triangulation uncertainty
+        of the body point.
         """
-        correspondences: List[Tuple[np.ndarray, np.ndarray, float]] = []
+        correspondences: List[Tuple[int, np.ndarray, np.ndarray, float]] = []
         matched_by_id = 0
         for obs in frontend.observations:
             map_point = localization_map.points.get(obs.track_id)
             if map_point is not None:
-                correspondences.append((obs.point_body, map_point.position, obs.depth_std))
+                correspondences.append(
+                    (map_point.point_id, obs.point_body, map_point.position, obs.depth_std))
                 matched_by_id += 1
         if matched_by_id >= self.config.min_inliers:
             return correspondences
@@ -251,15 +293,16 @@ class MapTracker:
             j = int(np.argmin(distances[i]))
             if distances[i, j] <= 64:
                 correspondences.append(
-                    (obs.point_body, localization_map.points[map_ids[j]].position, obs.depth_std)
+                    (map_ids[j], obs.point_body,
+                     localization_map.points[map_ids[j]].position, obs.depth_std)
                 )
         return correspondences
 
-    def _estimate_pose(self, correspondences: List[Tuple[np.ndarray, np.ndarray, float]]) -> Tuple[Pose, int, int]:
+    def _estimate_pose(self, correspondences: List[Tuple[int, np.ndarray, np.ndarray, float]]) -> Tuple[Pose, int, int]:
         """Robust absolute-orientation estimation from 3-D/3-D matches."""
-        body = np.array([c[0] for c in correspondences])
-        world = np.array([c[1] for c in correspondences])
-        sigma = np.maximum(np.array([c[2] for c in correspondences]), 1e-3)
+        body = np.array([c[1] for c in correspondences])
+        world = np.array([c[2] for c in correspondences])
+        sigma = np.maximum(np.array([c[3] for c in correspondences]), 1e-3)
         base_weights = 1.0 / sigma**2
         weights = base_weights.copy()
         pose = Pose.identity()

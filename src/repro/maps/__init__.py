@@ -12,17 +12,27 @@ turns maps from a static per-stream flag into a fleet-wide resource:
   scenarios.
 * :mod:`repro.maps.merger` — :class:`MapMerger`: aligns (weighted Horn on
   shared landmarks) and dedups overlapping snapshots into the canonical
-  per-environment map; merging a map with itself is a strict no-op.
+  per-environment map, blending overlaps by per-landmark observation
+  counts; merging a map with itself is a strict no-op.
+* :mod:`repro.maps.update` — :class:`MapUpdate` /
+  :class:`MapObservationAccumulator`: the registration-side half of the
+  closed lifecycle — per-landmark observation deltas a session accumulates
+  while serving *against* a fleet map, applied back through
+  :meth:`MapMerger.apply_updates` (confirm / relocate / prune).
 * :mod:`repro.maps.store` — :class:`MapStore`: a persistent LRU store next
   to the run cache (``~/.cache/eudoxus-repro/maps``, ``EUDOXUS_MAP_CACHE*``
-  overrides) with atomic concurrent-writer-safe publishes and a
-  quality-gated :meth:`~MapStore.resolve` that serves the canonical map.
+  overrides) with atomic concurrent-writer-safe publishes, a quality-gated
+  :meth:`~MapStore.resolve` that serves the canonical map, and
+  :meth:`~MapStore.apply_updates` folding registration deltas into a new
+  content-addressed canonical version (compacting the superseded history).
 
-The serving layer closes the loop: SLAM sessions publish snapshots at
-segment exits, the engine resolves fleet maps up front per serve call (so
-serial/streaming/pool stay bit-identical) and folds the resolved versions
-into its cache keys, and sessions acquire maps mid-stream — shifting fleet
-traffic from SLAM onto registration as the map matures.
+The serving layer closes the loop both ways: SLAM sessions publish
+snapshots at segment exits, the engine resolves fleet maps up front per
+serve call (so serial/streaming/pool stay bit-identical) and folds the
+resolved versions into its cache keys, sessions acquire maps mid-stream —
+shifting fleet traffic from SLAM onto registration as the map matures —
+and registration sessions hand observation deltas back, so a drifting
+world is detected (``map_stale`` demotion), repaired and re-served.
 """
 
 from repro.maps.merger import MapMerger, merge_quality
@@ -42,6 +52,7 @@ from repro.maps.store import (
     MapStore,
     default_map_root,
 )
+from repro.maps.update import MapObservationAccumulator, MapUpdate
 
 __all__ = [
     "DEFAULT_MAP_CACHE_MAX_AGE_DAYS",
@@ -51,8 +62,10 @@ __all__ = [
     "MAP_CACHE_MAX_AGE_DAYS_ENV",
     "MAP_CACHE_MAX_MB_ENV",
     "MapMerger",
+    "MapObservationAccumulator",
     "MapSnapshot",
     "MapStore",
+    "MapUpdate",
     "default_map_root",
     "degrade_snapshot",
     "merge_quality",

@@ -77,6 +77,12 @@ class MapSnapshot:
     segment_index: int = -1
     frame_count: int = 0
     merged_from: int = 1
+    # Per-landmark observation backing (closed map lifecycle): how many
+    # registration observations confirm each landmark.  ``None`` — the only
+    # value plain SLAM publishes ever carry — means "unweighted" (every
+    # landmark counts 1 in merges), and is deliberately excluded from the
+    # version digest so pre-lifecycle snapshots keep their exact versions.
+    observation_counts: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         ids = np.asarray(self.landmark_ids, dtype=np.int64).reshape(-1)
@@ -86,6 +92,11 @@ class MapSnapshot:
         order = np.argsort(ids, kind="stable")
         self.landmark_ids = ids[order]
         self.positions = positions[order]
+        if self.observation_counts is not None:
+            counts = np.asarray(self.observation_counts, dtype=np.int64).reshape(-1)
+            if counts.shape[0] != ids.shape[0]:
+                raise ValueError("observation_counts and landmark_ids disagree on length")
+            self.observation_counts = counts[order]
         self.mean_residual_m = float(self.mean_residual_m)
         self.max_residual_m = float(self.max_residual_m)
         self._version: Optional[str] = None
@@ -125,8 +136,26 @@ class MapSnapshot:
             digest.update(self.landmark_ids.tobytes())
             digest.update(np.ascontiguousarray(self.positions).tobytes())
             digest.update(repr((self.mean_residual_m, self.max_residual_m)).encode())
+            # Folded only when present so every pre-lifecycle snapshot keeps
+            # its exact version (the same only-when-present rule the session
+            # signature applies to map provenance).
+            if self.observation_counts is not None:
+                digest.update(b"counts:")
+                digest.update(np.ascontiguousarray(self.observation_counts).tobytes())
             self._version = digest.hexdigest()[:16]
         return self._version
+
+    def landmark_weights(self) -> np.ndarray:
+        """Per-landmark merge weights: observation counts, defaulting to 1.
+
+        A snapshot that never went through the update lifecycle weighs every
+        landmark equally, which reproduces the pre-lifecycle merge bit for
+        bit; updated snapshots let well-observed landmarks dominate overlap
+        blending ("blend by observation count").
+        """
+        if self.observation_counts is None:
+            return np.ones(self.landmark_count, dtype=np.float64)
+        return self.observation_counts.astype(np.float64)
 
     def positions_by_id(self) -> Dict[int, np.ndarray]:
         return {int(lid): self.positions[i].copy()
@@ -203,4 +232,6 @@ def degrade_snapshot(snapshot: MapSnapshot, position_noise_m: float = 0.5,
         segment_index=snapshot.segment_index,
         frame_count=snapshot.frame_count,
         merged_from=snapshot.merged_from,
+        observation_counts=(snapshot.observation_counts[keep]
+                            if snapshot.observation_counts is not None else None),
     )

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.runner import RunStore, code_fingerprint
 from repro.maps.merger import MapMerger
 from repro.maps.snapshot import DEFAULT_MIN_MAP_QUALITY, MapSnapshot
+from repro.maps.update import MapUpdate
 
 MAP_CACHE_ENV = "EUDOXUS_MAP_CACHE"
 MAP_CACHE_MAX_MB_ENV = "EUDOXUS_MAP_CACHE_MAX_MB"
@@ -93,12 +94,16 @@ class MapStore(RunStore):
                          max_bytes=max_bytes, max_age_s=max_age_s)
         self._sweep_stale_generations()
         self.published = 0
+        self.updated = 0  # environments compacted by apply_updates
         # Canonical-map memo: one entry per environment, holding the merge
         # inputs it was computed from (snapshot keys straight from the file
         # stems — no unpickling on a hit — plus the merger's parameters)
         # next to the result.  A publish, eviction or different merger
         # changes the inputs and recomputes; replacing in place keeps the
-        # memo bounded by the number of live environments.
+        # memo bounded by the number of live environments.  Eviction and
+        # update compaction additionally *prune* entries whose inputs left
+        # the disk (see :meth:`evict`), so a dead environment never retains
+        # its canonical map in memory.
         self._canonical: Dict[str, Tuple[Tuple, Optional[MapSnapshot]]] = {}
 
     # -------------------------------------------------------------- lifecycle
@@ -135,6 +140,10 @@ class MapStore(RunStore):
                 loaded.append(snapshot)
         return loaded
 
+    def has_history(self, environment_id: str) -> bool:
+        """Whether any snapshot of this environment is currently stored."""
+        return bool(self._snapshot_keys(environment_id))
+
     def environments(self) -> List[str]:
         """Environment ids with at least one stored snapshot."""
         if not self.root.is_dir():
@@ -156,9 +165,20 @@ class MapStore(RunStore):
         — the gate between "the fleet is still exploring" (keep running
         SLAM) and "the map is servable" (later sessions register).
         """
-        merger = merger or MapMerger()
-        # The content versions live in the file stems, so the memo inputs
-        # can be derived without unpickling the snapshot history.
+        merged = self._canonical_merge(environment_id, merger or MapMerger())
+        if merged is None or merged.quality < min_quality:
+            return None
+        return merged
+
+    def _canonical_merge(self, environment_id: str,
+                         merger: MapMerger) -> Optional[MapSnapshot]:
+        """The memoized canonical merge of one environment's history.
+
+        The content versions live in the file stems, so the memo inputs can
+        be derived without unpickling the snapshot history; resolve() and
+        apply_updates() share this, so a post-serve update application
+        never re-merges what the pre-dispatch resolution already computed.
+        """
         inputs = (tuple(self._snapshot_keys(environment_id)), merger.signature())
         if not inputs[0]:
             return None
@@ -169,10 +189,111 @@ class MapStore(RunStore):
             # changed inputs and re-merges from the cleaned state.
             cached = (inputs, merger.merge(self.snapshots(environment_id)))
             self._canonical[environment_id] = cached
-        merged = cached[1]
-        if merged is None or merged.quality < min_quality:
-            return None
-        return merged
+        return cached[1]
+
+    def apply_updates(self, updates: List[MapUpdate],
+                      merger: Optional[MapMerger] = None) -> Dict[str, MapSnapshot]:
+        """Fold registration-session deltas into new canonical versions.
+
+        For every environment the updates touch, the stored snapshot history
+        is merged into its canonical map, the updates are applied
+        (:meth:`MapMerger.apply_updates`: confirm / relocate / prune per
+        landmark) and the result is written back as a new content-addressed
+        snapshot version.  The superseded history is *compacted away*:
+        leaving the stale inputs on disk would let a later merge-union
+        resurrect every pruned landmark, so the updated snapshot replaces
+        them.  Returns ``{environment_id: updated snapshot}`` for the
+        environments that changed.
+
+        Multi-file replacement cannot be atomic; the new version is written
+        *before* the stale inputs are unlinked, so no crash or unwritable
+        root ever loses the only copy of an environment's history.  The
+        cost is a milliseconds-wide window in which a concurrent *process*
+        sharing the store can resolve a blend of updated + stale inputs
+        (one transiently stale canonical, healed by its next resolve), and
+        such a process replaying old cached sessions can re-publish
+        superseded content — both self-heal through the lifecycle itself:
+        resurrected landmarks read as registration residuals again and the
+        next update application prunes them again.  Within one process the
+        engine's post-serve ordering makes the window unobservable.
+
+        The visibility rule is the same as for publishes: callers (the
+        serving engine) apply updates *after* a serve call completes, and
+        the next call's resolve sees the new version — never mid-call.
+        """
+        merger = merger or MapMerger()
+        by_environment: Dict[str, List[MapUpdate]] = {}
+        for update in updates:
+            by_environment.setdefault(update.environment_id, []).append(update)
+        for env_updates in by_environment.values():
+            # Application order must not depend on which worker finished
+            # first: the per-landmark float accumulation is fold-order
+            # sensitive, and the updated snapshot's content version is what
+            # the golden lifecycle pins across serial/streaming/pool.
+            env_updates.sort(key=lambda u: (u.source, u.segment_index, u.version))
+        applied: Dict[str, MapSnapshot] = {}
+        for environment_id in sorted(by_environment):
+            keys = self._snapshot_keys(environment_id)
+            if not keys:
+                continue
+            # Memoized: the pre-dispatch resolve of this serve call already
+            # merged exactly these inputs under this merger.
+            canonical = self._canonical_merge(environment_id, merger)
+            if canonical is None or canonical.landmark_count == 0:
+                continue
+            updated = merger.apply_updates(canonical, by_environment[environment_id])
+            if updated is canonical:
+                # The merger quiesced: nothing the serving layer can
+                # observe changed, so the environment did not "change" —
+                # no write, no compaction, no entry in the result (even
+                # when the canonical is an unmaterialized multi-snapshot
+                # merge; the resolve memo keeps serving it cheaply).
+                continue
+            target_key = f"{environment_id}__{updated.version}"
+            if keys == [target_key]:
+                # The store already holds exactly this state (idempotent
+                # re-application); nothing to write or compact.
+                continue
+            path = self.path_for(target_key)
+            if not path.exists() and self.save_key(target_key, updated) is None:
+                # Unwritable root: leave the existing history untouched
+                # rather than compacting away snapshots we cannot replace.
+                continue
+            # New version durable — now the stale inputs can go (see the
+            # docstring for the write-before-unlink rationale).
+            for key in keys:
+                if key == target_key:
+                    continue
+                try:
+                    self.path_for(key).unlink()
+                except OSError:
+                    pass
+            self._canonical.pop(environment_id, None)
+            applied[environment_id] = updated
+            self.updated += 1
+        return applied
+
+    def evict(self, max_bytes: Optional[float] = None,
+              max_age_s: Optional[float] = None) -> int:
+        """LRU eviction, plus canonical-memo invalidation.
+
+        The memo is keyed on the snapshot file stems, which :meth:`resolve`
+        re-derives from disk on every call — so an evicted snapshot can
+        never be *served* from the memo.  But without pruning here, an
+        environment whose snapshots were all evicted would retain its merged
+        canonical map in memory indefinitely; dropping every memo entry
+        whose recorded inputs are no longer fully on disk keeps the memo an
+        honest mirror of the store.
+        """
+        removed = super().evict(max_bytes=max_bytes, max_age_s=max_age_s)
+        # getattr: RunStore.__init__ runs the construction-time sweep before
+        # this subclass has built its memo.
+        memo = getattr(self, "_canonical", None)
+        if removed and memo:
+            for environment_id, (inputs, _) in list(memo.items()):
+                if any(not self.path_for(stem).exists() for stem in inputs[0]):
+                    memo.pop(environment_id, None)
+        return removed
 
     # ------------------------------------------------------------- internals
 

@@ -20,6 +20,25 @@ pre-resize traffic — is what keeps the controller from oscillating: growing
 is cheap to undo, missing deadlines is not, so the scaler grows eagerly and
 shrinks reluctantly.
 
+Mixed fleets interleave *best-effort* sessions (``deadline_ms=None``) with
+deadlined traffic.  Best-effort frames contribute to the latency
+percentiles but never to pressure, so they can neither dilute the signal
+(their latency/deadline ratio is undefined, not zero) nor zero it (the
+pressure percentile runs over deadlined frames only, however few).  The
+complementary hazard — a burst of deadlined traffic that *ended* keeping
+its pressure samples alive indefinitely while best-effort frames flow — is
+closed by expiring the pressure window once no deadlined frame has been
+seen for a full window of observations: the scaler then honestly reports
+"no deadline traffic" instead of resizing on stale evidence (while
+deadlined traffic continues, however sparse, every sample is retained).
+
+The serving engine can also install a *sizing prior* (:meth:`LatencyAutoscaler.prime`)
+before any traffic: the expected per-frame cost of the fleet's mode mix —
+known pre-dispatch once fleet maps are resolved (map available =>
+registration-dominant => cheap) — converts into a starting width, so a
+warm-map fleet starts small and stays small instead of growing on
+cold-start backlog and shrinking later.
+
 Every evaluation is appended to :attr:`LatencyAutoscaler.decisions`, the
 decision log the serving report exposes and the benchmarks assert on.
 """
@@ -35,11 +54,11 @@ import numpy as np
 
 @dataclass(frozen=True)
 class ScaleDecision:
-    """One autoscaler evaluation (held, grew or shrank)."""
+    """One autoscaler evaluation (held, grew or shrank) or sizing prime."""
 
     tick: int
     clock: float
-    action: str  # "grow" | "shrink" | "hold"
+    action: str  # "grow" | "shrink" | "hold" | "prime"
     workers_before: int
     workers_after: int
     p50_ms: float
@@ -49,7 +68,13 @@ class ScaleDecision:
 
     @property
     def resized(self) -> bool:
-        return self.workers_after != self.workers_before
+        """Whether the *controller* changed the width.
+
+        A width-changing ``prime`` is excluded: the sizing prior is where
+        the pool started, not a reaction to observed traffic — counting it
+        would report phantom resizes for every map-aware serve call.
+        """
+        return self.action != "prime" and self.workers_after != self.workers_before
 
 
 class LatencyAutoscaler:
@@ -84,8 +109,14 @@ class LatencyAutoscaler:
         self.workers = self._clamp(initial_workers if initial_workers is not None
                                    else min_workers)
         self.decisions: Deque[ScaleDecision] = deque(maxlen=self.DECISION_LOG_LIMIT)
-        self._latency: Deque[float] = deque(maxlen=max(1, int(window)))
-        self._pressure: Deque[float] = deque(maxlen=max(1, int(window)))
+        self._window = max(1, int(window))
+        self._latency: Deque[float] = deque(maxlen=self._window)
+        # Pressure samples carry the observation index they were taken at so
+        # that stale deadlined evidence can expire by *observation count*:
+        # in a mixed fleet, best-effort frames keep the clock of
+        # observations running even when no deadlined frame arrives.
+        self._pressure: Deque[tuple] = deque(maxlen=self._window)
+        self._observed = 0
         self._over_streak = 0
         self._under_streak = 0
         self._cooldown_left = 0
@@ -98,25 +129,92 @@ class LatencyAutoscaler:
 
         Frames without a deadline (``None``, and no ``default_deadline_ms``)
         contribute to the latency percentiles but exert no pressure — a
-        best-effort session can never force the pool to grow.
+        best-effort session can never force the pool to grow.  They do
+        advance the observation clock, so deadlined samples buried under a
+        full window of best-effort traffic expire (see :meth:`pressure`).
         """
+        self._observed += 1
         self._latency.append(float(latency_ms))
         deadline = deadline_ms if deadline_ms is not None else self.default_deadline_ms
         if deadline is not None and deadline > 0:
-            self._pressure.append(float(latency_ms) / float(deadline))
+            self._pressure.append((self._observed, float(latency_ms) / float(deadline)))
 
     def latency_percentile(self, percent: float) -> float:
         if not self._latency:
             return 0.0
         return float(np.percentile(list(self._latency), percent))
 
+    def _expire_stale_pressure(self) -> None:
+        """Expire the pressure window once deadlined traffic *stopped*.
+
+        The whole window is dropped when the newest deadlined sample has had
+        no successor for a full window of observations — a deadlined session
+        that disconnected must not keep growing the pool (or refusing to
+        shrink it) on evidence from traffic that no longer exists.  While
+        deadlined traffic continues, however sparsely it is interleaved with
+        best-effort frames, every sample is retained (bounded by the deque):
+        expiring by per-sample age would shrink sparse fleets' effective
+        window to a handful of samples and make the p95 spike-dominated —
+        the instability this mechanism exists to prevent.
+        """
+        if self._pressure and self._pressure[-1][0] <= self._observed - self._window:
+            self._pressure.clear()
+
     def pressure(self) -> float:
-        """p95 of latency/deadline over the window (0 with no deadlines)."""
+        """p95 of latency/deadline over the window (0 with no deadlines).
+
+        Computed over deadlined frames only — however sparsely they are
+        interleaved with best-effort traffic, they are neither diluted by it
+        nor zeroed out — but once the *newest* deadlined sample goes a full
+        observation window without a successor, the whole window is expired
+        as stale.
+        """
+        self._expire_stale_pressure()
         if not self._pressure:
             return 0.0
-        return float(np.percentile(list(self._pressure), 95.0))
+        return float(np.percentile([value for _, value in self._pressure], 95.0))
 
     # ------------------------------------------------------------- deciding
+
+    def prime(self, workers: int, reason: str = "sizing prior") -> ScaleDecision:
+        """Install a sizing prior as the starting width.
+
+        Called by the serving engine before any traffic of a serve call: the
+        expected per-frame cost of the fleet's mode mix (resolved fleet maps
+        => registration-dominant => cheap) converts into an expected
+        steady-state width, so the pool *starts* near where the controller
+        would converge — a warm fleet never has to grow through a
+        cold-start backlog only to shrink back.  The prior is a starting
+        point, not a clamp: observed pressure still grows and shrinks the
+        pool from here, under the usual hysteresis.  The installation is
+        logged as an ``action="prime"`` decision so the decision log shows
+        where the width came from.
+        """
+        before = self.workers
+        self.workers = self._clamp(workers)
+        # A prime starts a fresh serve call: drop every trace of the
+        # previous call's traffic (window, streaks, cooldown) so the primed
+        # width is never immediately resized on evidence from sessions that
+        # no longer exist — the same window reset decide() performs on a
+        # resize.
+        self._over_streak = 0
+        self._under_streak = 0
+        self._cooldown_left = 0
+        self._latency.clear()
+        self._pressure.clear()
+        decision = ScaleDecision(
+            tick=self._tick,
+            clock=0.0,
+            action="prime",
+            workers_before=before,
+            workers_after=self.workers,
+            p50_ms=0.0,
+            p95_ms=0.0,
+            pressure=0.0,
+            reason=reason,
+        )
+        self.decisions.append(decision)
+        return decision
 
     def decide(self, clock: float = 0.0) -> ScaleDecision:
         """Evaluate the window once; resize ``workers`` when warranted."""
@@ -132,6 +230,11 @@ class LatencyAutoscaler:
             self._cooldown_left -= 1
             reason = "cooldown"
         elif not self._pressure:
+            # No live deadlined traffic (none ever, or all samples expired):
+            # hold, and drop any partial streaks so later deadlined traffic
+            # starts its patience count from scratch.
+            self._over_streak = 0
+            self._under_streak = 0
             reason = "no deadline traffic"
         else:
             if pressure > self.grow_pressure:

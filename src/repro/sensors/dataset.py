@@ -121,7 +121,8 @@ class SequenceBuilder:
 
     def build(self, scenario: OperatingScenario, start_time: float = 0.0,
               start_index: int = 0, seed_offset: int = 0,
-              world_seed: Optional[int] = None) -> SyntheticSequence:
+              world_seed: Optional[int] = None,
+              world_mutator=None) -> SyntheticSequence:
         """Generate a full sequence for one operating scenario.
 
         ``world_seed`` decouples the landmark world from the session seed:
@@ -130,6 +131,12 @@ class SequenceBuilder:
         sensor-noise streams — the substrate for cross-session map sharing.
         ``None`` keeps the legacy behavior (world derived from the session
         seed, every session in its own world).
+
+        ``world_mutator`` (``LandmarkWorld -> LandmarkWorld``, optional) is
+        applied to the generated world *before* any observation is sampled —
+        the serving layer injects deterministic landmark-displacement bursts
+        through it (a world that physically changed since it was first
+        mapped), without perturbing the trajectory or sensor-noise streams.
         """
         config = self.config
         camera = self._camera()
@@ -151,6 +158,8 @@ class SequenceBuilder:
         else:
             world = LandmarkWorld.outdoor(path_points, count=scenario.landmark_count,
                                           seed=effective_world_seed)
+        if world_mutator is not None:
+            world = world_mutator(world)
 
         imu = ImuSimulator(
             gyro_noise=config.imu_gyro_noise * scenario.imu_noise_scale,

@@ -31,7 +31,13 @@ the resolved map versions folded into the serving cache keys.
 matching fleet shapes.
 """
 
-from repro.serving.engine import ServingEngine, ServingReport, run_session, serving_key
+from repro.serving.engine import (
+    MODE_FRAME_COST,
+    ServingEngine,
+    ServingReport,
+    run_session,
+    serving_key,
+)
 from repro.serving.session import (
     DEFAULT_INGRESS_CAPACITY,
     MapAcquisition,
@@ -46,7 +52,11 @@ from repro.serving.streams import (
     StreamSegment,
     StreamSpec,
     cold_start_fleet,
+    drift_world,
+    drifting_environment_fleet,
     environment_world_seed,
+    expected_gps_denied_mode,
+    expected_segment_mode,
     mixed_deployment_stream,
     mixed_fleet,
     multi_environment_fleet,
@@ -56,6 +66,7 @@ from repro.serving.streams import (
 
 __all__ = [
     "DEFAULT_INGRESS_CAPACITY",
+    "MODE_FRAME_COST",
     "MapAcquisition",
     "ModeSwitch",
     "ModeSwitchPolicy",
@@ -68,7 +79,11 @@ __all__ = [
     "StreamSegment",
     "StreamSpec",
     "cold_start_fleet",
+    "drift_world",
+    "drifting_environment_fleet",
     "environment_world_seed",
+    "expected_gps_denied_mode",
+    "expected_segment_mode",
     "mixed_deployment_stream",
     "mixed_fleet",
     "multi_environment_fleet",

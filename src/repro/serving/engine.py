@@ -72,7 +72,25 @@ from repro.experiments.runner import (
 from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
 from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
 from repro.serving.session import DEFAULT_INGRESS_CAPACITY, Session, SessionResult
-from repro.serving.streams import StreamSpec
+from repro.serving.streams import (
+    StreamSpec,
+    expected_gps_denied_mode,
+    expected_segment_mode,
+)
+from repro.sensors.dataset import segment_frame_count
+
+# Expected per-frame service cost by backend mode, relative to SLAM — the
+# Fig. 2 economics as a sizing constant: sliding-window bundle adjustment +
+# marginalization (SLAM) is the expensive mode; registration against a prior
+# map and GPS-aided VIO are several times cheaper.  Used only by the
+# map-aware autoscaler sizing (the prior and the streaming loop's capacity
+# accounting) — never by the localization math, so it cannot perturb served
+# results.
+MODE_FRAME_COST = {
+    "vio": 0.3,
+    "registration": 0.35,
+    "slam": 1.0,
+}
 
 
 def serving_key(spec: StreamSpec, maps: Optional[Dict[str, str]] = None) -> str:
@@ -146,9 +164,13 @@ class ServingReport:
     ticks: int = 0
     scale_decisions: List[ScaleDecision] = field(default_factory=list)
     # Fleet map service: the canonical maps this serve call resolved
-    # (environment id -> version) and how many snapshots it published back.
+    # (environment id -> version), how many snapshots it published back, and
+    # the environments whose canonical map the registration sessions'
+    # accumulated deltas refreshed post-serve (environment id -> new
+    # version) — visible to the *next* wave, never this one.
     fleet_maps: Dict[str, str] = field(default_factory=dict)
     maps_published: int = 0
+    maps_updated: Dict[str, str] = field(default_factory=dict)
 
     @property
     def session_count(self) -> int:
@@ -173,6 +195,24 @@ class ServingReport:
     @property
     def map_acquisition_count(self) -> int:
         return sum(len(result.map_acquisitions) for result in self.results.values())
+
+    @property
+    def map_update_count(self) -> int:
+        """MapUpdate deltas the fleet's registration sessions produced."""
+        return sum(len(result.map_updates) for result in self.results.values())
+
+    def mode_census(self) -> Dict[str, int]:
+        """Served frames per backend mode across the fleet.
+
+        The at-a-glance view of the Fig. 2 economics a serve call realized
+        (how much traffic registration displaced from SLAM), used by the
+        map-reuse benchmarks and the demo.
+        """
+        census: Dict[str, int] = {}
+        for result in self.results.values():
+            for estimate in result.trajectory.estimates:
+                census[estimate.mode] = census.get(estimate.mode, 0) + 1
+        return census
 
     def latency_percentile(self, percent: float) -> float:
         if not self.served_frame_wall_ms:
@@ -222,6 +262,8 @@ class ServingReport:
             "resizes": self.resize_count,
             "map_acquisitions": self.map_acquisition_count,
             "maps_published": self.maps_published,
+            "map_updates": self.map_update_count,
+            "maps_updated": len(self.maps_updated),
         }
 
 
@@ -247,7 +289,9 @@ class ServingEngine:
                  frames_per_worker_tick: Optional[int] = None,
                  map_store: Optional[MapStore] = None,
                  map_merger: Optional[MapMerger] = None,
-                 min_map_quality: float = DEFAULT_MIN_MAP_QUALITY) -> None:
+                 min_map_quality: float = DEFAULT_MIN_MAP_QUALITY,
+                 map_updates: bool = True,
+                 map_aware_sizing: Optional[bool] = None) -> None:
         self.store = store
         self.max_workers = resolve_max_workers(max_workers)
         self.autoscaler = autoscaler
@@ -259,6 +303,21 @@ class ServingEngine:
         self.map_store = map_store
         self.map_merger = map_merger or MapMerger()
         self.min_map_quality = float(min_map_quality)
+        # Closed map lifecycle: apply the fleet's MapUpdate deltas to the
+        # store post-serve (False keeps the PR-4 publish-only behavior — the
+        # control arm of the drifting-world benchmark).
+        self.map_updates = bool(map_updates)
+        # Map-aware sizing: feed the expected per-frame cost of each
+        # session's mode mix (known pre-dispatch once fleet maps resolve)
+        # into the autoscaler as a sizing prior, and account streaming
+        # capacity in cost units instead of raw frames.  Defaults to "on
+        # exactly when a map store is attached": the mode-mix expectation is
+        # the map service's knowledge.  A *streaming-loop* feature: the
+        # pool path's capacity unit is whole sessions sized from observed
+        # wall latency, which the per-frame cost model does not map onto,
+        # so pool serving keeps its PR-3 wave sizing regardless.
+        self.map_aware_sizing = (map_store is not None if map_aware_sizing is None
+                                 else bool(map_aware_sizing))
         self._kernel_of: Dict[str, str] = {}
 
     def serve(self, specs: Sequence[StreamSpec], parallel: Optional[bool] = None,
@@ -302,6 +361,7 @@ class ServingEngine:
             spec.stream_id: self._maps_for(spec, fleet_maps) for spec in specs
         }
         cold: List[StreamSpec] = []
+        replayed: set = set()
         seen = set()
         for spec in specs:
             if spec.stream_id in seen:
@@ -312,6 +372,7 @@ class ServingEngine:
                 stored = self.store.load_key(key, expect=SessionResult)
                 if stored is not None:
                     report.store_hits += 1
+                    replayed.add(spec.stream_id)
                     # The key ignores deadline_ms, so the hit may have been
                     # computed under a different QoS contract; refresh the
                     # provenance payload to the spec actually requested
@@ -332,20 +393,23 @@ class ServingEngine:
             if use_pool:
                 self._serve_pool(cold, report, maps_by_stream)
             elif report.ingestion == "streaming":
-                for spec, result in self._serve_streaming(cold, report, maps_by_stream):
+                for spec, result in self._serve_streaming(cold, report, maps_by_stream,
+                                                          fleet_maps):
                     self._absorb(report, spec, result, maps_by_stream)
             else:
                 for spec, result in self._serve_materialized(cold, report.batch_sizes,
                                                             maps_by_stream):
                     self._absorb(report, spec, result, maps_by_stream)
-        self._publish_fleet_maps(report)
+        self._publish_fleet_maps(report, replayed)
+        self._apply_map_updates(report, replayed)
         report.wall_s = time.perf_counter() - started
         return report
 
     # ------------------------------------------------- streaming event loop
 
     def _serve_streaming(self, specs: Sequence[StreamSpec], report: ServingReport,
-                         maps_by_stream: Dict[str, Dict[str, MapSnapshot]]):
+                         maps_by_stream: Dict[str, Dict[str, MapSnapshot]],
+                         fleet_maps: Optional[Dict[str, MapSnapshot]] = None):
         """Arrival-time event loop: ingest what arrived, serve what is ready.
 
         The loop advances a virtual clock over the fleet's frame arrivals.
@@ -355,10 +419,13 @@ class ServingEngine:
            into its bounded ingress queue (a full queue pushes back instead
            of buffering — congestion becomes latency, not memory);
         2. pending frames are served in ``(arrival, stream_id)`` order, up
-           to ``workers x frames_per_worker_tick`` frames — the pool's
-           service capacity this tick;
+           to ``workers x frames_per_worker_tick`` capacity units — one
+           unit per frame, or the frame's expected mode cost when map-aware
+           sizing is on (a registration frame against a resolved fleet map
+           occupies a worker for a fraction of what a SLAM frame does);
         3. served latencies (``clock - arrival``) feed the autoscaler, which
-           may resize ``workers`` (grow/shrink with hysteresis);
+           may resize ``workers`` (grow/shrink with hysteresis) — seeded by
+           the map-aware sizing prior when one was installed;
         4. the clock advances one frame interval while a backlog remains,
            else jumps to the next arrival.
 
@@ -380,6 +447,16 @@ class ServingEngine:
         if not active:
             return
         tick_interval = min(session.spec.frame_interval for session in active)
+        # Map-aware sizing: per-(stream, segment) expected frame costs, and
+        # the prior installed before the first tick.
+        segment_costs: Dict[str, Tuple[float, ...]] = {}
+        if self.autoscaler is not None and self.map_aware_sizing:
+            segment_costs = {
+                session.spec.stream_id: self._segment_costs(session.spec, fleet_maps or {})
+                for session in active
+            }
+            report.scale_decisions.append(self._prime_autoscaler(
+                [session.spec for session in active], segment_costs))
         workers = self.autoscaler.workers if self.autoscaler is not None else self.max_workers
         # The width serving actually starts at, so final_workers stays
         # truthful even when no scale decision is ever logged.
@@ -401,10 +478,18 @@ class ServingEngine:
                      for session in active if session.pending]
             heapq.heapify(heads)
             served = 0
-            while heads and served < capacity:
+            served_cost = 0.0
+            while heads and served_cost < capacity:
                 arrival, stream_id, session = heapq.heappop(heads)
-                session.serve_pending()
+                stream_frame = session.serve_pending()
                 served += 1
+                # segment_costs has an entry for every active session when
+                # map-aware sizing is on, and a session only enters `heads`
+                # with a pending frame — direct indexing lets any future
+                # violation of that invariant surface instead of silently
+                # mis-billing the frame.
+                served_cost += (segment_costs[stream_id][stream_frame.segment_index]
+                                if segment_costs else 1.0)
                 latency_ms = max(0.0, (clock - arrival) * 1000.0)
                 report.virtual_latency_ms.append(latency_ms)
                 deadline = session.spec.deadline_ms
@@ -532,6 +617,69 @@ class ServingEngine:
             (autoscaler.min_workers, autoscaler.max_workers,
              autoscaler.workers) = saved_bounds
 
+    # ------------------------------------------------------- map-aware sizing
+
+    @staticmethod
+    def _segment_costs(spec: StreamSpec,
+                       fleet_maps: Dict[str, MapSnapshot]) -> Tuple[float, ...]:
+        """Expected per-frame cost of each segment of one session.
+
+        The pre-dispatch map resolution already decided which segments will
+        serve registration instead of SLAM; the cost table converts that
+        mode expectation into worker-occupancy units.  GPS-capable
+        segments with a *partial* outage serve a blend, so their cost
+        interpolates between VIO and the segment's GPS-denied mode by the
+        outage probability — a 90%-outage fleet must not be priced (and
+        primed) as if it ran VIO.
+        """
+        mapped = frozenset(fleet_maps)
+        costs = []
+        for index, segment in enumerate(spec.segments):
+            if segment.kind.has_gps:
+                outage = float(np.clip(segment.gps_outage_probability, 0.0, 1.0))
+                denied = MODE_FRAME_COST[expected_gps_denied_mode(spec, index, mapped)]
+                costs.append((1.0 - outage) * MODE_FRAME_COST["vio"]
+                             + outage * denied)
+            else:
+                costs.append(MODE_FRAME_COST[expected_segment_mode(spec, index, mapped)])
+        return tuple(costs)
+
+    def _prime_autoscaler(self, specs: Sequence[StreamSpec],
+                          segment_costs: Dict[str, Tuple[float, ...]]) -> ScaleDecision:
+        """Install the mode-mix sizing prior before the first tick.
+
+        Each session delivers one frame per *its own* frame interval, and
+        the event loop ticks at the fleet's fastest interval — so a
+        session's per-tick arrival rate is ``tick / frame_interval`` frames
+        (1 for the fastest sessions, fractional for slower ones).  The
+        fleet's expected demand per tick is the sum of per-session
+        frames-weighted mean costs scaled by that rate; dividing by the
+        per-worker tick capacity gives the expected steady-state width.
+        Warm registration-heavy fleets land low, cold SLAM-heavy fleets
+        land high — the controller then only has to correct the residual
+        error instead of discovering the whole operating point through
+        backlog.
+        """
+        tick_interval = min(spec.frame_interval for spec in specs)
+        demand = 0.0
+        for spec in specs:
+            arrival_rate = tick_interval / spec.frame_interval
+            costs = segment_costs.get(spec.stream_id, ())
+            if not costs:
+                demand += arrival_rate
+                continue
+            frames = [segment_frame_count(segment.duration, spec.camera_rate_hz)
+                      for segment in spec.segments]
+            total = sum(frames)
+            demand += (arrival_rate
+                       * sum(cost * count for cost, count in zip(costs, frames))
+                       / max(1, total))
+        workers = int(np.ceil(demand / self.frames_per_worker_tick))
+        return self.autoscaler.prime(
+            workers,
+            reason=(f"map-aware sizing prior: expected demand "
+                    f"{demand:.2f} cost-units/tick over {len(specs)} sessions"))
+
     # ------------------------------------------------------------ internals
 
     def _resolve_fleet_maps(self, specs: Sequence[StreamSpec]) -> Dict[str, MapSnapshot]:
@@ -564,21 +712,68 @@ class ServingEngine:
         return {environment_id: snapshot.version
                 for environment_id, snapshot in maps.items()}
 
-    def _publish_fleet_maps(self, report: ServingReport) -> None:
-        """Write every session-published snapshot back to the map store.
+    def _publish_fleet_maps(self, report: ServingReport,
+                            replayed: Optional[set] = None) -> None:
+        """Write the fleet's session-published snapshots to the map store.
 
-        Runs over *all* results (computed and store hits): publishing is
-        content-addressed and therefore idempotent, so re-publishing a
-        cached session's snapshots only refreshes their store recency.
+        Computed sessions always publish.  Store-hit (replayed) sessions
+        published when their result was first computed, so re-writing their
+        snapshots into an environment with *live* history could resurrect
+        content :meth:`MapStore.apply_updates` deliberately compacted away
+        — a cached pre-drift wave must never bring pruned landmarks back.
+        A replayed session therefore only *re-seeds* an environment whose
+        history is empty (the map store was evicted or wiped while the run
+        store stayed warm — without the re-seed, those maps would be lost
+        for as long as the cached results keep hitting).
         ``maps_published`` reports snapshots the store had not seen before.
         """
         if self.map_store is None:
             return
+        replayed = replayed or set()
         newly_published = self.map_store.published
-        for result in report.results.values():
+        reseed_allowed: Dict[str, bool] = {}
+        # Computed sessions first: their fresh snapshots are live history
+        # that replayed re-seeds must not override.
+        for stream_id, result in report.results.items():
+            if stream_id in replayed:
+                continue
             for snapshot in result.published_maps:
                 self.map_store.publish(snapshot)
+        for stream_id in replayed:
+            for snapshot in report.results[stream_id].published_maps:
+                environment_id = snapshot.environment_id
+                if environment_id not in reseed_allowed:
+                    reseed_allowed[environment_id] = (
+                        not self.map_store.has_history(environment_id))
+                if reseed_allowed[environment_id]:
+                    self.map_store.publish(snapshot)
         report.maps_published += self.map_store.published - newly_published
+
+    def _apply_map_updates(self, report: ServingReport,
+                           replayed: Optional[set] = None) -> None:
+        """Fold the fleet's registration deltas back into the map store.
+
+        Runs after :meth:`_publish_fleet_maps` so a wave's fresh SLAM
+        snapshots participate in the canonical merge the updates are
+        applied to.  Same visibility rule as publishes: the refreshed
+        canonical versions are resolved by the *next* serve call, never
+        mid-call (this call's assignment was fixed before dispatch).
+        Store-hit sessions' deltas were applied when first computed, so
+        replaying them would double-count their observations — skipped,
+        like their publishes.  Disabled with ``map_updates=False`` (the
+        publish-only control).
+        """
+        if self.map_store is None or not self.map_updates:
+            return
+        replayed = replayed or set()
+        updates = [update for stream_id, result in report.results.items()
+                   if stream_id not in replayed
+                   for update in result.map_updates]
+        if not updates:
+            return
+        applied = self.map_store.apply_updates(updates, merger=self.map_merger)
+        report.maps_updated = {environment_id: snapshot.version
+                               for environment_id, snapshot in applied.items()}
 
     def _absorb(self, report: ServingReport, spec: StreamSpec,
                 result: SessionResult,

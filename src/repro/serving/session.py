@@ -43,7 +43,12 @@ from repro.core.framework import EudoxusLocalizer
 from repro.core.modes import BackendMode
 from repro.core.result import TrajectoryResult
 from repro.experiments.runner import localizer_config_for, sensor_config_for
-from repro.maps import MapSnapshot, snapshot_from_mapper
+from repro.maps import (
+    MapObservationAccumulator,
+    MapSnapshot,
+    MapUpdate,
+    snapshot_from_mapper,
+)
 from repro.sensors.dataset import Frame
 from repro.serving.streams import (
     ScenarioStream,
@@ -64,6 +69,24 @@ DEFAULT_INGRESS_CAPACITY = 10
 # landmark set — tiny fragments would only dilute the fleet merge.
 MIN_PUBLISH_SLAM_FRAMES = 3
 MIN_PUBLISH_LANDMARKS = 12
+
+# Map-update gates, mirroring the publication gates: a registration stretch
+# contributes a MapUpdate delta back to the fleet only once it actually
+# re-observed the map for a few frames across a non-trivial landmark subset.
+MIN_UPDATE_REGISTRATION_FRAMES = 3
+MIN_UPDATE_LANDMARKS = 8
+
+# Staleness demotion: a fleet map whose registration residuals stay above
+# this for a full window of tracked frames is treated as stale — the world
+# drifted since it was built — and the session falls back to SLAM
+# (switch reason ``map_stale``), which both serves honest poses and, at the
+# segment exit, publishes a fresh snapshot of the drifted world.  The
+# threshold sits well above healthy fleet-map residuals (~0.05-0.15 m with
+# the default stereo noise) and below what a meaningful displacement burst
+# produces (a partial burst reads ~0.5 m+ even after the robust solver
+# anchors on the unmoved majority).
+MAP_STALE_RESIDUAL_M = 0.35
+MAP_STALE_WINDOW = 4
 
 
 @dataclass
@@ -164,6 +187,7 @@ class SessionResult:
     frame_wall_ms: List[float] = field(default_factory=list)
     map_acquisitions: List[MapAcquisition] = field(default_factory=list)
     published_maps: List[MapSnapshot] = field(default_factory=list)
+    map_updates: List[MapUpdate] = field(default_factory=list)
 
     @property
     def frame_count(self) -> int:
@@ -195,6 +219,8 @@ class SessionResult:
                           f"{acquisition.frame_index}".encode())
         for snapshot in self.published_maps:
             digest.update(f"pub:{snapshot.environment_id}:{snapshot.version}".encode())
+        for update in self.map_updates:
+            digest.update(f"upd:{update.environment_id}:{update.version}".encode())
         return digest.hexdigest()
 
 
@@ -253,6 +279,13 @@ class Session:
         self._segment_environment_id: Optional[str] = None
         self._segment_slam_frames = 0
         self._final_map_flushed = False
+        # Map-update lifecycle state: while a fleet map is active, every
+        # registration frame's per-landmark observations accumulate here;
+        # a rolling window of frame-level residuals drives the staleness
+        # demotion (the map is dropped when the world visibly drifted).
+        self._map_accumulator: Optional[MapObservationAccumulator] = None
+        self._stale_residuals: Deque[float] = deque(maxlen=MAP_STALE_WINDOW)
+        self._map_stale = False
 
     # ---------------------------------------------------------- arrival side
 
@@ -361,6 +394,7 @@ class Session:
         if not self._final_map_flushed and self.done:
             self._final_map_flushed = True
             self._publish_segment_map()
+            self._flush_map_update()
         return self._result
 
     # ------------------------------------------------------------ internals
@@ -371,8 +405,10 @@ class Session:
         sequence = stream_frame.sequence
         if stream_frame.segment_index != self._segment_index:
             # Leaving a segment is a map-exit boundary: publish its SLAM map
-            # before the backends (and the mapper's state) are rebuilt.
+            # and flush the accumulated map-update delta before the backends
+            # (and the mapper's state) are rebuilt.
             self._publish_segment_map()
+            self._flush_map_update()
             # First frame of a new segment: re-prepare the backends exactly
             # like process_mixed does at segment boundaries.
             self.localizer.prepare(sequence)
@@ -395,6 +431,10 @@ class Session:
 
         if mode is BackendMode.SLAM:
             self._segment_slam_frames += 1
+        elif (mode is BackendMode.REGISTRATION
+              and self._active_fleet_map is not None
+              and self._map_accumulator is not None):
+            self._observe_fleet_map()
         self._current_mode = mode
         self._had_map = has_map
         self._segment_fresh = False
@@ -405,6 +445,9 @@ class Session:
         self._segment_environment_id = segment_environment_id(self.spec, index)
         self._segment_slam_frames = 0
         self._active_fleet_map = None
+        self._map_accumulator = None
+        self._stale_residuals.clear()
+        self._map_stale = False
         assignment = self._fleet_maps.get(index)
         if assignment is None or sequence.has_prebuilt_map:
             # A surveyed (prebuilt) map always wins over a fleet map.
@@ -416,6 +459,12 @@ class Session:
             camera=sequence.rig.camera,
         )
         self._active_fleet_map = assignment
+        self._map_accumulator = MapObservationAccumulator(
+            environment_id=environment_id,
+            base_version=snapshot.version,
+            source=self.spec.stream_id,
+            segment_index=index,
+        )
         self._result.map_acquisitions.append(MapAcquisition(
             environment_id=environment_id,
             version=snapshot.version,
@@ -424,6 +473,48 @@ class Session:
             frame_index=stream_frame.frame.index,
             timestamp=stream_frame.frame.timestamp,
         ))
+
+    def _observe_fleet_map(self) -> None:
+        """Fold one registration frame's landmark evidence into the update.
+
+        Also runs the staleness check: when the rolling window of tracked
+        frames' mean residuals stays above :data:`MAP_STALE_RESIDUAL_M`, the
+        fleet map is demoted (the world drifted since it was built) — the
+        next frame's policy sees no map and falls back to SLAM, which serves
+        honest poses *and* publishes a fresh snapshot at the segment exit.
+        The accumulated update survives the demotion: its inflated residuals
+        are exactly the evidence the store-side apply needs to prune or
+        relocate the drifted landmarks.
+        """
+        registration = self.localizer.registration
+        observations = registration.map_observations if registration is not None else []
+        if not observations:
+            # An untracked frame contributes no landmark evidence; it does
+            # not advance the staleness window either (no measurement).
+            return
+        frame_residual = self._map_accumulator.observe_frame(observations)
+        self._stale_residuals.append(frame_residual)
+        if (len(self._stale_residuals) == MAP_STALE_WINDOW
+                and min(self._stale_residuals) > MAP_STALE_RESIDUAL_M):
+            self._active_fleet_map = None
+            self._map_stale = True
+
+    def _flush_map_update(self) -> None:
+        """Map-exit flush: reduce the accumulated observations to a delta.
+
+        Mirrors :meth:`_publish_segment_map`: gated on enough registration
+        frames and enough distinct landmarks, pure data in the result — the
+        engine performs the store write (apply) after the session completes.
+        """
+        accumulator = self._map_accumulator
+        self._map_accumulator = None
+        if accumulator is None:
+            return
+        if accumulator.frame_count < MIN_UPDATE_REGISTRATION_FRAMES:
+            return
+        if accumulator.landmark_count < MIN_UPDATE_LANDMARKS:
+            return
+        self._result.map_updates.append(accumulator.to_update())
 
     def _publish_segment_map(self) -> None:
         """Map-exit publish: snapshot the finished segment's SLAM map.
@@ -462,7 +553,10 @@ class Session:
             # different from walking into a surveyed environment.
             reason = "map_acquired" if fleet_map else "map_entry"
         elif self._had_map and not has_map:
-            reason = "map_exit"
+            # Losing a map mid-segment happens two ways: the stream left the
+            # mapped area (map_exit), or the staleness check demoted a fleet
+            # map whose world drifted since it was built (map_stale).
+            reason = "map_stale" if self._map_stale else "map_exit"
         else:
             reason = "environment_change"
         if not self._segment_fresh:

@@ -37,6 +37,7 @@ import numpy as np
 from repro.common.config import SensorConfig
 from repro.sensors.dataset import Frame, SequenceBuilder, SyntheticSequence, segment_frame_count
 from repro.sensors.scenarios import OperatingScenario, ScenarioKind, scenario_catalog
+from repro.sensors.world import Landmark, LandmarkWorld
 
 # Seed stride between segments of one stream (matches SequenceBuilder.build_mixed)
 # and between the streams of a generated fleet.
@@ -74,13 +75,40 @@ class StreamSegment:
     # maps published by one session reusable by another.  ``None`` keeps the
     # legacy per-session world.
     environment: Optional[str] = None
+    # World drift: a displacement burst applied to the landmark world after
+    # generation — ``world_drift_fraction`` of the landmarks move by
+    # ~``world_drift_m`` (seeded by ``world_drift_seed``).  This models the
+    # physical world changing *between fleet waves* (structure moved,
+    # shelving rearranged), so it is deliberately NOT part of the
+    # environment id: the fleet still believes it is in the same place, and
+    # any previously published map is now silently stale — exactly the
+    # condition the map-update lifecycle has to detect and repair.
+    world_drift_m: float = 0.0
+    world_drift_fraction: float = 0.0
+    world_drift_seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Inert drift configurations (zero magnitude or zero fraction)
+        # normalize to the canonical no-drift triple: they generate the
+        # identical world, so they must also hash to the identical cache
+        # key — a factory default seed must never split the cache from a
+        # hand-built equivalent segment.
+        if self.world_drift_m <= 0.0 or self.world_drift_fraction <= 0.0:
+            object.__setattr__(self, "world_drift_m", 0.0)
+            object.__setattr__(self, "world_drift_fraction", 0.0)
+            object.__setattr__(self, "world_drift_seed", 0)
+
+    @property
+    def drifted(self) -> bool:
+        """Whether this segment's world carries a displacement burst."""
+        return self.world_drift_m > 0.0 and self.world_drift_fraction > 0.0
 
     def payload(self) -> Dict:
         # Floats are serialized exactly (json round-trips repr), not rounded:
         # a worker process rebuilds the segment from this payload, and any
         # quantization here would make the pool serve a *different* segment
         # than the serial path (and collide cache keys across specs).
-        return {
+        payload = {
             "kind": self.kind.value,
             "duration": float(self.duration),
             "gps_outage_probability": float(self.gps_outage_probability),
@@ -89,6 +117,14 @@ class StreamSegment:
             "label": self.label,
             "environment": self.environment,
         }
+        # Only-when-present, like every other content digest in this repo:
+        # un-drifted segments keep the exact legacy payload shape, so every
+        # pre-existing serving cache key survives the feature.
+        if self.drifted:
+            payload["world_drift_m"] = float(self.world_drift_m)
+            payload["world_drift_fraction"] = float(self.world_drift_fraction)
+            payload["world_drift_seed"] = int(self.world_drift_seed)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict) -> "StreamSegment":
@@ -100,6 +136,9 @@ class StreamSegment:
             imu_bias_scale=payload["imu_bias_scale"],
             label=payload.get("label", ""),
             environment=payload.get("environment"),
+            world_drift_m=payload.get("world_drift_m", 0.0),
+            world_drift_fraction=payload.get("world_drift_fraction", 0.0),
+            world_drift_seed=payload.get("world_drift_seed", 0),
         )
 
 
@@ -216,6 +255,70 @@ def segment_environment_id(spec: StreamSpec, index: int) -> Optional[str]:
     return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
 
 
+def drift_world(world: LandmarkWorld, drift_m: float, fraction: float,
+                seed: int = 0) -> LandmarkWorld:
+    """Displace a deterministic subset of a world's landmarks (drift burst).
+
+    Models the physical environment changing between fleet waves: a
+    ``fraction`` of the landmarks (chosen by ``seed``) move by a Gaussian
+    offset of scale ``drift_m``; identities and appearance are preserved —
+    the frontend still recognizes the landmarks, but any map built before
+    the burst now points at the wrong positions for the moved subset.  A
+    *partial* burst is the interesting regime: the robust registration
+    solver anchors on the unmoved majority, so the moved landmarks show up
+    as large per-landmark residuals — detectable, and repairable from
+    registration observations.
+    """
+    fraction = float(np.clip(fraction, 0.0, 1.0))
+    if drift_m <= 0.0 or fraction <= 0.0 or not len(world):
+        return world
+    rng = np.random.default_rng(seed)
+    moved = rng.random(len(world)) < fraction
+    offsets = rng.normal(0.0, drift_m, size=(len(world), 3))
+    landmarks = [
+        Landmark(
+            landmark_id=landmark.landmark_id,
+            position=(landmark.position + offsets[i] if moved[i]
+                      else landmark.position),
+            appearance_seed=landmark.appearance_seed,
+        )
+        for i, landmark in enumerate(world.landmarks)
+    ]
+    return LandmarkWorld(landmarks, is_indoor=world.is_indoor)
+
+
+def expected_segment_mode(spec: StreamSpec, index: int,
+                          mapped_environments: Sequence[str] = ()) -> str:
+    """The majority backend mode a segment is *expected* to serve in.
+
+    The engine's map-aware sizing builds on this: given the fleet-map
+    assignment resolved before dispatch, each segment's dominant mode
+    follows the Fig. 2 taxonomy — GPS available for most frames => VIO,
+    map available (surveyed or fleet-built) => registration, otherwise
+    SLAM.  It is an *expectation* (the online policy may briefly deviate
+    around transitions and the staleness check can demote a drifted map
+    mid-segment), good enough to size a worker pool by, not a prediction
+    of every frame; the engine's cost estimate additionally interpolates
+    partial GPS outages instead of rounding to the majority mode.
+    """
+    segment = spec.segments[index]
+    if segment.kind.has_gps and segment.gps_outage_probability < 0.5:
+        return "vio"
+    return expected_gps_denied_mode(spec, index, mapped_environments)
+
+
+def expected_gps_denied_mode(spec: StreamSpec, index: int,
+                             mapped_environments: Sequence[str] = ()) -> str:
+    """The mode a segment's frames fall onto when GPS is unavailable."""
+    segment = spec.segments[index]
+    if segment.kind.has_map:
+        return "registration"
+    environment_id = segment_environment_id(spec, index)
+    if environment_id is not None and environment_id in mapped_environments:
+        return "registration"
+    return "slam"
+
+
 @dataclass(frozen=True)
 class StreamFrame:
     """One frame of a stream as it arrives at the serving engine.
@@ -273,12 +376,18 @@ class ScenarioStream:
         segment = self.spec.segments[index]
         world_seed = (environment_world_seed(segment.environment)
                       if segment.environment else None)
+        world_mutator = None
+        if segment.drifted:
+            world_mutator = lambda world: drift_world(  # noqa: E731
+                world, segment.world_drift_m, segment.world_drift_fraction,
+                seed=segment.world_drift_seed)
         return self.builder.build(
             self.segment_scenario(index),
             start_time=start_time,
             start_index=start_index,
             seed_offset=SEGMENT_SEED_STRIDE * index,
             world_seed=world_seed,
+            world_mutator=world_mutator,
         )
 
     def frames(self) -> Iterator[StreamFrame]:
@@ -446,6 +555,8 @@ def cold_start_fleet(count: int, environment: str = "shared-warehouse",
                      explore_segments: int = 2, platform_kind: str = "drone",
                      camera_rate_hz: float = 5.0, landmark_count: int = 150,
                      deadline_ms: Optional[float] = None,
+                     drift_m: float = 0.0, drift_fraction: float = 0.0,
+                     drift_seed: int = 1,
                      prefix: str = "session") -> List[StreamSpec]:
     """A fleet converging on one shared, initially unmapped environment.
 
@@ -456,6 +567,11 @@ def cold_start_fleet(count: int, environment: str = "shared-warehouse",
     a later wave of the same shape acquires it and serves the identical
     segments through registration instead — the cold-start -> warm-map
     transition the map-reuse benchmark measures.
+
+    ``drift_m``/``drift_fraction``/``drift_seed`` optionally place the
+    shared world *after* a landmark-displacement burst (see
+    :func:`drifting_environment_fleet` for the lifecycle this exercises);
+    the defaults keep the un-drifted world.
     """
     fleet: List[StreamSpec] = []
     for i in range(count):
@@ -467,6 +583,9 @@ def cold_start_fleet(count: int, environment: str = "shared-warehouse",
             segments.append(StreamSegment(
                 ScenarioKind.INDOOR_UNKNOWN, segment_duration,
                 label=f"{environment}#{k}", environment=environment,
+                world_drift_m=float(drift_m),
+                world_drift_fraction=float(drift_fraction),
+                world_drift_seed=int(drift_seed),
             ))
         fleet.append(StreamSpec(
             stream_id=f"{prefix}-{i:03d}",
@@ -478,6 +597,26 @@ def cold_start_fleet(count: int, environment: str = "shared-warehouse",
             deadline_ms=deadline_ms,
         ))
     return fleet
+
+
+def drifting_environment_fleet(count: int, environment: str = "shifting-depot",
+                               **kwargs) -> List[StreamSpec]:
+    """A cold-start-shaped fleet over a shared world that can *drift*.
+
+    Identical traffic shape to :func:`cold_start_fleet` (it delegates), but
+    named for the lifecycle it exercises: the shared world carries a
+    displacement burst — ``drift_fraction`` of the landmarks moved by
+    ~``drift_m`` since the environment was named (``drift_m=0`` is the
+    pre-drift wave).  The environment id is unchanged by drift — the fleet
+    still resolves and acquires whatever map was published before the
+    burst — so serving a post-drift wave exercises the full staleness
+    lifecycle: registration residuals spike on the moved landmarks,
+    sessions demote the stale map (``map_stale``) and fall back to SLAM,
+    their accumulated :class:`~repro.maps.update.MapUpdate` deltas
+    prune/relocate the moved landmarks, and the *next* wave registers
+    against the repaired canonical.
+    """
+    return cold_start_fleet(count, environment=environment, **kwargs)
 
 
 def multi_environment_fleet(count: int,

@@ -25,6 +25,7 @@ from repro.maps import (
     MapMerger,
     MapSnapshot,
     MapStore,
+    MapUpdate,
     degrade_snapshot,
     merge_quality,
     quality_score,
@@ -46,6 +47,26 @@ def _snapshot(environment_id="env-a", count=40, spread=4.0, residual=0.05,
     )
     defaults.update(overrides)
     return MapSnapshot(**defaults)
+
+
+def _update(snapshot, landmark_ids, observed_positions, residuals, counts=None,
+            base_version=None, source="session", segment_index=0):
+    landmark_ids = np.asarray(landmark_ids, dtype=np.int64)
+    counts = (np.full(landmark_ids.size, 4, dtype=np.int64)
+              if counts is None else np.asarray(counts, dtype=np.int64))
+    residuals = np.asarray(residuals, dtype=np.float64)
+    return MapUpdate(
+        environment_id=snapshot.environment_id,
+        base_version=base_version or snapshot.version,
+        landmark_ids=landmark_ids,
+        observation_counts=counts,
+        observed_positions=np.asarray(observed_positions, dtype=np.float64),
+        mean_residuals_m=residuals,
+        max_residuals_m=residuals * 2.0,
+        source=source,
+        segment_index=segment_index,
+        frame_count=int(counts.max()) if counts.size else 0,
+    )
 
 
 class TestSnapshot:
@@ -188,6 +209,103 @@ class TestMerger:
         assert merged.quality == 0.0
 
 
+class TestMergerUpdates:
+    """MapMerger.apply_updates: confirm / relocate / prune per landmark."""
+
+    def test_confirmed_landmark_blends_by_observation_count(self):
+        snapshot = _snapshot(count=10, seed=1)
+        target = int(snapshot.landmark_ids[0])
+        observed = snapshot.positions[0] + np.array([0.05, 0.0, 0.0])
+        update = _update(snapshot, [target], [observed], [0.05], counts=[9])
+        updated = MapMerger().apply_updates(snapshot, [update])
+        index = int(np.searchsorted(updated.landmark_ids, target))
+        expected = (1 * snapshot.positions[0] + 9 * observed) / 10.0
+        np.testing.assert_allclose(updated.positions[index], expected)
+        assert updated.observation_counts[index] == 10
+        assert updated.landmark_count == snapshot.landmark_count
+        assert updated.source == "updated"
+        assert updated.version != snapshot.version
+
+    def test_drifted_landmark_relocated_when_well_observed(self):
+        snapshot = _snapshot(count=10, seed=2)
+        target = int(snapshot.landmark_ids[3])
+        moved_to = snapshot.positions[3] + np.array([2.0, -1.0, 0.5])
+        update = _update(snapshot, [target], [moved_to], [2.3], counts=[6])
+        updated = MapMerger(drift_residual_m=0.5).apply_updates(snapshot, [update])
+        index = int(np.searchsorted(updated.landmark_ids, target))
+        # The stale prior is discarded: the landmark sits exactly where the
+        # fleet now observes it, backed only by the fresh observations.
+        np.testing.assert_allclose(updated.positions[index], moved_to)
+        assert updated.observation_counts[index] == 6
+
+    def test_drifted_landmark_pruned_when_under_observed(self):
+        snapshot = _snapshot(count=10, seed=3)
+        target = int(snapshot.landmark_ids[5])
+        update = _update(snapshot, [target], [snapshot.positions[5] + 3.0],
+                         [3.0], counts=[2])
+        updated = MapMerger(drift_residual_m=0.5,
+                            relocate_min_observations=3).apply_updates(
+            snapshot, [update])
+        assert target not in updated.landmark_ids
+        assert updated.landmark_count == snapshot.landmark_count - 1
+
+    def test_unobserved_landmarks_carried_through(self):
+        snapshot = _snapshot(count=10, seed=4)
+        target = int(snapshot.landmark_ids[0])
+        update = _update(snapshot, [target], [snapshot.positions[0]], [0.02])
+        updated = MapMerger().apply_updates(snapshot, [update])
+        for i, lid in enumerate(snapshot.landmark_ids[1:], start=1):
+            index = int(np.searchsorted(updated.landmark_ids, lid))
+            np.testing.assert_array_equal(updated.positions[index],
+                                          snapshot.positions[i])
+
+    def test_successful_update_improves_residual_stats(self):
+        """Confirmed observations shrink the reported residuals — the gate
+        sees a *better* map after a healthy update, not a worse one."""
+        snapshot = _snapshot(count=20, seed=5, residual=0.2)
+        update = _update(snapshot, snapshot.landmark_ids,
+                         snapshot.positions, np.full(20, 0.1), counts=np.full(20, 8))
+        updated = MapMerger().apply_updates(snapshot, [update])
+        assert updated.mean_residual_m < snapshot.mean_residual_m
+        assert updated.quality > snapshot.quality
+
+    def test_foreign_environment_update_rejected(self):
+        snapshot = _snapshot(environment_id="env-a")
+        foreign = _snapshot(environment_id="env-b")
+        update = _update(foreign, [int(foreign.landmark_ids[0])],
+                         [foreign.positions[0]], [0.05])
+        with pytest.raises(ValueError):
+            MapMerger().apply_updates(snapshot, [update])
+
+    def test_no_updates_is_identity(self):
+        snapshot = _snapshot(count=12, seed=6)
+        assert MapMerger().apply_updates(snapshot, []) is snapshot
+
+    def test_merge_blends_overlaps_by_observation_count(self):
+        """A heavily-confirmed landmark outweighs a single sighting."""
+        base = _snapshot(count=30, seed=7)
+        confirmed = MapSnapshot(
+            environment_id=base.environment_id,
+            landmark_ids=base.landmark_ids.copy(),
+            positions=base.positions.copy(),
+            mean_residual_m=base.mean_residual_m,
+            max_residual_m=base.max_residual_m,
+            observation_counts=np.full(30, 9, dtype=np.int64),
+        )
+        shifted = MapSnapshot(
+            environment_id=base.environment_id,
+            landmark_ids=base.landmark_ids.copy(),
+            positions=base.positions + np.array([1.0, 0.0, 0.0]),
+            mean_residual_m=base.mean_residual_m * 1.5,  # not the anchor
+            max_residual_m=base.max_residual_m,
+        )
+        merged = MapMerger(min_shared_for_alignment=1000).merge([confirmed, shifted])
+        # 9:1 weighting pulls the blend to within 0.1 of the confirmed map.
+        offsets = merged.positions - base.positions
+        np.testing.assert_allclose(offsets[:, 0], 0.1, atol=1e-9)
+        np.testing.assert_array_equal(merged.observation_counts, np.full(30, 10))
+
+
 class TestMapStore:
     def test_publish_and_resolve_roundtrip(self, tmp_path):
         store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
@@ -311,8 +429,198 @@ class TestMapStore:
         assert store.resolve("env-a", min_quality=gate) is not None
 
 
+class TestMapStoreUpdates:
+    """MapStore.apply_updates: fold deltas into a new version, compact."""
+
+    def test_apply_updates_writes_new_version_and_compacts(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        a = _snapshot(count=40, id_offset=0, seed=1)
+        b = _snapshot(count=40, id_offset=20, seed=2)
+        store.publish(a)
+        store.publish(b)
+        canonical = store.resolve("env-a", min_quality=0.0)
+        update = _update(canonical, canonical.landmark_ids[:10],
+                         canonical.positions[:10], np.full(10, 0.02))
+        applied = store.apply_updates([update])
+        assert set(applied) == {"env-a"}
+        # The history is compacted into the single updated snapshot: pruned
+        # or refreshed landmarks can never resurrect from stale inputs.
+        assert len(store.snapshots("env-a")) == 1
+        resolved = store.resolve("env-a", min_quality=0.0)
+        assert resolved.version == applied["env-a"].version
+        assert resolved.version != canonical.version
+        assert store.updated == 1
+
+    def test_apply_updates_prunes_for_good(self, tmp_path):
+        """A pruned landmark stays pruned after re-resolve (compaction)."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot(count=30, seed=3)
+        store.publish(snapshot)
+        target = int(snapshot.landmark_ids[4])
+        update = _update(snapshot, [target], [snapshot.positions[4] + 5.0],
+                         [5.0], counts=[2])
+        store.apply_updates([update], merger=MapMerger(drift_residual_m=0.5,
+                                                       relocate_min_observations=3))
+        resolved = store.resolve("env-a", min_quality=0.0)
+        assert target not in resolved.landmark_ids
+
+    def test_apply_updates_without_history_is_noop(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        phantom = _snapshot(environment_id="never-published")
+        update = _update(phantom, [0], [np.zeros(3)], [0.1])
+        assert store.apply_updates([update]) == {}
+        assert store.updated == 0
+
+    def test_reapplication_converges_and_stays_compact(self, tmp_path):
+        """Re-applying the same delta keeps exactly one snapshot on disk and
+        only ever pulls positions further toward the observed mean —
+        convergent, never divergent."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot(count=30, seed=4)
+        store.publish(snapshot)
+        target = int(snapshot.landmark_ids[0])
+        observed = snapshot.positions[0] + np.array([0.1, 0.0, 0.0])
+        update = _update(snapshot, [target], [observed], [0.1], counts=[4])
+        distances = []
+        for _ in range(3):
+            store.apply_updates([update])
+            assert len(store.snapshots("env-a")) == 1
+            resolved = store.resolve("env-a", min_quality=0.0)
+            index = int(np.searchsorted(resolved.landmark_ids, target))
+            distances.append(float(np.linalg.norm(
+                resolved.positions[index] - observed)))
+        assert distances[0] > distances[1] > distances[2]
+
+    def test_pure_reconfirmation_quiesces(self, tmp_path):
+        """An update that re-confirms the map exactly where it already is
+        (zero offset, residuals at the established level) must NOT mint a
+        new canonical version — a converged environment stops churning
+        serving cache keys."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot(count=30, seed=8, residual=0.05)
+        store.publish(snapshot)
+        confirm = _update(snapshot, snapshot.landmark_ids[:12],
+                          snapshot.positions[:12], np.full(12, 0.05),
+                          counts=np.full(12, 6))
+        assert store.apply_updates([confirm]) == {}
+        assert store.updated == 0
+        assert [s.version for s in store.snapshots("env-a")] == [snapshot.version]
+
+    def test_quiesced_multi_snapshot_history_not_compacted(self, tmp_path):
+        """A quiesced application of a multi-snapshot history reports no
+        change and leaves the history alone — re-materializing the same
+        canonical is not a 'change' the next wave could observe."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(count=40, id_offset=0, seed=10, residual=0.05))
+        store.publish(_snapshot(count=40, id_offset=20, seed=11, residual=0.05))
+        canonical = store.resolve("env-a", min_quality=0.0)
+        confirm = _update(canonical, canonical.landmark_ids[:12],
+                          canonical.positions[:12],
+                          np.full(12, canonical.mean_residual_m),
+                          counts=np.full(12, 6))
+        assert store.apply_updates([confirm]) == {}
+        assert store.updated == 0
+        assert len(store.snapshots("env-a")) == 2
+        assert store.resolve("env-a", min_quality=0.0).version == canonical.version
+
+    def test_noise_dominated_confirmation_keeps_honest_residuals(self):
+        """Scatter is irreducible: n noisy observations of an unmoved
+        landmark must not shrink its reported residual below what was
+        measured (quality cannot compound toward perfect)."""
+        snapshot = _snapshot(count=10, seed=9, residual=0.3)
+        target = int(snapshot.landmark_ids[0])
+        # Observed mean sits exactly on the map position (offset 0), but
+        # the individual observations scattered by ~0.3 m.
+        update = _update(snapshot, [target], [snapshot.positions[0]],
+                         [0.3], counts=[9])
+        updated = MapMerger().apply_updates(snapshot, [update])
+        if updated is not snapshot:  # quiesced is also acceptable
+            index = int(np.searchsorted(updated.landmark_ids, target))
+            assert updated.observation_counts[index] == 10
+        # Either way the reported stats never dip below the measured 0.3.
+        assert updated.mean_residual_m >= 0.3 - 1e-9
+
+    def test_apply_updates_unwritable_root_keeps_history(self, tmp_path, monkeypatch):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot(count=30, seed=5)
+        store.publish(snapshot)
+        update = _update(snapshot, snapshot.landmark_ids[:12],
+                         snapshot.positions[:12], np.full(12, 0.03))
+        # Make the root unwritable for the new version's file.
+        monkeypatch.setattr(MapStore, "save_key", lambda self, key, result: None)
+        assert store.apply_updates([update]) == {}
+        monkeypatch.undo()
+        # The existing history was NOT compacted away.
+        assert len(store.snapshots("env-a")) == 1
+        assert store.resolve("env-a", min_quality=0.0).version == snapshot.version
+
+    def test_update_application_order_invariant(self, tmp_path):
+        """Worker completion order must not change the updated version."""
+        snapshot = _snapshot(count=40, seed=6)
+        updates = [
+            _update(snapshot, snapshot.landmark_ids[:20],
+                    snapshot.positions[:20] + 0.01, np.full(20, 0.04),
+                    source=f"s-{i}", segment_index=i)
+            for i in range(3)
+        ]
+        versions = []
+        for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            root = tmp_path / f"order-{order[0]}{order[1]}{order[2]}"
+            store = MapStore(root, max_bytes=-1, max_age_s=-1)
+            store.publish(snapshot)
+            applied = store.apply_updates([updates[i] for i in order])
+            versions.append(applied["env-a"].version)
+        assert len(set(versions)) == 1
+
+
 class TestMapStoreEdgeCases:
     """The run-store robustness contract, mirrored onto the map store."""
+
+    def test_eviction_invalidates_canonical_memo(self, tmp_path):
+        """An evicted snapshot must not keep being served from the memo.
+
+        The resolve memo is keyed on the on-disk file stems (re-derived
+        every call), so eviction already can't serve stale *content* — this
+        guard pins the two remaining contracts: a fully-evicted environment
+        resolves to None (not the memoized canonical), and its memo entry
+        is pruned rather than retained indefinitely.
+        """
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        keep = _snapshot(environment_id="keep-env", count=60, seed=1)
+        lose = _snapshot(environment_id="lose-env", count=60, seed=2)
+        store.publish(keep)
+        store.publish(lose)
+        assert store.resolve("keep-env", min_quality=0.0) is not None
+        assert store.resolve("lose-env", min_quality=0.0) is not None
+        assert set(store._canonical) == {"keep-env", "lose-env"}
+        # Age the loser; resolve refreshed keep-env's recency above it.
+        stale = time.time() - 5000.0
+        os.utime(store.path_for(f"lose-env__{lose.version}"), (stale, stale))
+        assert store.resolve("keep-env", min_quality=0.0) is not None
+        removed = store.evict(max_bytes=store.path_for(
+            f"keep-env__{keep.version}").stat().st_size + 1)
+        assert removed == 1
+        # The evicted environment is gone from disk, from resolve AND from
+        # the memo; the survivor keeps serving (and keeps its memo entry).
+        assert store.resolve("lose-env", min_quality=0.0) is None
+        assert set(store._canonical) == {"keep-env"}
+        assert store.resolve("keep-env", min_quality=0.0).version == keep.version
+
+    def test_generation_sweep_cannot_leave_stale_memo(self, tmp_path, monkeypatch):
+        """_sweep_stale_generations only ever removes *other* generations'
+        directories, and it runs at construction time — before the memo has
+        any entries — so there is no stale-memo window to exploit."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        store.publish(_snapshot(count=60))
+        old_root = store.root
+        stamp = time.time() - 7200.0
+        for path in list(old_root.glob("*.pkl")) + [old_root]:
+            os.utime(path, (stamp, stamp))
+        monkeypatch.setattr(store_module, "code_fingerprint", lambda: "e" * 64)
+        fresh = MapStore(tmp_path, max_bytes=-1, max_age_s=3600.0)
+        assert not old_root.exists()
+        assert fresh._canonical == {}
+        assert fresh.resolve("env-a", min_quality=0.0) is None
 
     def test_concurrent_publishers_vs_evictor(self, tmp_path):
         """Publishers and an evictor hammering one root never corrupt it."""

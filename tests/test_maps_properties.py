@@ -1,7 +1,7 @@
 """Property-based fleet-map guarantees: merger idempotence, quality monotonicity.
 
-Two families of invariants that hold for *any* map, not just the hand-built
-ones in ``test_maps.py``:
+Three families of invariants that hold for *any* map, not just the
+hand-built ones in ``test_maps.py``:
 
 * **Idempotence** — merging a map with itself (any number of times, in any
   order, mixed with exact-content duplicates) is a strict no-op: same
@@ -11,6 +11,9 @@ ones in ``test_maps.py``:
   increases when residuals grow (a less consistent map is never better).
   At the snapshot level: a snapshot extended with extra landmarks at equal
   residuals scores at least as high as the original.
+* **Quarantine boundary** — the quarantine floor is *inclusive*: a
+  contribution at exactly ``quarantine_fraction`` of the best input's
+  quality survives the merge, and one ulp below it is quarantined.
 """
 
 import numpy as np
@@ -109,3 +112,74 @@ class TestQualityMonotonicity:
                                mean_residual_m=residual)
         assert extended.coverage_m >= base.coverage_m
         assert extended.quality >= base.quality
+
+
+class _FixedQualitySnapshot(MapSnapshot):
+    """A snapshot whose quality is pinned exactly (boundary-edge tests).
+
+    ``quality_score`` composes transcendental terms, so constructing a real
+    snapshot whose quality lands on an exact float is impractical; the
+    boundary contract is about the *comparison*, which this isolates.
+    """
+
+    @property
+    def quality(self) -> float:
+        return self._fixed_quality
+
+
+def _fixed_quality_snapshot(quality, seed, count=20, environment_id="prop-env"):
+    rng = np.random.default_rng(seed)
+    snapshot = _FixedQualitySnapshot(
+        environment_id=environment_id,
+        landmark_ids=rng.choice(10_000, size=count, replace=False),
+        positions=rng.normal(scale=3.0, size=(count, 3)),
+        mean_residual_m=0.05,
+    )
+    snapshot._fixed_quality = float(quality)
+    return snapshot
+
+
+class TestQuarantineBoundary:
+    """The inclusive quarantine floor, pinned at the exact-half edge.
+
+    ``quarantine_fraction=0.5`` multiplies by a power of two, so
+    ``0.5 * best`` is exact in binary float — the boundary case is testable
+    bit-for-bit, with ``nextafter`` providing the adjacent excluded value.
+    """
+
+    best_qualities = st.floats(min_value=1e-6, max_value=1.0,
+                               allow_nan=False, allow_infinity=False)
+
+    @given(best=best_qualities)
+    @settings(max_examples=200, deadline=None)
+    def test_exactly_half_survives_one_ulp_below_does_not(self, best):
+        merger = MapMerger(quarantine_fraction=0.5)
+        boundary = 0.5 * best
+        assert merger.survives_quarantine(boundary, best)
+        below = np.nextafter(boundary, 0.0)
+        assert not merger.survives_quarantine(below, best)
+
+    @given(best=best_qualities, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_contribution_merges(self, best, seed):
+        """End to end: a contribution at exactly half the best quality is
+        folded into the canonical map (its landmarks appear in the union),
+        while one ulp below it is quarantined away."""
+        anchor = _fixed_quality_snapshot(best, seed)
+        merger = MapMerger(quarantine_fraction=0.5)
+        at_boundary = _fixed_quality_snapshot(0.5 * best, seed + 1)
+        merged = merger.merge([anchor, at_boundary])
+        assert merged.landmark_count == len(
+            set(anchor.landmark_ids) | set(at_boundary.landmark_ids))
+        below = _fixed_quality_snapshot(np.nextafter(0.5 * best, 0.0), seed + 2)
+        merged = merger.merge([anchor, below])
+        assert merged is anchor
+
+    def test_equal_best_contributions_survive_full_fraction(self):
+        """quarantine_fraction=1.0 keeps equal-best contributions — the
+        inclusive side's most visible consequence."""
+        a = _fixed_quality_snapshot(0.7, seed=1)
+        b = _fixed_quality_snapshot(0.7, seed=2)
+        merged = MapMerger(quarantine_fraction=1.0).merge([a, b])
+        assert merged.landmark_count == len(
+            set(a.landmark_ids) | set(b.landmark_ids))

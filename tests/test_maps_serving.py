@@ -21,14 +21,19 @@ import pytest
 
 from repro.experiments.runner import RunStore, sensor_config_for
 from repro.maps import MapStore, degrade_snapshot
+from repro.scheduler import LatencyAutoscaler
 from repro.sensors.scenarios import ScenarioKind
 from repro.serving import (
+    MODE_FRAME_COST,
     ScenarioStream,
     ServingEngine,
     Session,
     StreamSegment,
     StreamSpec,
     cold_start_fleet,
+    drift_world,
+    drifting_environment_fleet,
+    expected_segment_mode,
     mixed_fleet,
     multi_environment_fleet,
     segment_environment_id,
@@ -269,6 +274,361 @@ class TestMapLifecycle:
         assert report.summary()["map_acquisitions"] == 2
 
 
+def _modes(report):
+    return report.mode_census()
+
+
+def _switch_reasons(report):
+    return [switch.reason for result in report.results.values()
+            for switch in result.mode_switches]
+
+
+class TestMapUpdateLifecycle:
+    """The closed lifecycle: registration sessions hand deltas back."""
+
+    def test_warm_sessions_produce_and_apply_updates(self, tmp_path):
+        store = _warm_store(tmp_path)
+        environment_id = _env_spec("x", "shared-env").environment_ids[0]
+        before = store.resolve(environment_id, min_quality=0.0).version
+        warm = [_env_spec("warm", "shared-env", seed=7777)]
+        report = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE).serve(
+            warm, parallel=False, ingestion="streaming")
+        result = report.results["warm"]
+        # The session registered against the map and handed back a delta...
+        assert result.map_acquisitions and result.map_updates
+        update = result.map_updates[0]
+        assert update.environment_id == environment_id
+        assert update.base_version == before
+        assert update.landmark_count >= 8
+        assert update.observation_total >= update.landmark_count
+        # ...which the engine folded into a new canonical version, visible
+        # in the report and on re-resolve, with the history compacted.
+        assert report.map_update_count == 1
+        assert set(report.maps_updated) == {environment_id}
+        after = store.resolve(environment_id, min_quality=0.0).version
+        assert after == report.maps_updated[environment_id] != before
+        assert len(store.snapshots(environment_id)) == 1
+
+    def test_updates_visible_next_wave_never_mid_call(self, tmp_path):
+        """The serve call that produced the updates still served the
+        pre-update canonical (resolution is pre-dispatch); the next call
+        acquires the refreshed version."""
+        store = _warm_store(tmp_path)
+        engine = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE)
+        first = engine.serve([_env_spec("w1", "shared-env", seed=7777)],
+                             parallel=False, ingestion="streaming")
+        environment_id = next(iter(first.fleet_maps))
+        assert first.fleet_maps[environment_id] != first.maps_updated[environment_id]
+        second = engine.serve([_env_spec("w2", "shared-env", seed=8888)],
+                              parallel=False, ingestion="streaming")
+        assert (second.fleet_maps[environment_id]
+                == first.maps_updated[environment_id])
+        assert (second.results["w2"].map_acquisitions[0].version
+                == first.maps_updated[environment_id])
+
+    def test_updates_disabled_keeps_store_frozen(self, tmp_path):
+        store = _warm_store(tmp_path)
+        environment_id = _env_spec("x", "shared-env").environment_ids[0]
+        history = [s.version for s in store.snapshots(environment_id)]
+        report = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE, map_updates=False).serve(
+            [_env_spec("warm", "shared-env", seed=7777)],
+            parallel=False, ingestion="streaming")
+        # Sessions still *produce* deltas (pure data in the result)...
+        assert report.map_update_count == 1
+        # ...but nothing is applied: the PR-4 publish-only behavior.
+        assert report.maps_updated == {}
+        assert [s.version for s in store.snapshots(environment_id)] == history
+
+    def test_replayed_sessions_do_not_republish_into_live_history(self, tmp_path):
+        """A run-store hit must not write its published_maps back into an
+        environment with live history: re-publishing a cached wave's
+        snapshots would resurrect content apply_updates deliberately
+        compacted (pruned landmarks must stay pruned)."""
+        run_store = RunStore(tmp_path / "runs", max_bytes=-1, max_age_s=-1)
+        map_store = MapStore(tmp_path / "maps", max_bytes=-1, max_age_s=-1)
+        # The replaying engine never resolves a map (impossible gate), so
+        # the cold wave's serving key stays stable across the compaction.
+        replaying = ServingEngine(store=run_store, max_workers=1,
+                                  map_store=map_store, min_map_quality=0.999)
+        cold = [_env_spec("cold", "shared-env", seed=0)]
+        first = replaying.serve(cold, parallel=False, ingestion="streaming")
+        assert first.maps_published > 0
+        environment_id = _env_spec("x", "shared-env").environment_ids[0]
+        # A warm wave through a serving engine updates + compacts the env.
+        ServingEngine(store=None, max_workers=1, map_store=map_store,
+                      min_map_quality=EASY_GATE).serve(
+            [_env_spec("warm", "shared-env", seed=7777)],
+            parallel=False, ingestion="streaming")
+        compacted = [s.version for s in map_store.snapshots(environment_id)]
+        assert len(compacted) == 1  # history folded into the updated version
+        # Replaying the cold wave must leave the compacted history alone.
+        again = replaying.serve(cold, parallel=False, ingestion="streaming")
+        assert again.store_hits == 1
+        assert again.maps_published == 0
+        assert ([s.version for s in map_store.snapshots(environment_id)]
+                == compacted)
+
+    def test_replayed_sessions_reseed_emptied_store(self, tmp_path):
+        """The flip side: if the map store was evicted/wiped while the run
+        store stayed warm, replayed sessions re-seed the empty environment
+        — otherwise those maps would be lost for as long as the cache
+        keeps hitting."""
+        run_store = RunStore(tmp_path / "runs", max_bytes=-1, max_age_s=-1)
+        map_store = MapStore(tmp_path / "maps", max_bytes=-1, max_age_s=-1)
+        engine = ServingEngine(store=run_store, max_workers=1,
+                               map_store=map_store, min_map_quality=0.999)
+        cold = [_env_spec("cold", "shared-env", seed=0)]
+        first = engine.serve(cold, parallel=False, ingestion="streaming")
+        assert first.maps_published > 0
+        environment_id = _env_spec("x", "shared-env").environment_ids[0]
+        versions = {s.version for s in map_store.snapshots(environment_id)}
+        for key in list(map_store._snapshot_keys(environment_id)):
+            map_store.path_for(key).unlink()  # the eviction
+        again = engine.serve(cold, parallel=False, ingestion="streaming")
+        assert again.store_hits == 1
+        assert again.maps_published == first.maps_published
+        assert {s.version
+                for s in map_store.snapshots(environment_id)} == versions
+
+    def test_three_wave_lifecycle_bit_identical_across_paths(self, tmp_path):
+        """publish -> resolve -> update -> re-resolve over three serve
+        calls: every execution path replays the identical store evolution
+        and produces bit-identical results wave for wave."""
+        def lifecycle(label, serve):
+            store = MapStore(tmp_path / label, max_bytes=-1, max_age_s=-1)
+            waves = []
+            for wave_index, base_seed in enumerate((0, 5000, 11000)):
+                fleet = [_env_spec(f"v{wave_index}-{i}", "shared-env",
+                                   seed=base_seed + 1000 * i) for i in range(2)]
+                waves.append(serve(store, fleet))
+            return waves
+
+        def serial(ingestion):
+            def serve(store, fleet):
+                return ServingEngine(store=None, max_workers=1, map_store=store,
+                                     min_map_quality=EASY_GATE).serve(
+                    fleet, parallel=False, ingestion=ingestion)
+            return serve
+
+        def pooled(store, fleet):
+            return ServingEngine(store=None, max_workers=2, map_store=store,
+                                 min_map_quality=EASY_GATE).serve(
+                fleet, parallel=True)
+
+        materialized = lifecycle("materialized", serial("materialized"))
+        streaming = lifecycle("streaming", serial("streaming"))
+        pool = lifecycle("pool", pooled)
+        assert any(report.parallel for report in pool), (
+            "no pool spawned — the comparison would be vacuous")
+        # Wave 1 published, wave 2 acquired + updated, wave 3 acquired the
+        # refreshed canonical: the lifecycle actually closed.
+        assert materialized[0].maps_published > 0
+        assert materialized[1].map_update_count > 0 and materialized[1].maps_updated
+        assert (list(materialized[2].fleet_maps.values())
+                == list(materialized[1].maps_updated.values()))
+        for wave_index in range(3):
+            expected = materialized[wave_index]
+            for other in (streaming[wave_index], pool[wave_index]):
+                assert other.fleet_maps == expected.fleet_maps
+                assert other.maps_updated == expected.maps_updated
+                for stream_id, result in expected.results.items():
+                    assert (other.results[stream_id].signature()
+                            == result.signature())
+
+
+class TestDriftingWorlds:
+    """Landmark displacement bursts: staleness -> update -> recovery."""
+
+    def test_drift_world_moves_only_the_chosen_fraction(self):
+        spec = _env_spec("a", "atrium")
+        world = ScenarioStream(
+            spec, sensor_config_for("drone", RATE, 0)).build_segment(0).world
+        drifted = drift_world(world, drift_m=2.0, fraction=0.4, seed=7)
+        assert len(drifted) == len(world)
+        assert [lm.landmark_id for lm in drifted.landmarks] == \
+            [lm.landmark_id for lm in world.landmarks]
+        moved = np.linalg.norm(drifted.positions - world.positions, axis=1) > 0
+        assert 0 < moved.sum() < len(world)
+        # Deterministic: same seed, same burst.
+        again = drift_world(world, drift_m=2.0, fraction=0.4, seed=7)
+        np.testing.assert_array_equal(again.positions, drifted.positions)
+
+    def test_drift_does_not_change_environment_identity(self):
+        """The fleet cannot observe the drift from the spec: same
+        environment id, so the stale map is still resolved and served —
+        the condition the staleness lifecycle exists for."""
+        plain = drifting_environment_fleet(1, environment="yard")[0]
+        drifted = drifting_environment_fleet(1, environment="yard",
+                                             drift_m=2.0, drift_fraction=0.4)[0]
+        assert plain.environment_ids == drifted.environment_ids
+        # But the serving cache key differs: drifted worlds produce
+        # different results and must not alias cached pre-drift sessions.
+        assert serving_key(plain) != serving_key(drifted)
+
+    def test_inert_drift_normalizes_to_legacy_identity(self):
+        """Zero-effect drift parameters (m=0 or fraction=0, any seed) build
+        the identical world, so they normalize to the canonical no-drift
+        segment: payload shape and cache keys stay exactly legacy —
+        factory-built and hand-built equivalent fleets share the cache."""
+        plain = StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT,
+                              environment="yard")
+        inert = StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT,
+                              environment="yard", world_drift_m=2.0,
+                              world_drift_fraction=0.0, world_drift_seed=5)
+        assert inert == plain and not inert.drifted
+        assert "world_drift_m" not in plain.payload()
+        assert inert.payload() == plain.payload()
+        # Factory default drift_seed must not split the cache either.
+        factory = drifting_environment_fleet(1, environment="yard")[0]
+        hand_built = cold_start_fleet(1, environment="yard")[0]
+        assert serving_key(factory) == serving_key(hand_built)
+        # Active drift round-trips through the payload losslessly.
+        active = StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT,
+                               environment="yard", world_drift_m=2.0,
+                               world_drift_fraction=0.4, world_drift_seed=5)
+        assert StreamSegment.from_payload(active.payload()) == active
+        assert active.drifted
+
+    def test_stale_map_demoted_then_recovered_through_updates(self, tmp_path):
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        engine = ServingEngine(store=None, max_workers=1, map_store=store,
+                               min_map_quality=EASY_GATE)
+        cold = drifting_environment_fleet(2, environment="yard",
+                                          segment_duration=SEGMENT,
+                                          camera_rate_hz=RATE)
+        assert engine.serve(cold, parallel=False,
+                            ingestion="streaming").maps_published > 0
+        drift_kwargs = dict(environment="yard", segment_duration=SEGMENT,
+                            camera_rate_hz=RATE, drift_m=2.0,
+                            drift_fraction=0.4, drift_seed=7)
+        stale_wave = drifting_environment_fleet(2, base_seed=20000,
+                                                prefix="stale", **drift_kwargs)
+        stale = engine.serve(stale_wave, parallel=False, ingestion="streaming")
+        # The drifted world reads as inflated residuals: sessions demote the
+        # stale map mid-segment and fall back to SLAM...
+        assert "map_stale" in _switch_reasons(stale)
+        assert _modes(stale).get("slam", 0) > 0
+        # ...and their updates carry the inflated residual evidence.
+        assert stale.map_update_count > 0
+        assert stale.maps_updated
+        # The next wave on the same drifted world registers cleanly against
+        # the repaired canonical: no demotion, no SLAM.
+        recovered_wave = drifting_environment_fleet(2, base_seed=30000,
+                                                    prefix="recov", **drift_kwargs)
+        recovered = engine.serve(recovered_wave, parallel=False,
+                                 ingestion="streaming")
+        assert "map_stale" not in _switch_reasons(recovered)
+        assert _modes(recovered).get("slam", 0) == 0
+        assert recovered.map_acquisition_count == len(recovered_wave) * 2
+
+
+class TestMapAwareSizing:
+    """The mode-mix sizing prior and cost-aware streaming capacity."""
+
+    def test_expected_segment_mode_follows_fig2(self):
+        spec = StreamSpec("s", (
+            StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, SEGMENT),
+            StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, SEGMENT,
+                          gps_outage_probability=1.0),
+            StreamSegment(ScenarioKind.INDOOR_KNOWN, SEGMENT),
+            StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT,
+                          environment="atrium"),
+        ), camera_rate_hz=RATE, landmark_count=120, seed=0)
+        environment_id = spec.environment_ids[3]
+        assert expected_segment_mode(spec, 0) == "vio"
+        assert expected_segment_mode(spec, 1) == "slam"  # full outage
+        assert expected_segment_mode(spec, 2) == "registration"  # surveyed
+        assert expected_segment_mode(spec, 3) == "slam"  # no fleet map yet
+        assert expected_segment_mode(spec, 3, {environment_id}) == "registration"
+        assert (MODE_FRAME_COST["registration"] < MODE_FRAME_COST["slam"]
+                and MODE_FRAME_COST["vio"] < MODE_FRAME_COST["slam"])
+
+    def test_partial_outage_interpolates_cost(self):
+        """A 90%-outage segment serves 90% of its frames GPS-denied; the
+        sizing cost must interpolate, not round to VIO (a mostly-denied
+        fleet primed as pure VIO would start 3x too narrow)."""
+        spec = StreamSpec("s", (
+            StreamSegment(ScenarioKind.OUTDOOR_UNKNOWN, SEGMENT,
+                          gps_outage_probability=0.9),
+        ), camera_rate_hz=RATE, landmark_count=120, seed=0)
+        assert expected_segment_mode(spec, 0) == "slam"  # the majority mode
+        costs = ServingEngine._segment_costs(spec, {})
+        expected = 0.1 * MODE_FRAME_COST["vio"] + 0.9 * MODE_FRAME_COST["slam"]
+        assert costs == (pytest.approx(expected),)
+
+    def test_warm_fleet_primes_lower_than_cold(self, tmp_path):
+        def autoscaler():
+            return LatencyAutoscaler(min_workers=1, max_workers=8, window=48,
+                                     grow_patience=2, shrink_patience=4,
+                                     cooldown=2)
+
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+
+        def serve(fleet):
+            engine = ServingEngine(store=None, max_workers=1, map_store=store,
+                                   min_map_quality=EASY_GATE,
+                                   autoscaler=autoscaler(),
+                                   frames_per_worker_tick=2)
+            return engine.serve(fleet, parallel=False, ingestion="streaming")
+
+        cold = serve(cold_start_fleet(4, environment="size-env",
+                                      segment_duration=SEGMENT,
+                                      camera_rate_hz=RATE, deadline_ms=400.0))
+        warm = serve(cold_start_fleet(4, environment="size-env", base_seed=9000,
+                                      segment_duration=SEGMENT,
+                                      camera_rate_hz=RATE, deadline_ms=400.0,
+                                      prefix="warm"))
+        cold_prime, warm_prime = (report.scale_decisions[0]
+                                  for report in (cold, warm))
+        assert cold_prime.action == warm_prime.action == "prime"
+        # The warm fleet's registration-dominant mix sizes strictly smaller.
+        assert warm_prime.workers_after < cold_prime.workers_after
+        assert warm.map_acquisition_count == 8
+
+    def test_prime_scales_demand_by_frame_rate(self, tmp_path):
+        """A slow session delivers a fraction of a frame per event-loop
+        tick; the prior must not count it as a full frame (heterogeneous
+        fleets would otherwise prime over-wide and shrink back — the exact
+        cold-start cycle the prior exists to avoid)."""
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+
+        def engine():
+            return ServingEngine(store=None, max_workers=1, map_store=store,
+                                 autoscaler=LatencyAutoscaler(min_workers=1,
+                                                              max_workers=16),
+                                 frames_per_worker_tick=1)
+
+        def slam_spec(stream_id, rate):
+            return StreamSpec(stream_id, (
+                StreamSegment(ScenarioKind.INDOOR_UNKNOWN, SEGMENT),
+            ), camera_rate_hz=rate, landmark_count=120, seed=0)
+
+        fast = slam_spec("fast", 10.0)
+        slow = [slam_spec(f"slow-{i}", 5.0) for i in range(3)]
+        e = engine()
+        costs = {spec.stream_id: e._segment_costs(spec, {})
+                 for spec in [fast] + slow}
+        decision = e._prime_autoscaler([fast] + slow, costs)
+        # 1 full-rate SLAM session + 3 half-rate ones = 2.5 cost-units per
+        # tick, not the naive 4.
+        assert decision.workers_after == 3
+
+    def test_sizing_disabled_without_map_store(self):
+        """No map store => no mode-mix knowledge => no prime decision (the
+        PR-3 autoscaling behavior, golden-pinned elsewhere)."""
+        engine = ServingEngine(store=None, max_workers=1,
+                               autoscaler=LatencyAutoscaler(min_workers=1,
+                                                            max_workers=4))
+        assert not engine.map_aware_sizing
+        report = engine.serve(
+            [_env_spec("plain", "anywhere", seed=1)],
+            parallel=False, ingestion="streaming")
+        assert all(d.action != "prime" for d in report.scale_decisions)
+
+
 class TestMapDeterminism:
     @pytest.fixture(scope="class")
     def warm_setup(self, tmp_path_factory):
@@ -280,8 +640,13 @@ class TestMapDeterminism:
         return store, warm
 
     def _engine(self, store, max_workers=1):
+        # map_updates=False freezes the store across the repeated serves of
+        # this class: these tests pin the acquisition contract against ONE
+        # canonical map state.  The closed update lifecycle (where each
+        # serve refreshes the canonical) has its own determinism suite in
+        # TestMapUpdateLifecycle, with a fresh store per execution path.
         return ServingEngine(store=None, max_workers=max_workers, map_store=store,
-                             min_map_quality=EASY_GATE)
+                             min_map_quality=EASY_GATE, map_updates=False)
 
     def test_all_paths_identical_with_acquisition(self, warm_setup):
         store, warm = warm_setup
@@ -331,7 +696,7 @@ class TestMapDeterminism:
         cold_report = cold_engine.serve([spec], parallel=False, ingestion="streaming")
         assert cold_report.computed_sessions == 1
         warm_engine = ServingEngine(store=run_store, max_workers=1, map_store=store,
-                                    min_map_quality=EASY_GATE)
+                                    min_map_quality=EASY_GATE, map_updates=False)
         first = warm_engine.serve([spec], parallel=False, ingestion="streaming")
         assert first.store_hits == 0 and first.computed_sessions == 1
         second = warm_engine.serve([spec], parallel=False, ingestion="streaming")

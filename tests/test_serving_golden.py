@@ -33,13 +33,17 @@ FLEET_SIZE = 3
 SEGMENT_DURATION = 1.0
 RATE_HZ = 5.0
 
-# Fleet-map canonical world: a cold wave publishes into a fresh map store,
-# a warm wave acquires the merged map.  Both waves' signatures are pinned
-# (publication and acquisition provenance are part of the signature).
+# Fleet-map canonical world: a cold wave publishes into a fresh map store, a
+# warm wave acquires the merged map (and hands back MapUpdate deltas that
+# refresh the canonical), and an *updated* wave acquires the refreshed
+# version.  All three waves' signatures are pinned — publication,
+# acquisition AND update provenance are part of the signature — as are the
+# canonical versions before and after the update application.
 MAP_ENVIRONMENT = "golden-atrium"
 MAP_GATE = 0.05  # permissive: the 1 s segments build small but real maps
 COLD_SEED = 100
 WARM_SEED = 9100
+UPDATED_SEED = 17100
 
 
 def canonical_fleet():
@@ -59,6 +63,12 @@ def warm_wave():
                             camera_rate_hz=RATE_HZ, prefix="warm")
 
 
+def updated_wave():
+    return cold_start_fleet(2, environment=MAP_ENVIRONMENT, base_seed=UPDATED_SEED,
+                            segment_duration=SEGMENT_DURATION,
+                            camera_rate_hz=RATE_HZ, prefix="upd")
+
+
 def _map_engine(store, max_workers=1):
     return ServingEngine(store=None, max_workers=max_workers, map_store=store,
                          min_map_quality=MAP_GATE)
@@ -72,6 +82,32 @@ def _seed_map_store(root):
     return store, report
 
 
+def _lifecycle_reports(root, serve):
+    """The three-wave lifecycle against one fresh store, via one path.
+
+    cold (publish) -> warm (acquire + hand back updates; the engine folds
+    them into a new canonical version post-serve) -> updated (acquire the
+    refreshed version).  ``serve`` runs one engine through one execution
+    path; the store is rebuilt from scratch so every path sees the exact
+    same store evolution.
+    """
+    store = MapStore(root, max_bytes=-1, max_age_s=-1)
+    cold = serve(store, cold_wave())
+    warm = serve(store, warm_wave())
+    updated = serve(store, updated_wave())
+    return cold, warm, updated
+
+
+def _serial_serve(ingestion):
+    def serve(store, fleet):
+        return _map_engine(store).serve(fleet, parallel=False, ingestion=ingestion)
+    return serve
+
+
+def _pool_serve(store, fleet):
+    return _map_engine(store, max_workers=2).serve(fleet, parallel=True)
+
+
 def _signatures(report):
     return {stream_id: result.signature()
             for stream_id, result in sorted(report.results.items())}
@@ -83,11 +119,17 @@ def golden(tmp_path_factory):
         fleet = canonical_fleet()
         report = ServingEngine(store=None, max_workers=1).serve(
             fleet, parallel=False, ingestion="materialized")
-        store, cold_report = _seed_map_store(tmp_path_factory.mktemp("golden-maps"))
-        warm_report = _map_engine(store).serve(warm_wave(), parallel=False,
-                                               ingestion="materialized")
+        cold_report, warm_report, updated_report = _lifecycle_reports(
+            tmp_path_factory.mktemp("golden-maps"), _serial_serve("materialized"))
         assert warm_report.map_acquisition_count > 0, (
             "golden warm wave acquired no fleet map — pins would be vacuous")
+        assert warm_report.map_update_count > 0 and warm_report.maps_updated, (
+            "golden warm wave produced/applied no map updates — the updated-"
+            "wave pins would be vacuous")
+        assert (dict(sorted(updated_report.fleet_maps.items()))
+                == dict(sorted(warm_report.maps_updated.items()))), (
+            "the updated wave must acquire exactly the canonical the warm "
+            "wave's updates produced")
         GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
         GOLDEN_PATH.write_text(json.dumps({
             "fleet": {"size": FLEET_SIZE, "segment_duration": SEGMENT_DURATION,
@@ -95,9 +137,12 @@ def golden(tmp_path_factory):
             "signatures": _signatures(report),
             "fleet_map": {"environment": MAP_ENVIRONMENT, "gate": MAP_GATE,
                           "cold_seed": COLD_SEED, "warm_seed": WARM_SEED,
-                          "versions": dict(sorted(warm_report.fleet_maps.items()))},
+                          "updated_seed": UPDATED_SEED,
+                          "versions": dict(sorted(warm_report.fleet_maps.items())),
+                          "updated_versions": dict(sorted(updated_report.fleet_maps.items()))},
             "fleet_map_signatures": {"cold": _signatures(cold_report),
-                                     "warm": _signatures(warm_report)},
+                                     "warm": _signatures(warm_report),
+                                     "updated": _signatures(updated_report)},
         }, indent=2) + "\n")
     if not GOLDEN_PATH.is_file():
         pytest.fail(f"golden file missing; regenerate with {REGEN_ENV}=1")
@@ -107,12 +152,6 @@ def golden(tmp_path_factory):
 @pytest.fixture(scope="module")
 def fleet():
     return canonical_fleet()
-
-
-@pytest.fixture(scope="module")
-def warm_map_store(tmp_path_factory):
-    store, _ = _seed_map_store(tmp_path_factory.mktemp("maps"))
-    return store
 
 
 def _assert_matches(report, golden, path):
@@ -160,20 +199,32 @@ def test_cold_wave_publication_matches_golden(golden, tmp_path):
                     "fleet-map cold wave")
 
 
-def test_warm_wave_matches_golden_on_all_paths(golden, warm_map_store):
-    """Map acquisition enabled, every execution path reproduces the pins."""
-    expected = golden["fleet_map_signatures"]["warm"]
-    versions = golden["fleet_map"]["versions"]
-    for label, serve in (
-        ("materialized", lambda e: e.serve(warm_wave(), parallel=False,
-                                           ingestion="materialized")),
-        ("streaming", lambda e: e.serve(warm_wave(), parallel=False,
-                                        ingestion="streaming")),
-        ("pool", lambda e: e.serve(warm_wave(), parallel=True)),
-    ):
-        workers = 2 if label == "pool" else 1
-        report = serve(_map_engine(warm_map_store, max_workers=workers))
-        assert report.map_acquisition_count > 0, f"{label}: nothing acquired"
-        assert dict(sorted(report.fleet_maps.items())) == versions, (
-            f"{label}: canonical map version drifted from the pinned one")
-        _assert_matches(report, expected, f"fleet-map warm {label}")
+@pytest.mark.parametrize("label,serve", [
+    ("materialized", _serial_serve("materialized")),
+    ("streaming", _serial_serve("streaming")),
+    ("pool", _pool_serve),
+])
+def test_map_lifecycle_matches_golden_on_all_paths(golden, tmp_path, label, serve):
+    """publish -> resolve -> update -> re-resolve, pinned on every path.
+
+    Each execution path replays the full three-wave lifecycle against its
+    own fresh store: the cold wave's publishes, the warm wave's
+    acquisitions *and* the MapUpdate deltas it hands back, and the updated
+    wave's acquisition of the refreshed canonical must all be bit-identical
+    to the pins — including the canonical versions before and after the
+    update application."""
+    cold_report, warm_report, updated_report = _lifecycle_reports(tmp_path, serve)
+    _assert_matches(cold_report, golden["fleet_map_signatures"]["cold"],
+                    f"fleet-map cold {label}")
+    assert warm_report.map_acquisition_count > 0, f"{label}: nothing acquired"
+    assert warm_report.map_update_count > 0, f"{label}: no updates produced"
+    assert (dict(sorted(warm_report.fleet_maps.items()))
+            == golden["fleet_map"]["versions"]), (
+        f"{label}: canonical map version drifted from the pinned one")
+    _assert_matches(warm_report, golden["fleet_map_signatures"]["warm"],
+                    f"fleet-map warm {label}")
+    assert (dict(sorted(updated_report.fleet_maps.items()))
+            == golden["fleet_map"]["updated_versions"]), (
+        f"{label}: post-update canonical version drifted from the pinned one")
+    _assert_matches(updated_report, golden["fleet_map_signatures"]["updated"],
+                    f"fleet-map updated {label}")

@@ -219,6 +219,85 @@ class TestAutoscalerProperties:
             scaler.decide()
         assert all(d.action != "grow" for d in scaler.decisions)
 
+    @given(latencies=st.lists(st.floats(min_value=0.0, max_value=2000.0,
+                                        allow_nan=False), min_size=1, max_size=60),
+           gaps=st.lists(st.integers(min_value=0, max_value=3),
+                         min_size=1, max_size=60),
+           best_effort_ms=st.floats(min_value=0.0, max_value=10_000.0,
+                                    allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_best_effort_interleave_does_not_dilute_pressure(self, latencies,
+                                                             gaps, best_effort_ms):
+        """Pressure over a deadlined subsequence is invariant under
+        best-effort interleaving (as long as the deadlined samples stay
+        within one observation window): a best-effort frame has no
+        latency/deadline ratio, so it must contribute *nothing* to the
+        signal — neither diluting it toward its own latency nor zeroing it.
+        """
+        pure = _scaler()
+        mixed = _scaler()
+        total = 0
+        for latency, gap in zip(latencies, gaps):
+            pure.observe(latency, deadline_ms=200.0)
+            for _ in range(gap):
+                mixed.observe(best_effort_ms, deadline_ms=None)
+                total += 1
+            mixed.observe(latency, deadline_ms=200.0)
+            total += 1
+        if total <= 256:  # every deadlined sample still inside the window
+            assert mixed.pressure() == pure.pressure()
+
+    def test_sparse_deadlined_traffic_is_not_zeroed_by_best_effort(self):
+        """One saturated deadlined frame among fifteen idle best-effort
+        frames per round must still grow the pool."""
+        scaler = _scaler()
+        for _ in range(12):
+            for _ in range(15):
+                scaler.observe(1.0, deadline_ms=None)
+            scaler.observe(1000.0, deadline_ms=100.0)  # pressure 10
+            scaler.decide()
+        assert any(d.action == "grow" for d in scaler.decisions)
+        assert scaler.workers > scaler.min_workers
+
+    def test_sparse_live_deadlined_traffic_keeps_its_window(self):
+        """While deadlined traffic continues — however sparsely interleaved
+        with best-effort frames — every pressure sample is retained: expiry
+        must not shrink a sparse fleet's effective window to the last
+        handful of samples (a single spike would then read as sustained
+        pressure)."""
+        scaler = _scaler()
+        for _ in range(40):
+            for _ in range(100):
+                scaler.observe(1.0, deadline_ms=None)
+            scaler.observe(10.0, deadline_ms=100.0)  # healthy: pressure 0.1
+        # One spike in otherwise-healthy sparse traffic...
+        scaler.observe(500.0, deadline_ms=100.0)
+        assert scaler.pressure() > 0.0
+        # ...is judged against the full retained history (41 samples, even
+        # though ~4000 observations passed), not the 2-3 newest — so the
+        # p95 stays at the healthy level and the pool does not grow.
+        assert len(scaler._pressure) == 41
+        for _ in range(3):
+            scaler.decide()
+        assert all(d.action != "grow" for d in scaler.decisions)
+
+    def test_stale_deadlined_evidence_expires(self):
+        """A deadlined burst that *ended* must stop exerting pressure once a
+        full observation window of best-effort-only traffic has passed —
+        the scaler must not keep resizing on traffic that no longer exists.
+        """
+        scaler = _scaler(cooldown=0, grow_patience=2)
+        for _ in range(4):
+            scaler.observe(1000.0, deadline_ms=100.0)
+        assert scaler.pressure() > scaler.grow_pressure
+        # The deadlined session disconnects; best-effort traffic continues.
+        for _ in range(256):
+            scaler.observe(5.0, deadline_ms=None)
+        assert scaler.pressure() == 0.0
+        decision = scaler.decide()
+        assert decision.action == "hold"
+        assert decision.reason == "no deadline traffic"
+
     def test_no_deadline_traffic_exerts_no_pressure(self):
         scaler = _scaler()
         for _ in range(50):
