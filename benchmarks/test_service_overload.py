@@ -1,0 +1,136 @@
+"""Service overload: a flash crowd against a pinned two-worker front door.
+
+The open-loop load generator replays a flash-crowd arrival profile — a
+quiet baseline with a mid-run burst at more than 10x the rate — against a
+deliberately tiny service: a two-worker virtual pool that the crowd pins
+at ``max_workers`` within a few scheduler ticks.  What the harness then
+measures is the front door's honesty under overload:
+
+* the autoscaler reports ``saturated`` instead of looping on hopeful
+  ``grow``-patience holds (the PR's load-bearing bugfix);
+* admission control sheds on that signal — the reported shed rate is
+  nonzero and ``saturated`` dominates the shed reasons;
+* protected (``gold``) sessions keep being admitted while saturated — up
+  to the pinned pool's capacity — and still get served under the QoS
+  deadline, because shedding keeps each steady wave inside that capacity;
+* goodput stays above a floor — shedding degrades throughput gracefully
+  instead of collapsing it.
+
+A closed-loop client could not show any of this: it would slow down with
+the service and the overload would vanish from the measurements.
+"""
+
+import asyncio
+
+from conftest import print_banner
+
+from repro.characterization.report import format_table
+from repro.scheduler import LatencyAutoscaler
+from repro.serving import ServingEngine
+from repro.service import (
+    AdmissionController,
+    ArrivalProfile,
+    LoadGenerator,
+    LocalizationService,
+)
+
+RATE_HZ = 5.0
+# The tightest class in play (gold, the protected tier): two frame
+# intervals between arrival and served estimate.
+DEADLINE_MS = 200.0
+SEGMENTS = [{"kind": "outdoor_unknown", "duration": 2.0, "label": "cruise"}]
+# Baseline 2 sessions/s with a 25 sessions/s crowd in the middle half.
+PROFILE = ArrivalProfile(kind="flash", rate=2.0, peak_rate=25.0,
+                         duration_s=4.0, flash_fraction=0.5, seed=11)
+# One protected tenant among two sheddable ones: the crowd is mostly
+# silver (shed on saturation), with a gold stream that must keep flowing.
+QOS_CYCLE = ("gold", "silver", "silver")
+
+
+def _build_service():
+    # Two virtual workers at one frame per tick: pinned capacity of two
+    # concurrent 5 Hz sessions.  The oversized pressure window keeps the
+    # saturation signal latched across the whole flash (it would take a
+    # full window of healthy samples to decay), so exactly one discovery
+    # transient precedes the shedding regime.
+    autoscaler = LatencyAutoscaler(min_workers=1, max_workers=2,
+                                   grow_patience=1, shrink_patience=50,
+                                   cooldown=0, window=512)
+    engine = ServingEngine(store=None, autoscaler=autoscaler,
+                           frames_per_worker_tick=1)
+    admission = AdmissionController(
+        policy="saturation", max_inflight=64,
+        saturated_inflight=autoscaler.max_workers * engine.frames_per_worker_tick,
+        saturated_fn=lambda: autoscaler.saturated)
+    return LocalizationService(engine, admission=admission, port=0)
+
+
+async def _flash_crowd():
+    service = _build_service()
+    await service.start()
+    try:
+        generator = LoadGenerator(
+            service.host, service.port,
+            session_body={"segments": SEGMENTS, "camera_rate_hz": RATE_HZ},
+            qos_cycle=QOS_CYCLE)
+        report = await generator.run(PROFILE)
+    finally:
+        await service.stop()
+    return service, report
+
+
+def test_service_overload_shedding(benchmark):
+    service, report = benchmark.pedantic(
+        lambda: asyncio.run(_flash_crowd()), rounds=1, iterations=1)
+
+    waves = service.waves
+    saturated_waves = [i for i, wave in enumerate(waves) if wave["saturated"]]
+    first_saturated = saturated_waves[0] if saturated_waves else len(waves)
+    # The discovery transient spans the saturating wave itself plus the
+    # in-flight admissions that landed behind it before the flag rose;
+    # everything after is the shedding regime the harness judges.
+    steady = waves[first_saturated + 2:]
+
+    print_banner("Service front door — flash crowd at pinned max_workers")
+    summary = report.summary()
+    print(format_table(
+        ["offered", "admitted", "shed", "completed", "shed_rate",
+         "goodput/s", "p95_turnaround_ms"],
+        [[summary["offered"], summary["admitted"], summary["shed"],
+          summary["completed"], round(summary["shed_rate"], 3),
+          round(summary["goodput_per_s"], 2),
+          round(summary["p95_turnaround_ms"], 1)]],
+    ))
+    rows = [[i, int(w["sessions"]), round(w["wall_s"], 3),
+             round(w["p95_serving_ms"], 1), int(w["deadline_misses"]),
+             int(w["final_workers"]), bool(w["saturated"])]
+            for i, w in enumerate(waves)]
+    print(format_table(
+        ["wave", "sessions", "wall_s", "p95_serving_ms", "misses",
+         "workers", "saturated"], rows))
+    print(f"\nshed reasons: {report.shed_reasons}")
+    print(f"first saturated wave: {first_saturated} of {len(waves)}")
+
+    # The crowd actually overloaded the service, and the front door shed.
+    assert report.shed > 0, "flash crowd never triggered shedding"
+    assert report.shed_rate > 0.05
+    assert report.shed_reasons.get("saturated", 0) > 0, (
+        "shedding must be keyed on the autoscaler's saturated signal")
+    assert saturated_waves, "no serving wave ever reported saturation"
+    # Every admitted session completed with a result — shedding happens at
+    # the door, never after admission.
+    assert report.errors == 0
+    assert report.completed == report.admitted
+    # Goodput floor: overload degraded throughput, it did not collapse it.
+    assert report.completed >= 5
+    assert report.goodput > 0.5
+    # The protected tenant kept flowing while the door was shedding.
+    assert any(d.admitted and d.saturated
+               for d in service.admission.decisions), (
+        "no protected session was admitted under saturation")
+    # Past the discovery transient, shedding keeps each wave inside the
+    # pinned pool's capacity, so admitted sessions meet the QoS deadline.
+    assert steady, "the run ended inside the discovery transient"
+    for wave in steady:
+        assert wave["p95_serving_ms"] <= DEADLINE_MS, (
+            f"post-saturation wave exceeded the deadline: {wave}")

@@ -26,15 +26,28 @@ a landmark-displacement burst demonstrates staleness detection
 autoscaler shows a warm registration-heavy fleet priming — and staying —
 at a fraction of the cold fleet's worker count.
 
+The epilogue is service mode: the same engine behind the asyncio front
+door (`repro.service`), with per-tenant QoS classes mapped onto serving
+deadlines and admission control shedding on the autoscaler's saturation
+signal.  A brief open-loop flash crowd overloads the pinned two-worker
+pool; the shed rate, goodput and turnaround tail are printed.
+
 Run with:  python examples/serving_demo.py
 """
 
+import asyncio
 import tempfile
 
 from repro.experiments.common import accelerator_for
 from repro.experiments.runner import RunStore
 from repro.maps import MapStore
 from repro.scheduler import LatencyAutoscaler
+from repro.service import (
+    AdmissionController,
+    ArrivalProfile,
+    LoadGenerator,
+    LocalizationService,
+)
 from repro.serving import (
     ServingEngine,
     cold_start_fleet,
@@ -237,6 +250,51 @@ def main() -> None:
                   f"({prime.reason.split(':')[1].strip()}), "
                   f"final {report.final_workers} workers, "
                   f"{report.deadline_misses} deadline misses")
+
+    # 10. Service mode: the engine behind the network front door.  A tiny
+    #     pinned pool meets an open-loop flash crowd; the door admits the
+    #     protected gold tenant, sheds sheddable classes once the
+    #     autoscaler reports saturation, and the admitted sessions complete.
+    print("\n--- service mode: front door under a flash crowd ---")
+    asyncio.run(service_mode_demo())
+
+
+async def service_mode_demo() -> None:
+    autoscaler = LatencyAutoscaler(min_workers=1, max_workers=2,
+                                   grow_patience=1, shrink_patience=50,
+                                   cooldown=0, window=512)
+    engine = ServingEngine(store=None, autoscaler=autoscaler,
+                           frames_per_worker_tick=1)
+    admission = AdmissionController(
+        policy="saturation", max_inflight=64,
+        saturated_inflight=autoscaler.max_workers * engine.frames_per_worker_tick,
+        saturated_fn=lambda: autoscaler.saturated)
+    service = LocalizationService(engine, admission=admission, port=0)
+    await service.start()
+    try:
+        print(f"Service listening on {service.host}:{service.port} "
+              f"(policy={service.admission.policy})")
+        generator = LoadGenerator(
+            service.host, service.port,
+            session_body={
+                "segments": [{"kind": "outdoor_unknown", "duration": 2.0}],
+                "camera_rate_hz": 5.0,
+            },
+            qos_cycle=("gold", "silver", "silver"))
+        profile = ArrivalProfile(kind="flash", rate=2.0, peak_rate=20.0,
+                                 duration_s=3.0, flash_fraction=0.5, seed=11)
+        load = await generator.run(profile)
+    finally:
+        await service.stop()
+    summary = load.summary()
+    print(f"Offered {summary['offered']:.0f} sessions: "
+          f"{summary['admitted']:.0f} admitted, {summary['shed']:.0f} shed "
+          f"(shed rate {summary['shed_rate']:.0%}, reasons {load.shed_reasons})")
+    print(f"Goodput {summary['goodput_per_s']:.1f} sessions/s; turnaround "
+          f"p50 {summary['p50_turnaround_ms']:.0f} ms, "
+          f"p95 {summary['p95_turnaround_ms']:.0f} ms")
+    print(f"All admitted sessions completed: "
+          f"{load.completed == load.admitted and load.errors == 0}")
 
 
 if __name__ == "__main__":

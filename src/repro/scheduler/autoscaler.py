@@ -14,7 +14,13 @@ over a sliding window.  Pressure above ``grow_pressure`` for
 ``grow_patience`` consecutive evaluations doubles the pool (bounded by
 ``max_workers``); pressure below ``shrink_pressure`` for
 ``shrink_patience`` evaluations releases one worker at a time (bounded by
-``min_workers``).  Asymmetric patience plus a post-resize cooldown — during
+``min_workers``).  When a full grow-patience streak finds the pool already
+pinned at ``max_workers``, the controller is out of actuator: it reports
+**saturated** (:attr:`LatencyAutoscaler.saturated`, and an explicit
+``saturated: ...`` decision reason with the streak clamped rather than a
+forever-incrementing "(n/patience)" count) — the overload signal the
+service front door keys admission control on.  Asymmetric patience plus a
+post-resize cooldown — during
 which the observation window is discarded so decisions never act on
 pre-resize traffic — is what keeps the controller from oscillating: growing
 is cheap to undo, missing deadlines is not, so the scaler grows eagerly and
@@ -65,6 +71,10 @@ class ScaleDecision:
     p95_ms: float
     pressure: float  # p95 of latency/deadline over the window
     reason: str
+    # Overload, not headroom: sustained over-pressure with the pool already
+    # pinned at max_workers.  The service front door keys admission control
+    # on this — it is the "stop admitting, start shedding" signal.
+    saturated: bool = False
 
     @property
     def resized(self) -> bool:
@@ -121,6 +131,21 @@ class LatencyAutoscaler:
         self._under_streak = 0
         self._cooldown_left = 0
         self._tick = 0
+        self._saturated = False
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the last evaluation found the pool pinned under overload.
+
+        True exactly when pressure has stayed above ``grow_pressure`` for a
+        full grow-patience streak with the pool already at ``max_workers`` —
+        the point where the controller has no actuator left and more load
+        can only become latency.  The service front door sheds on this
+        signal instead of admitting sessions the pool cannot serve on time.
+        The flag clears as soon as an evaluation finds pressure back in
+        band (or the deadlined traffic expires), and on :meth:`prime`.
+        """
+        return self._saturated
 
     # ------------------------------------------------------------ observing
 
@@ -176,7 +201,8 @@ class LatencyAutoscaler:
 
     # ------------------------------------------------------------- deciding
 
-    def prime(self, workers: int, reason: str = "sizing prior") -> ScaleDecision:
+    def prime(self, workers: int, reason: str = "sizing prior",
+              clock: float = 0.0) -> ScaleDecision:
         """Install a sizing prior as the starting width.
 
         Called by the serving engine before any traffic of a serve call: the
@@ -189,22 +215,31 @@ class LatencyAutoscaler:
         pool from here, under the usual hysteresis.  The installation is
         logged as an ``action="prime"`` decision so the decision log shows
         where the width came from.
+
+        ``clock`` is the serve call's clock at the moment of priming (the
+        engine passes its continuity-offset virtual clock, not a hardcoded
+        0.0), and the prime consumes a tick like any other evaluation — so
+        a decision log that spans several serve calls stays monotone in
+        both ``tick`` and ``clock`` and the service's metrics endpoint can
+        order it without guessing.
         """
+        self._tick += 1
         before = self.workers
         self.workers = self._clamp(workers)
         # A prime starts a fresh serve call: drop every trace of the
-        # previous call's traffic (window, streaks, cooldown) so the primed
-        # width is never immediately resized on evidence from sessions that
-        # no longer exist — the same window reset decide() performs on a
-        # resize.
+        # previous call's traffic (window, streaks, cooldown, saturation) so
+        # the primed width is never immediately resized on evidence from
+        # sessions that no longer exist — the same window reset decide()
+        # performs on a resize.
         self._over_streak = 0
         self._under_streak = 0
         self._cooldown_left = 0
         self._latency.clear()
         self._pressure.clear()
+        self._saturated = False
         decision = ScaleDecision(
             tick=self._tick,
-            clock=0.0,
+            clock=float(clock),
             action="prime",
             workers_before=before,
             workers_after=self.workers,
@@ -232,24 +267,42 @@ class LatencyAutoscaler:
         elif not self._pressure:
             # No live deadlined traffic (none ever, or all samples expired):
             # hold, and drop any partial streaks so later deadlined traffic
-            # starts its patience count from scratch.
+            # starts its patience count from scratch.  Overload cannot
+            # outlive its evidence: saturation clears with the window.
             self._over_streak = 0
             self._under_streak = 0
+            self._saturated = False
             reason = "no deadline traffic"
         else:
             if pressure > self.grow_pressure:
                 self._over_streak += 1
                 self._under_streak = 0
-                reason = (f"pressure {pressure:.2f} > {self.grow_pressure:.2f} "
-                          f"({self._over_streak}/{self.grow_patience})")
+                if (self.workers >= self.max_workers
+                        and self._over_streak >= self.grow_patience):
+                    # Pinned at the cap under sustained over-pressure: there
+                    # is no grow left to wait for, so the streak clamps at
+                    # the patience it has already proven (it must not wind
+                    # up unboundedly) and the log says *saturated* instead
+                    # of counting "(n/patience)" toward a resize that can
+                    # never come.  This is the front door's shed signal.
+                    self._over_streak = self.grow_patience
+                    self._saturated = True
+                    reason = (f"saturated: pressure {pressure:.2f} > "
+                              f"{self.grow_pressure:.2f} with pool pinned at "
+                              f"max_workers {self.max_workers}")
+                else:
+                    reason = (f"pressure {pressure:.2f} > {self.grow_pressure:.2f} "
+                              f"({self._over_streak}/{self.grow_patience})")
             elif pressure < self.shrink_pressure:
                 self._under_streak += 1
                 self._over_streak = 0
+                self._saturated = False
                 reason = (f"pressure {pressure:.2f} < {self.shrink_pressure:.2f} "
                           f"({self._under_streak}/{self.shrink_patience})")
             else:
                 self._over_streak = 0
                 self._under_streak = 0
+                self._saturated = False
             if self._over_streak >= self.grow_patience and self.workers < self.max_workers:
                 action = "grow"
                 self.workers = self._clamp(max(
@@ -276,6 +329,7 @@ class LatencyAutoscaler:
             p95_ms=p95,
             pressure=pressure,
             reason=reason,
+            saturated=self._saturated,
         )
         self.decisions.append(decision)
         return decision

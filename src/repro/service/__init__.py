@@ -1,0 +1,56 @@
+"""Service front door: the network-shaped boundary over the serving library.
+
+``repro.service`` wraps :class:`~repro.serving.ServingEngine` in an asyncio
+HTTP server without moving any serving logic out of the library:
+
+* :mod:`repro.service.qos` — per-tenant QoS classes (``gold`` …
+  ``best_effort``) mapped onto :attr:`StreamSpec.deadline_ms` by the
+  server; deadlines are service-assigned, never client-quoted.
+* :mod:`repro.service.admission` — admit-or-shed verdicts at the door,
+  keyed on inflight count and the autoscaler's ``saturated`` signal
+  (sustained over-pressure with the pool pinned at ``max_workers``).  A
+  shed session never touches the run store or map store.
+* :mod:`repro.service.server` — :class:`LocalizationService`: session
+  create/feed/result endpoints, health, metrics, and a wave dispatcher
+  that serves sealed sessions through the deterministic virtual-clock
+  engine on a worker thread.
+* :mod:`repro.service.loadgen` — open-loop load generation (Poisson,
+  diurnal ramp, flash crowd) measuring shed rate, goodput, and turnaround
+  tails under overload.
+"""
+
+from repro.service.admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.service.loadgen import ArrivalProfile, LoadGenerator, LoadReport
+from repro.service.qos import DEFAULT_QOS_CLASSES, QoSClass, apply_qos
+from repro.service.server import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_PORT,
+    LocalizationService,
+    MAX_INFLIGHT_ENV,
+    PORT_ENV,
+    ServiceError,
+    SHED_POLICY_ENV,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ArrivalProfile",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_PORT",
+    "DEFAULT_QOS_CLASSES",
+    "LoadGenerator",
+    "LoadReport",
+    "LocalizationService",
+    "MAX_INFLIGHT_ENV",
+    "PORT_ENV",
+    "QoSClass",
+    "ServiceError",
+    "SHED_POLICY_ENV",
+    "apply_qos",
+]

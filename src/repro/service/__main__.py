@@ -1,0 +1,30 @@
+"""``python -m repro.service`` — run the front door on a local engine.
+
+A convenience entry point for manual poking: an in-process
+:class:`~repro.serving.ServingEngine` with a small autoscaler, no
+persistent stores, listening on ``EUDOXUS_SERVICE_PORT`` (default 8351).
+Production-shaped deployments should construct
+:class:`~repro.service.LocalizationService` around their own engine.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.autoscaler import LatencyAutoscaler
+from repro.serving.engine import ServingEngine
+from repro.service.server import LocalizationService
+
+
+def main() -> None:
+    engine = ServingEngine(
+        store=None,
+        autoscaler=LatencyAutoscaler(min_workers=1, max_workers=4),
+    )
+    service = LocalizationService(engine)
+    print(f"localization service on {service.host}:{service.port} "
+          f"(policy={service.admission.policy}, "
+          f"max_inflight={service.admission.max_inflight})")
+    service.run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Admission control: decide at the door, before any work is done.
+
+The controller sits between the HTTP layer and the session registry.  Every
+session-create request passes through :meth:`AdmissionController.admit`
+*before* a session object, a run-store entry, or a map resolution exists —
+a shed session leaves no trace anywhere in the serving stack (pinned by
+tests/test_service.py).
+
+Two pressure signals, two policies beyond ``none``:
+
+* ``inflight`` — a hard cap on concurrently admitted sessions
+  (``max_inflight``).  This is the memory/socket bound; it applies to every
+  class, protected or not, because an unbounded registry is an outage no
+  QoS contract survives.
+* ``saturation`` — everything ``inflight`` does, plus overload shedding
+  keyed on :attr:`repro.scheduler.LatencyAutoscaler.saturated`: the
+  autoscaler reporting sustained over-pressure with the pool pinned at
+  ``max_workers``.  While saturated, sheddable classes are refused and the
+  inflight bound tightens to the pool's pinned per-tick capacity
+  (``max_workers * frames_per_worker_tick``) so the backlog drains instead
+  of compounding.  Protected (``sheddable=False``) classes keep being
+  admitted up to the hard cap.
+
+Decisions are recorded in a bounded log for the metrics endpoint — same
+discipline as the autoscaler's decision log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.service.qos import QoSClass
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DECISION_LOG_LIMIT",
+]
+
+ADMISSION_POLICIES = ("none", "inflight", "saturation")
+
+#: Bounded like the autoscaler's decision log, and for the same reason: the
+#: service runs indefinitely, the metrics endpoint reads the tail.
+DECISION_LOG_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit-or-shed verdict, with the evidence behind it."""
+
+    admitted: bool
+    reason: str
+    qos: str
+    inflight: int
+    limit: Optional[int]
+    saturated: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "admitted": self.admitted,
+            "reason": self.reason,
+            "qos": self.qos,
+            "inflight": self.inflight,
+            "limit": self.limit,
+            "saturated": self.saturated,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Stateless verdicts over two live signals: inflight count + saturation.
+
+    ``saturated_fn`` is a zero-argument probe, typically bound to the
+    engine's shared autoscaler (``lambda: autoscaler.saturated``); the
+    controller never imports the engine, so it is testable with a plain
+    closure over a bool.
+    """
+
+    policy: str = "saturation"
+    max_inflight: int = 64
+    # The tightened bound while saturated: the pool's pinned per-tick
+    # service capacity.  None disables tightening (pure shed-by-class).
+    saturated_inflight: Optional[int] = None
+    saturated_fn: Callable[[], bool] = lambda: False
+    decisions: Deque[AdmissionDecision] = field(
+        default_factory=lambda: deque(maxlen=DECISION_LOG_LIMIT))
+    shed_counts: Dict[str, int] = field(default_factory=dict)
+    admitted_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+    def admit(self, qos: QoSClass, inflight: int) -> AdmissionDecision:
+        """Verdict for one session-create under the current load signals."""
+        decision = self._decide(qos, inflight)
+        self.decisions.append(decision)
+        if decision.admitted:
+            self.admitted_count += 1
+        else:
+            key = decision.reason
+            self.shed_counts[key] = self.shed_counts.get(key, 0) + 1
+        return decision
+
+    def _decide(self, qos: QoSClass, inflight: int) -> AdmissionDecision:
+        saturated = (self.policy == "saturation") and bool(self.saturated_fn())
+        if self.policy == "none":
+            return AdmissionDecision(True, "policy none", qos.name,
+                                     inflight, None, saturated)
+        if inflight >= self.max_inflight:
+            # The hard cap outranks every QoS promise — protected classes
+            # included.  Refusing at the door beats collapsing under load.
+            return AdmissionDecision(False, "max_inflight", qos.name,
+                                     inflight, self.max_inflight, saturated)
+        if saturated:
+            if qos.sheddable:
+                return AdmissionDecision(False, "saturated", qos.name,
+                                         inflight, self.max_inflight, True)
+            bound = self.saturated_inflight
+            if bound is not None and inflight >= bound:
+                return AdmissionDecision(False, "saturated", qos.name,
+                                         inflight, bound, True)
+            return AdmissionDecision(True, "protected under saturation",
+                                     qos.name, inflight, self.max_inflight,
+                                     True)
+        return AdmissionDecision(True, "admitted", qos.name, inflight,
+                                 self.max_inflight, saturated)
+
+    @property
+    def shed_count(self) -> int:
+        return sum(self.shed_counts.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Metrics-endpoint view: counters plus the decision-log tail."""
+        return {
+            "policy": self.policy,
+            "max_inflight": self.max_inflight,
+            "saturated_inflight": self.saturated_inflight,
+            "admitted": self.admitted_count,
+            "shed": self.shed_count,
+            "shed_reasons": dict(self.shed_counts),
+        }

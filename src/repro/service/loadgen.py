@@ -1,0 +1,234 @@
+"""Open-loop load generation against the service front door.
+
+Closed-loop clients (issue, wait, repeat) self-throttle under overload and
+therefore can't exhibit it — the arrival rate collapses to the service
+rate and every latency looks fine.  This generator is **open-loop**: every
+arrival is scheduled from the profile alone, up front, and fires on time
+whether or not earlier requests have finished.  Overload then shows up
+where it belongs — in the shed rate and the admitted sessions' turnaround
+tail — instead of being absorbed by the client.
+
+Arrival processes (:class:`ArrivalProfile`):
+
+* ``poisson`` — homogeneous Poisson via exponential inter-arrival gaps.
+* ``diurnal`` — inhomogeneous Poisson, rate swept by a raised cosine
+  between ``rate`` and ``peak_rate`` over the run (one "day").
+* ``flash`` — baseline ``rate`` with a ``peak_rate`` crowd burst in the
+  middle ``flash_fraction`` of the run — the overload-shedding stressor.
+
+Time-varying profiles are sampled by Lewis–Shedler thinning: draw
+candidates from a homogeneous process at the peak rate, keep each with
+probability ``rate(t) / peak``.  All draws come from one seeded
+``numpy`` generator, so a load schedule is reproducible end to end.
+
+The client speaks the service's wire format over a raw asyncio TCP
+connection (stdlib-only, same constraint as the server).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArrivalProfile", "LoadGenerator", "LoadReport", "request"]
+
+PROFILE_KINDS = ("poisson", "diurnal", "flash")
+
+
+@dataclass(frozen=True)
+class ArrivalProfile:
+    """A deterministic arrival schedule over ``[0, duration_s)`` seconds."""
+
+    kind: str = "poisson"
+    rate: float = 2.0          # sessions/s (baseline)
+    peak_rate: float = 8.0     # sessions/s (diurnal peak / flash crowd)
+    duration_s: float = 10.0
+    flash_fraction: float = 0.3  # central fraction of the run that's crowded
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROFILE_KINDS:
+            raise ValueError(f"unknown profile kind {self.kind!r}; "
+                             f"expected one of {PROFILE_KINDS}")
+        if self.rate <= 0.0 or self.duration_s <= 0.0:
+            raise ValueError("rate and duration_s must be positive")
+        if self.kind != "poisson" and self.peak_rate < self.rate:
+            raise ValueError("peak_rate must be >= rate")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at ``t`` seconds into the run."""
+        if self.kind == "poisson":
+            return self.rate
+        if self.kind == "diurnal":
+            # One raised-cosine "day": trough at the endpoints, peak mid-run.
+            phase = 2.0 * np.pi * t / self.duration_s
+            blend = 0.5 * (1.0 - np.cos(phase))
+            return self.rate + (self.peak_rate - self.rate) * float(blend)
+        # flash: a rectangular crowd in the middle of the run.
+        start = 0.5 * self.duration_s * (1.0 - self.flash_fraction)
+        end = 0.5 * self.duration_s * (1.0 + self.flash_fraction)
+        return self.peak_rate if start <= t < end else self.rate
+
+    def arrivals(self) -> List[float]:
+        """Arrival times in seconds, seeded — same profile, same schedule."""
+        rng = np.random.default_rng(self.seed)
+        peak = max(self.rate, self.peak_rate) if self.kind != "poisson" else self.rate
+        times: List[float] = []
+        t = 0.0
+        while True:
+            # Homogeneous candidates at the peak rate...
+            t += float(rng.exponential(1.0 / peak))
+            if t >= self.duration_s:
+                return times
+            # ...thinned down to the instantaneous rate (Lewis–Shedler).
+            if rng.random() <= self.rate_at(t) / peak:
+                times.append(t)
+
+
+async def request(host: str, port: int, method: str, path: str,
+                  body: Optional[Dict[str, object]] = None,
+                  ) -> Tuple[int, Dict[str, object]]:
+    """One HTTP exchange with the service, stdlib-only."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body or {}).encode()
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        status = int(status_line.split(" ", 2)[1])
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("latin-1").strip()
+            if not header:
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        raw = await reader.readexactly(content_length) if content_length else b"{}"
+        return status, json.loads(raw)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+@dataclass
+class LoadReport:
+    """What the run did to the service, from the client's vantage point."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    completed: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    turnaround_ms: List[float] = field(default_factory=list)
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    signatures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / max(self.offered, 1)
+
+    @property
+    def goodput(self) -> float:
+        """Completed sessions per offered-load second."""
+        return self.completed / max(self.wall_s, 1e-9)
+
+    def turnaround_percentile(self, percent: float) -> float:
+        if not self.turnaround_ms:
+            return 0.0
+        return float(np.percentile(self.turnaround_ms, percent))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "errors": self.errors,
+            "shed_rate": self.shed_rate,
+            "goodput_per_s": self.goodput,
+            "wall_s": self.wall_s,
+            "p50_turnaround_ms": self.turnaround_percentile(50.0),
+            "p95_turnaround_ms": self.turnaround_percentile(95.0),
+        }
+
+
+class LoadGenerator:
+    """Fires an :class:`ArrivalProfile` at a running service.
+
+    Each arrival creates a session (inline segments, so it seals and
+    queues immediately) and then long-polls its result.  ``session_body``
+    is the create payload template; per-arrival ``stream_id`` and ``seed``
+    are stamped from the arrival index so the fleet is deterministic.
+    """
+
+    def __init__(self, host: str, port: int,
+                 session_body: Dict[str, object],
+                 qos_cycle: Sequence[str] = ("silver",)) -> None:
+        self.host = host
+        self.port = port
+        self.session_body = session_body
+        self.qos_cycle = tuple(qos_cycle)
+
+    async def _one_session(self, index: int, delay_s: float,
+                           report: LoadReport,
+                           loop: asyncio.AbstractEventLoop) -> None:
+        await asyncio.sleep(delay_s)
+        body = dict(self.session_body)
+        body.setdefault("segments", [])
+        body["stream_id"] = f"load-{index:05d}"
+        body["seed"] = index
+        body["qos"] = self.qos_cycle[index % len(self.qos_cycle)]
+        started = loop.time()
+        status, payload = await request(
+            self.host, self.port, "POST", "/v1/sessions", body)
+        if status == 503:
+            report.shed += 1
+            reason = str(payload.get("error", "shed"))
+            key = "saturated" if "saturated" in reason else (
+                "max_inflight" if "max_inflight" in reason else reason)
+            report.shed_reasons[key] = report.shed_reasons.get(key, 0) + 1
+            return
+        if status != 201:
+            report.errors += 1
+            return
+        report.admitted += 1
+        session_id = str(payload["session_id"])
+        status, payload = await request(
+            self.host, self.port, "GET", f"/v1/sessions/{session_id}/result")
+        if status != 200:
+            report.errors += 1
+            return
+        report.completed += 1
+        report.turnaround_ms.append(1000.0 * (loop.time() - started))
+        report.signatures[session_id] = str(payload.get("signature", ""))
+
+    async def run(self, profile: ArrivalProfile) -> LoadReport:
+        """Replay the profile open-loop and wait for every session's fate."""
+        report = LoadReport()
+        loop = asyncio.get_running_loop()
+        arrivals = profile.arrivals()
+        report.offered = len(arrivals)
+        started = loop.time()
+        # Pre-scheduled, not sequential: arrival N fires at its own time
+        # regardless of how arrival N-1 is faring.  That is what open-loop
+        # means, and it is why overload is visible at all.
+        tasks = [asyncio.create_task(self._one_session(i, t, report, loop))
+                 for i, t in enumerate(arrivals)]
+        if tasks:
+            await asyncio.gather(*tasks)
+        report.wall_s = loop.time() - started
+        return report

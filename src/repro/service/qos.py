@@ -1,0 +1,68 @@
+"""Per-tenant QoS classes for the service front door.
+
+A QoS class is the service's contract vocabulary: clients name a class
+(``gold`` / ``silver`` / ``bronze`` / ``best_effort``) instead of quoting a
+raw ``deadline_ms``, and the front door maps the class onto
+:attr:`repro.serving.StreamSpec.deadline_ms` before handing the spec to the
+engine.  Keeping the deadline server-assigned has two payoffs:
+
+* **Admission control stays honest.**  Shedding decisions are made per
+  class (``sheddable``), so a client cannot dodge the shedder by quoting a
+  tight deadline on a best-effort stream.
+* **The serving cache stays warm across QoS changes.**
+  :func:`repro.serving.serving_key` deliberately excludes ``deadline_ms``,
+  so re-admitting a stream under a different class re-uses its cached
+  result — the class only shapes scheduling, never the trajectory.
+
+The catalog is intentionally small and fixed; services that need custom
+tiers construct a :class:`QoSClass` and pass their own catalog to
+:class:`~repro.service.server.LocalizationService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.serving.streams import StreamSpec
+
+__all__ = ["QoSClass", "DEFAULT_QOS_CLASSES", "apply_qos"]
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One service tier: a name, a serving deadline, and shed eligibility.
+
+    ``deadline_ms=None`` marks best-effort traffic — the autoscaler ignores
+    it when computing deadline pressure and it can never count as a miss.
+    ``sheddable=False`` marks protected traffic the admission controller
+    keeps admitting even while the pool is saturated (it sheds sheddable
+    classes first and only refuses protected sessions at the hard inflight
+    cap).
+    """
+
+    name: str
+    deadline_ms: Optional[float]
+    sheddable: bool = True
+
+
+#: The default tier catalog.  Gold is the protected tier: tight deadline,
+#: never shed on saturation.  Bronze and best-effort absorb overload first.
+DEFAULT_QOS_CLASSES: Dict[str, QoSClass] = {
+    qos.name: qos
+    for qos in (
+        QoSClass("gold", deadline_ms=200.0, sheddable=False),
+        QoSClass("silver", deadline_ms=400.0),
+        QoSClass("bronze", deadline_ms=800.0),
+        QoSClass("best_effort", deadline_ms=None),
+    )
+}
+
+
+def apply_qos(spec: StreamSpec, qos: QoSClass) -> StreamSpec:
+    """Stamp a class's deadline onto a spec.
+
+    The spec is the client's stream description; the deadline is the
+    service's scheduling promise — the two meet here and nowhere else.
+    """
+    return replace(spec, deadline_ms=qos.deadline_ms)

@@ -148,6 +148,10 @@ class ServingReport:
     sessions).  ``virtual_latency_ms`` is the streaming loop's
     arrival-to-service delay on the virtual clock — the deadline the
     autoscaler protects; it is empty on the materialized and pool paths.
+    ``deadline_misses`` likewise counts virtual-schedule violations only
+    (see ``ServingEngine._account_service_latency``), so it is identical
+    across ingestion paths for fleets the streaming loop serves on time
+    and zero by construction on the materialized and pool paths.
     """
 
     results: Dict[str, SessionResult] = field(default_factory=dict)
@@ -319,6 +323,16 @@ class ServingEngine:
         self.map_aware_sizing = (map_store is not None if map_aware_sizing is None
                                  else bool(map_aware_sizing))
         self._kernel_of: Dict[str, str] = {}
+        # Decision-clock continuity: each serve call's virtual clock starts
+        # from its own fleet's first arrival, so raw clocks would restart
+        # near zero every call and a shared autoscaler's decision log would
+        # be unorderable across calls.  The engine therefore offsets every
+        # clock it hands the autoscaler (prime and decide alike) by the
+        # clock water-mark of the calls served before — the service's
+        # metrics endpoint can then order the accumulated log by clock as
+        # well as by tick.  Latency accounting always uses the raw virtual
+        # clock; the offset is telemetry-only.
+        self._decision_clock = 0.0
 
     def serve(self, specs: Sequence[StreamSpec], parallel: Optional[bool] = None,
               ingestion: Optional[str] = None) -> ServingReport:
@@ -447,6 +461,11 @@ class ServingEngine:
         if not active:
             return
         tick_interval = min(session.spec.frame_interval for session in active)
+        clock = min(session.next_arrival() for session in active)
+        # Decision clocks are offset so consecutive serve calls on one
+        # engine produce one monotone log (see __init__); the offset is
+        # fixed for the whole call and bumped past the final clock on exit.
+        clock_base = self._decision_clock
         # Map-aware sizing: per-(stream, segment) expected frame costs, and
         # the prior installed before the first tick.
         segment_costs: Dict[str, Tuple[float, ...]] = {}
@@ -456,12 +475,12 @@ class ServingEngine:
                 for session in active
             }
             report.scale_decisions.append(self._prime_autoscaler(
-                [session.spec for session in active], segment_costs))
+                [session.spec for session in active], segment_costs,
+                clock=clock_base + clock))
         workers = self.autoscaler.workers if self.autoscaler is not None else self.max_workers
         # The width serving actually starts at, so final_workers stays
         # truthful even when no scale decision is ever logged.
         report.workers = workers
-        clock = min(session.next_arrival() for session in active)
 
         while active:
             report.ticks += 1
@@ -491,10 +510,8 @@ class ServingEngine:
                 served_cost += (segment_costs[stream_id][stream_frame.segment_index]
                                 if segment_costs else 1.0)
                 latency_ms = max(0.0, (clock - arrival) * 1000.0)
-                report.virtual_latency_ms.append(latency_ms)
                 deadline = session.spec.deadline_ms
-                if deadline is not None and latency_ms > deadline:
-                    report.deadline_misses += 1
+                self._account_service_latency(report, latency_ms, deadline)
                 if self.autoscaler is not None:
                     self.autoscaler.observe(latency_ms, deadline)
                 if self.accelerator is not None:
@@ -515,11 +532,14 @@ class ServingEngine:
                     still_active.append(session)
             active = still_active
             if not active:
+                # Advance the continuity water-mark past this call's final
+                # clock, so the next serve call's decisions sort after ours.
+                self._decision_clock = clock_base + clock + tick_interval
                 return
             # Evaluate the scaler only while sessions remain: a decision on
             # the final tick would be logged but could never act.
             if self.autoscaler is not None:
-                decision = self.autoscaler.decide(clock)
+                decision = self.autoscaler.decide(clock_base + clock)
                 report.scale_decisions.append(decision)
                 workers = decision.workers_after
             if any(session.pending for session in active):
@@ -527,6 +547,22 @@ class ServingEngine:
             else:
                 arrivals = [session.next_arrival() for session in active]
                 clock = min(arrival for arrival in arrivals if arrival is not None)
+
+    @staticmethod
+    def _account_service_latency(report: ServingReport, latency_ms: float,
+                                 deadline_ms: Optional[float]) -> None:
+        """The single accounting point for serving latency vs QoS deadline.
+
+        ``deadline_misses`` counts *virtual-schedule* violations only: the
+        streaming loop is the one path that can delay a frame past its
+        arrival, so it is the one path that can miss.  The materialized and
+        pool paths serve every frame on arrival by construction and
+        contribute zero — asserted cross-path by tests/test_serving.py so
+        the count can never silently diverge between ingestion modes again.
+        """
+        report.virtual_latency_ms.append(latency_ms)
+        if deadline_ms is not None and latency_ms > deadline_ms:
+            report.deadline_misses += 1
 
     def _observe_scheduler(self, session: Session) -> None:
         """Feed the just-served frame to the accelerator's offload scheduler."""
@@ -607,15 +643,20 @@ class ServingEngine:
                         # Only decide while there is still work to size for:
                         # a decision after the last wave would mutate the
                         # scaler and the log without ever being applied.
-                        waited_ms = 1000.0 * (time.perf_counter() - dispatch_started)
+                        waited_s = time.perf_counter() - dispatch_started
                         for spec in queue:
-                            autoscaler.observe(waited_ms, spec.deadline_ms)
-                        decision = autoscaler.decide()
+                            autoscaler.observe(1000.0 * waited_s, spec.deadline_ms)
+                        # Pool decisions happen on wall time; stamping them
+                        # with the continuity-offset elapsed seconds keeps
+                        # the shared decision log clock-ordered across
+                        # pool and streaming serve calls alike.
+                        decision = autoscaler.decide(self._decision_clock + waited_s)
                         report.scale_decisions.append(decision)
                         pool.resize(decision.workers_after)
         finally:
             (autoscaler.min_workers, autoscaler.max_workers,
              autoscaler.workers) = saved_bounds
+            self._decision_clock += time.perf_counter() - dispatch_started
 
     # ------------------------------------------------------- map-aware sizing
 
@@ -645,7 +686,8 @@ class ServingEngine:
         return tuple(costs)
 
     def _prime_autoscaler(self, specs: Sequence[StreamSpec],
-                          segment_costs: Dict[str, Tuple[float, ...]]) -> ScaleDecision:
+                          segment_costs: Dict[str, Tuple[float, ...]],
+                          clock: float = 0.0) -> ScaleDecision:
         """Install the mode-mix sizing prior before the first tick.
 
         Each session delivers one frame per *its own* frame interval, and
@@ -678,7 +720,8 @@ class ServingEngine:
         return self.autoscaler.prime(
             workers,
             reason=(f"map-aware sizing prior: expected demand "
-                    f"{demand:.2f} cost-units/tick over {len(specs)} sessions"))
+                    f"{demand:.2f} cost-units/tick over {len(specs)} sessions"),
+            clock=clock)
 
     # ------------------------------------------------------------ internals
 

@@ -473,6 +473,85 @@ class TestStreamingIngestion:
         assert autoscaler.workers == 1
 
 
+class TestServingAccounting:
+    """Deadline-miss accounting and decision-clock continuity.
+
+    ``deadline_misses`` used to be computed in two separate code paths
+    (streaming vs pool) that could drift apart; it is now a single helper
+    with one definition — virtual-schedule violations only — and these
+    tests pin it across every ingestion path.
+    """
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return mixed_fleet(3, segment_duration=1.0, camera_rate_hz=RATE,
+                           deadline_ms=300.0)
+
+    def test_deadline_misses_identical_across_ingestion_paths(self, fleet):
+        """Same fleet, three paths, one number.
+
+        The materialized and pool paths serve every frame on arrival by
+        construction, and the unthrottled streaming loop does too — so the
+        shared definition makes all three report identical misses (zero),
+        where the old split accounting let the pool path silently diverge.
+        """
+        materialized = ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="materialized")
+        streaming = ServingEngine(store=None, max_workers=1).serve(
+            fleet, parallel=False, ingestion="streaming")
+        pooled = ServingEngine(store=None, max_workers=2).serve(
+            fleet, parallel=True)
+        assert pooled.ingestion == "pool"
+        assert (materialized.deadline_misses
+                == streaming.deadline_misses
+                == pooled.deadline_misses
+                == 0)
+
+    def test_throttled_misses_match_recorded_latencies(self, fleet):
+        """The counter is exactly the over-deadline latency samples.
+
+        A starved streaming loop queues frames past the uniform 300 ms
+        deadline; every miss the report counts must correspond one-to-one
+        with a ``virtual_latency_ms`` sample above the deadline — the
+        single-accounting-point invariant.
+        """
+        autoscaler = LatencyAutoscaler(min_workers=1, max_workers=1,
+                                       window=32)
+        engine = ServingEngine(store=None, max_workers=1,
+                               autoscaler=autoscaler,
+                               frames_per_worker_tick=1)
+        report = engine.serve(fleet, parallel=False, ingestion="streaming")
+        over = sum(1 for latency in report.virtual_latency_ms if latency > 300.0)
+        assert report.deadline_misses == over
+        assert report.deadline_misses > 0  # the throttle actually bit
+
+    def test_decision_log_monotone_across_serve_calls(self, fleet):
+        """A shared autoscaler's log stays clock-ordered call to call.
+
+        Each serve call's virtual clock restarts near zero; the engine's
+        continuity offset must keep the accumulated decision log sorted by
+        clock (and tick) so the service's metrics endpoint can order it.
+        """
+        autoscaler = LatencyAutoscaler(min_workers=1, max_workers=4,
+                                       window=32, grow_patience=2,
+                                       shrink_patience=4, cooldown=2)
+        engine = ServingEngine(store=None, max_workers=1,
+                               autoscaler=autoscaler,
+                               frames_per_worker_tick=1)
+        engine.serve(fleet, parallel=False, ingestion="streaming")
+        first_count = len(autoscaler.decisions)
+        engine.serve(fleet, parallel=False, ingestion="streaming")
+        assert len(autoscaler.decisions) > first_count
+        decisions = list(autoscaler.decisions)
+        clocks = [d.clock for d in decisions]
+        assert clocks == sorted(clocks)
+        # The second call's decisions (prime included) sit strictly after
+        # every clock of the first call's.
+        assert clocks[first_count] > clocks[first_count - 1]
+        ticks = [d.tick for d in decisions]
+        assert ticks == sorted(ticks) and len(set(ticks)) == len(ticks)
+
+
 class TestServingStore:
     def test_session_results_roundtrip(self, tmp_path):
         fleet = mixed_fleet(2, segment_duration=1.0, camera_rate_hz=RATE)

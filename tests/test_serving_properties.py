@@ -332,3 +332,112 @@ class TestAutoscalerProperties:
             LatencyAutoscaler(min_workers=4, max_workers=2)
         with pytest.raises(ValueError):
             LatencyAutoscaler(grow_pressure=0.3, shrink_pressure=0.5)
+
+
+class TestAutoscalerSaturation:
+    """Regression: pinned-at-cap overload must surface, not loop silently.
+
+    Before the fix, pressure above ``grow_pressure`` with the pool already
+    at ``max_workers`` grew ``_over_streak`` without bound and the log
+    emitted ``pressure ... (n/patience)`` holds forever — no caller could
+    distinguish "warming up to grow" from "pinned and drowning".  The
+    saturated signal is what the service front door sheds on.
+    """
+
+    def _saturate(self, scaler, rounds):
+        for _ in range(rounds):
+            scaler.observe(1000.0, deadline_ms=100.0)  # pressure 10
+            scaler.decide()
+
+    def test_pinned_overload_reports_saturated(self):
+        scaler = _scaler(min_workers=1, max_workers=1, grow_patience=2)
+        self._saturate(scaler, 6)
+        assert scaler.saturated
+        last = scaler.decisions[-1]
+        assert last.action == "hold"
+        assert last.saturated
+        assert last.reason.startswith("saturated")
+
+    def test_over_streak_is_clamped_at_patience(self):
+        scaler = _scaler(min_workers=1, max_workers=1, grow_patience=3)
+        self._saturate(scaler, 50)
+        assert scaler._over_streak == scaler.grow_patience
+
+    def test_saturation_requires_full_patience_streak(self):
+        """At cap but only briefly over-pressure: not saturated yet."""
+        scaler = _scaler(min_workers=1, max_workers=1, grow_patience=3)
+        self._saturate(scaler, 2)
+        assert not scaler.saturated
+        assert not scaler.decisions[-1].saturated
+        self._saturate(scaler, 1)
+        assert scaler.saturated
+
+    def test_saturation_clears_when_pressure_recedes(self):
+        scaler = _scaler(min_workers=1, max_workers=1, grow_patience=2,
+                         window=16)
+        self._saturate(scaler, 5)
+        assert scaler.saturated
+        for _ in range(16):  # a full window of healthy samples
+            scaler.observe(10.0, deadline_ms=100.0)  # pressure decays
+        scaler.decide()
+        assert not scaler.saturated
+        assert not scaler.decisions[-1].saturated
+
+    def test_growable_pool_never_saturates(self):
+        """Headroom means grow, never saturate, whatever the pressure."""
+        scaler = _scaler(min_workers=1, max_workers=8)
+        self._saturate(scaler, 40)
+        assert scaler.workers == scaler.max_workers  # it did grow to cap...
+        grow_ticks = [d.tick for d in scaler.decisions if d.action == "grow"]
+        saturated_ticks = [d.tick for d in scaler.decisions if d.saturated]
+        assert saturated_ticks  # ...then saturated at the cap
+        assert min(saturated_ticks) > max(grow_ticks)
+
+    def test_prime_resets_saturation(self):
+        scaler = _scaler(min_workers=1, max_workers=1, grow_patience=2)
+        self._saturate(scaler, 5)
+        assert scaler.saturated
+        scaler.prime(1)
+        assert not scaler.saturated
+
+    @given(trace=latency_traces, max_workers=st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_over_streak_never_exceeds_patience(self, trace, max_workers):
+        """The unbounded-streak bug, as an any-traffic invariant."""
+        scaler = _scaler(min_workers=1, max_workers=max_workers)
+        for latency in trace:
+            scaler.observe(latency, deadline_ms=100.0)
+            scaler.decide()
+            assert scaler._over_streak <= scaler.grow_patience
+            # The flag only ever rises with the pool pinned at the cap.
+            if scaler.saturated:
+                assert scaler.workers == scaler.max_workers
+
+
+class TestPrimeClock:
+    """Regression: prime() used to log every decision at clock=0.0."""
+
+    def test_prime_logs_the_callers_clock(self):
+        scaler = _scaler()
+        decision = scaler.prime(4, clock=17.5)
+        assert decision.action == "prime"
+        assert decision.clock == 17.5
+
+    def test_prime_default_clock_is_zero(self):
+        scaler = _scaler()
+        assert scaler.prime(2).clock == 0.0
+
+    def test_primes_across_serve_calls_stay_monotonic(self):
+        """Two serve calls' worth of prime+decide at offset clocks must
+        yield a log that sorts by clock — the metrics endpoint's contract."""
+        scaler = _scaler(cooldown=0)
+        clock = 0.0
+        for base in (0.0, 40.0):  # two consecutive serve calls
+            scaler.prime(2, clock=base)
+            for step in range(1, 6):
+                scaler.observe(500.0, deadline_ms=100.0)
+                scaler.decide(base + step)
+        clocks = [d.clock for d in scaler.decisions]
+        assert clocks == sorted(clocks)
+        ticks = [d.tick for d in scaler.decisions]
+        assert ticks == sorted(ticks) and len(set(ticks)) == len(ticks)
