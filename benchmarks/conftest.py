@@ -93,7 +93,8 @@ def warm_runs(request):
     benchmarks were collected (they build their own fleets and read none of
     the characterization runs), so the dedicated serving CI job stays lean.
     """
-    serving_benchmarks = {"test_serving_throughput.py", "test_map_reuse.py"}
+    serving_benchmarks = {"test_serving_throughput.py", "test_map_reuse.py",
+                          "test_obs_overhead.py"}
     benchmarks_dir = Path(__file__).parent
     paths = [Path(str(getattr(item, "fspath", "")))
              for item in getattr(request.session, "items", [])]

@@ -30,17 +30,25 @@ The epilogue is service mode: the same engine behind the asyncio front
 door (`repro.service`), with per-tenant QoS classes mapped onto serving
 deadlines and admission control shedding on the autoscaler's saturation
 signal.  A brief open-loop flash crowd overloads the pinned two-worker
-pool; the shed rate, goodput and turnaround tail are printed.
+pool; the shed rate, goodput and turnaround tail are printed.  The whole
+flash crowd runs fully instrumented: a shared `repro.obs.Tracer` collects
+admission verdicts, dispatch waves, autoscaler decisions and per-session
+mode schedules into one Chrome/Perfetto trace (exported to a temp file and
+summarized), and the service's Prometheus exposition is parsed back for
+the shed counters.
 
 Run with:  python examples/serving_demo.py
 """
 
 import asyncio
 import tempfile
+from collections import Counter
+from pathlib import Path
 
 from repro.experiments.common import accelerator_for
 from repro.experiments.runner import RunStore
 from repro.maps import MapStore
+from repro.obs import Tracer, parse_prometheus
 from repro.scheduler import LatencyAutoscaler
 from repro.service import (
     AdmissionController,
@@ -269,7 +277,12 @@ async def service_mode_demo() -> None:
         policy="saturation", max_inflight=64,
         saturated_inflight=autoscaler.max_workers * engine.frames_per_worker_tick,
         saturated_fn=lambda: autoscaler.saturated)
-    service = LocalizationService(engine, admission=admission, port=0)
+    # Full observability for the finale: the tracer is shared by the engine
+    # and the front door, so admission verdicts, dispatch waves, autoscaler
+    # decisions and every session's mode schedule land in one trace.
+    tracer = Tracer()
+    service = LocalizationService(engine, admission=admission, port=0,
+                                  tracer=tracer)
     await service.start()
     try:
         print(f"Service listening on {service.host}:{service.port} "
@@ -295,6 +308,23 @@ async def service_mode_demo() -> None:
           f"p95 {summary['p95_turnaround_ms']:.0f} ms")
     print(f"All admitted sessions completed: "
           f"{load.completed == load.admitted and load.errors == 0}")
+
+    # Export the flash crowd as a Perfetto/chrome trace (open in
+    # https://ui.perfetto.dev) and summarize what was captured, alongside
+    # the Prometheus view of the same run.
+    trace_path = tracer.export_chrome(
+        Path(tempfile.gettempdir()) / "eudoxus-flash-crowd-trace.json")
+    by_category = Counter(event.category for event in tracer.events)
+    print(f"Trace: {len(tracer)} spans -> {trace_path}")
+    print("  per category: " + ", ".join(
+        f"{category}={count}" for category, count
+        in sorted(by_category.items())))
+    families = parse_prometheus(service.registry.render_prometheus())
+    shed_samples = families["eudoxus_service_shed_total"]["samples"]
+    shed_by_reason = {key.split('reason="')[-1].rstrip('"}'): int(value)
+                      for key, value in shed_samples.items()}
+    print(f"Metrics: {len(families)} Prometheus families; "
+          f"shed counters {shed_by_reason}")
 
 
 if __name__ == "__main__":

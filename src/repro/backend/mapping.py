@@ -24,6 +24,7 @@ from repro.common.timing import StopwatchCollector
 from repro.frontend.frontend import FrontendResult
 from repro.linalg.ops import matmul, transpose
 from repro.linalg.solvers import batched_symmetric_inverse, solve_cholesky
+from repro.obs.profile import profile_kernel
 
 
 @dataclass
@@ -130,12 +131,15 @@ class KeyframeMapper:
             self._initialize_landmarks(keyframe)
 
         with stopwatch.measure("solver"):
-            iterations = self._optimize(workload)
+            with profile_kernel("slam.bundle_adjustment",
+                                keyframes=len(self.keyframes)):
+                iterations = self._optimize(workload)
             workload.solver_iterations = iterations
 
         with stopwatch.measure("marginalization"):
             if len(self.keyframes) > self.config.window_size:
-                self._marginalize_oldest(workload)
+                with profile_kernel("slam.marginalization"):
+                    self._marginalize_oldest(workload)
 
         workload.keyframes = len(self.keyframes)
         workload.landmarks = len(self.landmarks)

@@ -28,6 +28,7 @@ from repro.frontend.frontend import FrontendResult, TrackObservation
 from repro.linalg.decompositions import qr_reduced
 from repro.linalg.ops import matmul, quadratic_form, transpose
 from repro.linalg.solvers import solve_cholesky
+from repro.obs.profile import profile_kernel
 from repro.sensors.imu import GRAVITY, ImuSample
 
 
@@ -123,7 +124,8 @@ class Msckf:
         self._record_observations(frontend)
         finished = self._select_update_tracks(frontend)
         if finished:
-            self._update(finished, stopwatch, workload)
+            with profile_kernel("msckf.update", tracks=len(finished)):
+                self._update(finished, stopwatch, workload)
 
         self.last_workload = workload
         self.last_kernel_ms = stopwatch.as_dict()

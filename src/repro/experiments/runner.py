@@ -428,6 +428,10 @@ class RunStore:
     MAX_AGE_DAYS_ENV = STORE_MAX_AGE_DAYS_ENV
     DEFAULT_MAX_MB = DEFAULT_STORE_MAX_MB
     DEFAULT_MAX_AGE_DAYS = DEFAULT_STORE_MAX_AGE_DAYS
+    # Metric-name prefix for bind_metrics: subclasses persisting other
+    # artifact families (the fleet map store) override this so their
+    # hit/miss/eviction counters land in their own Prometheus families.
+    METRICS_PREFIX = "eudoxus_run_store"
 
     @classmethod
     def default_root(cls) -> Path:
@@ -445,8 +449,26 @@ class RunStore:
         self.misses = 0
         self.dropped = 0  # corrupted entries removed
         self.evicted = 0  # entries removed by the LRU bounds
+        # Observability (repro.obs): unbound until bind_metrics — every
+        # instrumentation site is guarded by a None check.
+        self.metrics = None
+        self._m_lookups = None
+        self._m_evicted = None
         self._sweep_stale_tmp()
         self.evict()
+
+    def bind_metrics(self, registry) -> None:
+        """Register this store's lookup/eviction counters with a
+        :class:`repro.obs.MetricsRegistry` (idempotent)."""
+        prefix = self.METRICS_PREFIX
+        self.metrics = registry
+        self._m_lookups = registry.counter(
+            f"{prefix}_lookups_total",
+            "Store lookups by outcome (hit, miss, dropped = corrupt entry).",
+            ("outcome",))
+        self._m_evicted = registry.counter(
+            f"{prefix}_evicted_total",
+            "Entries removed by the LRU size/age bounds.")
 
     def _sweep_stale_tmp(self, max_age_s: float = 3600.0) -> None:
         """Remove temp files left behind by writers that died mid-save.
@@ -492,18 +514,25 @@ class RunStore:
                 raise TypeError(f"unexpected cache payload: {type(result)!r}")
         except FileNotFoundError:
             self.misses += 1
+            if self._m_lookups is not None:
+                self._m_lookups.inc(outcome="miss")
             return None
         except Exception:
             # Corrupted, truncated or written by an incompatible version:
             # drop the entry and recompute.
             self.dropped += 1
             self.misses += 1
+            if self._m_lookups is not None:
+                self._m_lookups.inc(outcome="dropped")
+                self._m_lookups.inc(outcome="miss")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        if self._m_lookups is not None:
+            self._m_lookups.inc(outcome="hit")
         try:
             # Refresh recency so the LRU eviction keeps hot entries alive.
             os.utime(path)
@@ -561,6 +590,11 @@ class RunStore:
                 removed += self._try_unlink(path)
                 total -= size
         self.evicted += removed
+        # getattr: the construction-time evict() runs before the metric
+        # attributes exist on subclasses mid-__init__.
+        evicted_metric = getattr(self, "_m_evicted", None)
+        if removed and evicted_metric is not None:
+            evicted_metric.inc(removed)
         return removed
 
     @staticmethod

@@ -35,6 +35,7 @@ from repro.frontend.fast import FastDetector, Keypoint, keypoints_to_array
 from repro.frontend.optical_flow import LucasKanadeTracker
 from repro.frontend.orb import OrbDescriptor, descriptor_from_seed
 from repro.frontend.stereo import StereoMatcher
+from repro.obs.profile import profile_kernel
 from repro.sensors.dataset import Frame
 from repro.sensors.world import body_frame_from_camera
 
@@ -236,7 +237,9 @@ class VisualFrontend:
             if kept:
                 left_pixels = np.stack([stereo_obs.left_pixel for _, stereo_obs in kept])
                 right_pixels = np.stack([stereo_obs.right_pixel for _, stereo_obs in kept])
-                points_camera = rig.triangulate(left_pixels, right_pixels)
+                with profile_kernel("frontend.triangulation",
+                                    features=len(kept)):
+                    points_camera = rig.triangulate(left_pixels, right_pixels)
                 points_body = body_frame_from_camera(points_camera)
                 noise_stds = stereo_point_noise(
                     points_camera[:, 2], rig.camera.fx, rig.baseline, self.config.assumed_pixel_noise

@@ -69,6 +69,23 @@ class MapMerger:
         self.quarantine_fraction = float(np.clip(quarantine_fraction, 0.0, 1.0))
         self.drift_residual_m = max(0.0, float(drift_residual_m))
         self.relocate_min_observations = max(1, int(relocate_min_observations))
+        # Observability (repro.obs): per-landmark outcome census of the most
+        # recent apply_updates call (confirmed / relocated / pruned /
+        # carried), plus cumulative Prometheus counters once bound.  Pure
+        # telemetry — nothing below reads it, so it cannot perturb merges.
+        self.last_apply_stats: Dict[str, int] = {}
+        self.metrics = None
+        self._m_outcomes = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register the update-application outcome counter with a
+        :class:`repro.obs.MetricsRegistry` (idempotent)."""
+        self.metrics = registry
+        self._m_outcomes = registry.counter(
+            "eudoxus_map_merger_apply_outcomes_total",
+            "Per-landmark outcomes of MapUpdate applications "
+            "(confirmed, relocated, pruned, carried = unobserved).",
+            ("outcome",))
 
     def signature(self) -> Tuple:
         """The parameters that change what :meth:`merge` / :meth:`apply_updates`
@@ -234,6 +251,7 @@ class MapMerger:
         kept_unobserved = False
         structural_change = False  # any prune or relocation
         max_movement = 0.0
+        outcomes = {"confirmed": 0, "relocated": 0, "pruned": 0, "carried": 0}
         for i, lid in enumerate(snapshot.landmark_ids):
             lid = int(lid)
             stats = statistics.get(lid)
@@ -245,6 +263,7 @@ class MapMerger:
                 keep_counts.append(int(base_weights[i]))
                 residual_estimates.append(snapshot.mean_residual_m)
                 kept_unobserved = True
+                outcomes["carried"] += 1
                 continue
             n, observed_position, observed_residual, observed_max = stats
             offset = float(np.linalg.norm(observed_position - snapshot.positions[i]))
@@ -264,6 +283,7 @@ class MapMerger:
                 residual_estimates.append(scatter + offset * shrinkage)
                 max_estimates.append(scatter_max + offset * shrinkage)
                 max_movement = max(max_movement, offset * (1.0 - shrinkage))
+                outcomes["confirmed"] += 1
             elif n >= self.relocate_min_observations:
                 # Relocated: the world drifted and the fleet agrees on the
                 # new position; the stale prior is discarded entirely, and
@@ -274,9 +294,19 @@ class MapMerger:
                 residual_estimates.append(scatter)
                 max_estimates.append(scatter_max)
                 structural_change = True
+                outcomes["relocated"] += 1
             else:
                 # Pruned: drifted, under-observed — dropped.
                 structural_change = True
+                outcomes["pruned"] += 1
+
+        # Telemetry only — recorded even when the application quiesces below
+        # (the census of what the evidence said still happened).
+        self.last_apply_stats = outcomes
+        if self._m_outcomes is not None:
+            for outcome, count in sorted(outcomes.items()):
+                if count:
+                    self._m_outcomes.inc(count, outcome=outcome)
 
         ids = np.asarray(keep_ids, dtype=np.int64)
         positions = (np.stack(keep_positions) if keep_ids else np.zeros((0, 3)))

@@ -32,8 +32,9 @@ import os
 import re
 import shutil
 import time
+from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.experiments.runner import RunStore, code_fingerprint
 from repro.maps.merger import MapMerger
@@ -81,6 +82,7 @@ class MapStore(RunStore):
     MAX_AGE_DAYS_ENV = MAP_CACHE_MAX_AGE_DAYS_ENV
     DEFAULT_MAX_MB = DEFAULT_MAP_CACHE_MAX_MB
     DEFAULT_MAX_AGE_DAYS = DEFAULT_MAP_CACHE_MAX_AGE_DAYS
+    METRICS_PREFIX = "eudoxus_map_store"
 
     @classmethod
     def default_root(cls) -> Path:
@@ -95,6 +97,22 @@ class MapStore(RunStore):
         self._sweep_stale_generations()
         self.published = 0
         self.updated = 0  # environments compacted by apply_updates
+        # Map-service telemetry (ROADMAP item 5 slice): canonical resolves
+        # served from the memo vs recomputed, the wall latency of every
+        # forced merge (bounded reservoir), and per-environment canonical
+        # *version churn* — a churn tick is a canonical version change: a
+        # recompute producing a different version than the environment's
+        # previous canonical, or an update application writing a new one.
+        # The serving engine snapshots these around each serve call to
+        # report per-call deltas.
+        self.resolve_hits = 0
+        self.resolve_misses = 0
+        self.merge_ms: Deque[float] = deque(maxlen=4096)
+        self.version_churn: Dict[str, int] = {}
+        self._last_canonical_version: Dict[str, Optional[str]] = {}
+        self._m_resolves = None
+        self._m_merge_ms = None
+        self._m_churn = None
         # Canonical-map memo: one entry per environment, holding the merge
         # inputs it was computed from (snapshot keys straight from the file
         # stems — no unpickling on a hit — plus the merger's parameters)
@@ -105,6 +123,38 @@ class MapStore(RunStore):
         # the disk (see :meth:`evict`), so a dead environment never retains
         # its canonical map in memory.
         self._canonical: Dict[str, Tuple[Tuple, Optional[MapSnapshot]]] = {}
+
+    def bind_metrics(self, registry) -> None:
+        """Lookup counters from :class:`RunStore` plus the map-service
+        families: resolve outcome, merge latency, version churn, and a
+        collector-backed lifetime resolve hit-rate gauge."""
+        super().bind_metrics(registry)
+        self._m_resolves = registry.counter(
+            "eudoxus_map_store_resolve_total",
+            "Canonical-map resolves by outcome (memo hit vs recompute).",
+            ("outcome",))
+        self._m_merge_ms = registry.histogram(
+            "eudoxus_map_store_merge_ms",
+            "Wall latency of forced canonical merges.")
+        self._m_churn = registry.counter(
+            "eudoxus_map_store_version_churn_total",
+            "Canonical map version changes, per environment.",
+            ("environment",))
+        self._m_hit_rate = registry.gauge(
+            "eudoxus_map_store_resolve_hit_rate",
+            "Lifetime fraction of canonical resolves served from the memo.")
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        total = self.resolve_hits + self.resolve_misses
+        self._m_hit_rate.set(self.resolve_hits / total if total else 0.0)
+
+    def _record_churn(self, environment_id: str, version: Optional[str]) -> None:
+        self.version_churn[environment_id] = (
+            self.version_churn.get(environment_id, 0) + 1)
+        self._last_canonical_version[environment_id] = version
+        if self._m_churn is not None:
+            self._m_churn.inc(environment=environment_id)
 
     # -------------------------------------------------------------- lifecycle
 
@@ -187,8 +237,23 @@ class MapStore(RunStore):
             # Corrupt entries are dropped (and unlinked) during this load;
             # the memoed inputs keep their stems, so the next resolve sees
             # changed inputs and re-merges from the cleaned state.
-            cached = (inputs, merger.merge(self.snapshots(environment_id)))
+            started = time.perf_counter()
+            merged = merger.merge(self.snapshots(environment_id))
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            cached = (inputs, merged)
             self._canonical[environment_id] = cached
+            self.resolve_misses += 1
+            self.merge_ms.append(elapsed_ms)
+            version = merged.version if merged is not None else None
+            if version != self._last_canonical_version.get(environment_id):
+                self._record_churn(environment_id, version)
+            if self._m_resolves is not None:
+                self._m_resolves.inc(outcome="recompute")
+                self._m_merge_ms.observe(elapsed_ms)
+        else:
+            self.resolve_hits += 1
+            if self._m_resolves is not None:
+                self._m_resolves.inc(outcome="hit")
         return cached[1]
 
     def apply_updates(self, updates: List[MapUpdate],
@@ -271,6 +336,7 @@ class MapStore(RunStore):
             self._canonical.pop(environment_id, None)
             applied[environment_id] = updated
             self.updated += 1
+            self._record_churn(environment_id, updated.version)
         return applied
 
     def evict(self, max_bytes: Optional[float] = None,

@@ -1,0 +1,66 @@
+"""Observability plane: deterministic tracing + unified metrics.
+
+Three cooperating pieces, all inert until opted into:
+
+* :mod:`repro.obs.trace` — bounded-ring span tracing on the engine's
+  virtual clock (deterministic, pinned by tests) and wall clock (front
+  door, map service), exportable as Chrome/Perfetto trace JSON.
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with
+  Prometheus text exposition, bound into the engine, autoscaler, stores,
+  admission controller and service front door.
+* :mod:`repro.obs.profile` — env-gated hot-kernel profiling hooks.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.profile import (
+    disable_kernel_tracing,
+    enable_kernel_tracing,
+    kernel_tracer,
+    kernel_tracing_enabled,
+    profile_kernel,
+)
+from repro.obs.trace import (
+    CLOCK_DOMAINS,
+    DEFAULT_TRACE_CAPACITY,
+    SpanEvent,
+    TRACE_CAPACITY_ENV,
+    TRACE_ENV,
+    TRACE_KERNELS_ENV,
+    Tracer,
+    quantize_us,
+    trace_capacity,
+    tracer_from_env,
+    tracing_enabled,
+)
+
+__all__ = [
+    "CLOCK_DOMAINS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TRACE_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanEvent",
+    "TRACE_CAPACITY_ENV",
+    "TRACE_ENV",
+    "TRACE_KERNELS_ENV",
+    "Tracer",
+    "disable_kernel_tracing",
+    "enable_kernel_tracing",
+    "kernel_tracer",
+    "kernel_tracing_enabled",
+    "parse_prometheus",
+    "profile_kernel",
+    "quantize_us",
+    "trace_capacity",
+    "tracer_from_env",
+    "tracing_enabled",
+]

@@ -132,6 +132,35 @@ class LatencyAutoscaler:
         self._cooldown_left = 0
         self._tick = 0
         self._saturated = False
+        # Observability (repro.obs): unbound until bind_metrics; every
+        # recording site is guarded by a None check.
+        self.metrics = None
+        self._m_decisions = None
+        self._m_workers = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register the scaler's families with a
+        :class:`repro.obs.MetricsRegistry` (idempotent): decisions by
+        action, the current pool width, and the saturation flag."""
+        self.metrics = registry
+        self._m_decisions = registry.counter(
+            "eudoxus_autoscaler_decisions_total",
+            "Scaling evaluations by action (prime, grow, shrink, hold).",
+            ("action",))
+        self._m_workers = registry.gauge(
+            "eudoxus_autoscaler_workers",
+            "Pool width after the most recent scaling decision.")
+        self._m_saturated = registry.gauge(
+            "eudoxus_autoscaler_saturated",
+            "1 while the pool is pinned at max_workers under sustained "
+            "over-pressure (the front door's shed signal), else 0.")
+
+    def _record_decision(self, decision: "ScaleDecision") -> None:
+        if self._m_decisions is None:
+            return
+        self._m_decisions.inc(action=decision.action)
+        self._m_workers.set(decision.workers_after)
+        self._m_saturated.set(1.0 if decision.saturated else 0.0)
 
     @property
     def saturated(self) -> bool:
@@ -249,6 +278,7 @@ class LatencyAutoscaler:
             reason=reason,
         )
         self.decisions.append(decision)
+        self._record_decision(decision)
         return decision
 
     def decide(self, clock: float = 0.0) -> ScaleDecision:
@@ -332,6 +362,7 @@ class LatencyAutoscaler:
             saturated=self._saturated,
         )
         self.decisions.append(decision)
+        self._record_decision(decision)
         return decision
 
     # ------------------------------------------------------------ internals

@@ -97,6 +97,23 @@ class AdmissionController:
                 f"expected one of {ADMISSION_POLICIES}")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        # Observability (repro.obs): unbound until bind_metrics; the admit
+        # path is guarded by a None check.
+        self.metrics = None
+        self._m_verdicts = None
+        self._m_shed = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register the door's verdict/shed counters with a
+        :class:`repro.obs.MetricsRegistry` (idempotent)."""
+        self.metrics = registry
+        self._m_verdicts = registry.counter(
+            "eudoxus_service_admission_total",
+            "Admission verdicts by outcome and QoS class.",
+            ("verdict", "qos"))
+        self._m_shed = registry.counter(
+            "eudoxus_service_shed_total",
+            "Sessions refused at the door, by shed reason.", ("reason",))
 
     def admit(self, qos: QoSClass, inflight: int) -> AdmissionDecision:
         """Verdict for one session-create under the current load signals."""
@@ -107,6 +124,12 @@ class AdmissionController:
         else:
             key = decision.reason
             self.shed_counts[key] = self.shed_counts.get(key, 0) + 1
+        if self._m_verdicts is not None:
+            self._m_verdicts.inc(
+                verdict="admitted" if decision.admitted else "shed",
+                qos=qos.name)
+            if not decision.admitted:
+                self._m_shed.inc(reason=decision.reason)
         return decision
 
     def _decide(self, qos: QoSClass, inflight: int) -> AdmissionDecision:

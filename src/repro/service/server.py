@@ -16,9 +16,11 @@ only the scientific toolchain) exposing the session lifecycle:
 * ``GET /v1/sessions/{id}/result`` — long-poll for the session's result
   (seals an open session that already has segments; ``409`` if empty).
 * ``GET /healthz`` — liveness plus the current saturation signal.
-* ``GET /v1/metrics`` — counters, shed reasons, per-wave serving
-  summaries, turnaround percentiles, and the engine's clock-ordered
-  autoscaler decision log.
+* ``GET /v1/metrics`` — counters, shed reasons, map-service telemetry,
+  per-wave serving summaries, turnaround percentiles, and the engine's
+  clock-ordered autoscaler decision log.  ``?format=prometheus`` renders
+  the shared :class:`repro.obs.MetricsRegistry` as text exposition 0.0.4
+  instead of JSON.
 
 Serving runs in **waves**: a background dispatcher collects every sealed
 session, hands the batch to ``engine.serve(..., parallel=False,
@@ -41,14 +43,17 @@ Environment knobs (all ``EUDOXUS_SERVICE_*``):
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serving.engine import ServingEngine, ServingReport
 from repro.serving.session import SessionResult
 from repro.serving.streams import ScenarioKind, StreamSegment, StreamSpec
@@ -190,7 +195,9 @@ class LocalizationService:
                  qos_classes: Optional[Dict[str, QoSClass]] = None,
                  admission: Optional[AdmissionController] = None,
                  host: str = "127.0.0.1",
-                 port: Optional[int] = None) -> None:
+                 port: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.engine = engine
         self.qos_classes = dict(qos_classes or DEFAULT_QOS_CLASSES)
         self.host = host
@@ -210,6 +217,30 @@ class LocalizationService:
                 if scaler is not None else (lambda: False),
             )
         self.admission = admission
+        # Observability: the service owns one registry for the whole stack
+        # (``/v1/metrics?format=prometheus`` renders it) and shares the
+        # engine's tracer so front-door spans land in the same buffer as
+        # engine/map/scheduler spans.  Binding is idempotent and inert —
+        # golden signatures are pinned unchanged with it active.
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else engine.tracer
+        if tracer is not None:
+            engine.tracer = tracer
+        engine.bind_metrics(self.registry)
+        self.admission.bind_metrics(self.registry)
+        self._m_wave_wall = self.registry.histogram(
+            "eudoxus_service_wave_wall_ms",
+            "Wall-clock milliseconds per dispatch wave.")
+        self._m_turnaround = self.registry.histogram(
+            "eudoxus_service_turnaround_ms",
+            "Seal-to-finish turnaround per session, milliseconds.")
+        self._m_inflight = self.registry.gauge(
+            "eudoxus_service_inflight",
+            "Admitted, unfinished sessions right now.")
+        self._m_session_states = self.registry.gauge(
+            "eudoxus_service_sessions",
+            "Session lifecycle totals by terminal outcome.", ("outcome",))
+        self.registry.register_collector(self._collect_metrics)
         self.sessions: Dict[str, _ServiceSession] = {}
         self.created = 0
         self.completed = 0
@@ -277,12 +308,17 @@ class LocalizationService:
                 session.state = "serving"
             specs = [session.spec() for session in wave]
             started = time.perf_counter()
+            wave_span = (self.tracer.wall_span(
+                "service.wave", "service", track="service",
+                sessions=len(wave))
+                if self.tracer is not None else contextlib.nullcontext())
             try:
                 # The engine is synchronous and CPU-bound; a worker thread
                 # keeps admission and health endpoints live mid-wave.
-                report: ServingReport = await asyncio.to_thread(
-                    self.engine.serve, specs,
-                    parallel=False, ingestion="streaming")
+                with wave_span:
+                    report: ServingReport = await asyncio.to_thread(
+                        self.engine.serve, specs,
+                        parallel=False, ingestion="streaming")
             except Exception as exc:  # engine bug or bad fleet: fail the wave
                 for session in wave:
                     session.state = "failed"
@@ -306,8 +342,10 @@ class LocalizationService:
                 if session.sealed_at is not None:
                     turnaround = 1000.0 * (finished - session.sealed_at)
                     self.turnaround_ms.append(turnaround)
+                    self._m_turnaround.observe(turnaround)
                 session.done.set()
             del self.turnaround_ms[:-TURNAROUND_RESERVOIR]
+            self._m_wave_wall.observe(1000.0 * (finished - started))
             self.waves.append({
                 "sessions": float(len(wave)),
                 "wall_s": finished - started,
@@ -322,19 +360,26 @@ class LocalizationService:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        content_type = "application/json"
         try:
-            status, payload = await self._handle_request(reader)
+            response = await self._handle_request(reader)
         except ServiceError as exc:
-            status, payload = exc.status, {"error": str(exc)}
+            response = exc.status, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 — last-resort 500 mapping
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode()
+            response = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        if len(response) == 3:
+            # Non-JSON route (Prometheus exposition): pre-rendered text.
+            status, text, content_type = response
+            body = str(text).encode()
+        else:
+            status, payload = response
+            body = json.dumps(payload).encode()
         reason = {200: "OK", 201: "Created", 400: "Bad Request",
                   404: "Not Found", 409: "Conflict",
                   503: "Service Unavailable"}.get(status, "Error")
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n".encode() + body)
         try:
@@ -345,7 +390,8 @@ class LocalizationService:
             pass
 
     async def _handle_request(self, reader: asyncio.StreamReader
-                              ) -> Tuple[int, Dict[str, object]]:
+                              ) -> Union[Tuple[int, Dict[str, object]],
+                                         Tuple[int, str, str]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise ServiceError(400, "empty request")
@@ -373,11 +419,27 @@ class LocalizationService:
         return await self._route(method, path, body)
 
     async def _route(self, method: str, path: str,
-                     body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+                     body: Dict[str, object]
+                     ) -> Union[Tuple[int, Dict[str, object]],
+                                Tuple[int, str, str]]:
+        path, _, query = path.partition("?")
+        params: Dict[str, str] = {}
+        for pair in query.split("&"):
+            if pair:
+                name, _, value = pair.partition("=")
+                params[name] = value
         if method == "GET" and path == "/healthz":
             return 200, {"status": "ok", "inflight": self.inflight,
                          "saturated": self._saturated()}
         if method == "GET" and path == "/v1/metrics":
+            fmt = params.get("format", "json")
+            if fmt == "prometheus":
+                return (200, self.registry.render_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8")
+            if fmt != "json":
+                raise ServiceError(
+                    400, f"unknown metrics format {fmt!r}; "
+                         f"expected 'json' or 'prometheus'")
             return 200, self.metrics()
         if method == "POST" and path == "/v1/sessions":
             return await self._create_session(body)
@@ -410,6 +472,12 @@ class LocalizationService:
                 400, f"unknown QoS class {qos_name!r}; expected one of "
                      f"{sorted(self.qos_classes)}")
         decision = self.admission.admit(qos, self.inflight)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "admission.admit" if decision.admitted else "admission.shed",
+                "service", self.tracer.wall_now(), clock="wall",
+                track="service", qos=qos.name, reason=decision.reason,
+                inflight=decision.inflight)
         if not decision.admitted:
             raise ServiceError(
                 503, f"shed ({decision.reason}): inflight {decision.inflight}"
@@ -493,6 +561,35 @@ class LocalizationService:
 
     # ------------------------------------------------------------- metrics
 
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Live gauges, refreshed at exposition time (not on the hot path)."""
+        self._m_inflight.set(float(self.inflight))
+        self._m_session_states.set(float(self.created), outcome="created")
+        self._m_session_states.set(float(self.completed), outcome="completed")
+        self._m_session_states.set(float(self.failed), outcome="failed")
+        self._m_session_states.set(
+            float(self.admission.shed_count), outcome="shed")
+
+    def _map_service_metrics(self) -> Optional[Dict[str, object]]:
+        """ROADMAP item 5 telemetry: the map service's live counters, or
+        ``None`` when the engine serves without a fleet-map plane."""
+        store = getattr(self.engine, "map_store", None)
+        if store is None:
+            return None
+        total = store.resolve_hits + store.resolve_misses
+        merge_ms = list(store.merge_ms)
+        return {
+            "resolve_hits": store.resolve_hits,
+            "resolve_misses": store.resolve_misses,
+            "resolve_hit_rate": (store.resolve_hits / total) if total else 0.0,
+            "merge_count": len(merge_ms),
+            "merge_p50_ms": (float(np.percentile(merge_ms, 50.0))
+                             if merge_ms else 0.0),
+            "published": store.published,
+            "updated": store.updated,
+            "version_churn": dict(sorted(store.version_churn.items())),
+        }
+
     def metrics(self) -> Dict[str, object]:
         scaler = self.engine.autoscaler
         decisions: List[Dict[str, object]] = []
@@ -523,6 +620,7 @@ class LocalizationService:
                 for name, qos in self.qos_classes.items()
             },
             "saturated": self._saturated(),
+            "map_service": self._map_service_metrics(),
             "turnaround_ms": percentiles,
             "waves": self.waves[-32:],
             # Monotone across waves thanks to the engine's decision-clock

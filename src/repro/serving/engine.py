@@ -51,11 +51,12 @@ pass.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import heapq
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,6 +71,8 @@ from repro.experiments.runner import (
     resolve_max_workers,
 )
 from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, tracer_from_env
 from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
 from repro.serving.session import DEFAULT_INGRESS_CAPACITY, Session, SessionResult
 from repro.serving.streams import (
@@ -175,6 +178,15 @@ class ServingReport:
     fleet_maps: Dict[str, str] = field(default_factory=dict)
     maps_published: int = 0
     maps_updated: Dict[str, str] = field(default_factory=dict)
+    # Map-service telemetry (ROADMAP item 5 slice): deltas of the map
+    # store's counters over this serve call — canonical resolves served
+    # from the memo vs recomputed, the wall latency of each forced merge,
+    # and per-environment canonical version churn (recomputes and update
+    # applications that changed the version).
+    map_resolve_hits: int = 0
+    map_resolve_misses: int = 0
+    map_merge_ms: List[float] = field(default_factory=list)
+    map_version_churn: Dict[str, int] = field(default_factory=dict)
 
     @property
     def session_count(self) -> int:
@@ -204,6 +216,17 @@ class ServingReport:
     def map_update_count(self) -> int:
         """MapUpdate deltas the fleet's registration sessions produced."""
         return sum(len(result.map_updates) for result in self.results.values())
+
+    @property
+    def map_resolve_hit_rate(self) -> float:
+        """Fraction of canonical resolves served from the memo (0 when none)."""
+        total = self.map_resolve_hits + self.map_resolve_misses
+        return self.map_resolve_hits / total if total else 0.0
+
+    def map_merge_percentile(self, percent: float) -> float:
+        if not self.map_merge_ms:
+            return 0.0
+        return float(np.percentile(self.map_merge_ms, percent))
 
     def mode_census(self) -> Dict[str, int]:
         """Served frames per backend mode across the fleet.
@@ -268,6 +291,66 @@ class ServingReport:
             "maps_published": self.maps_published,
             "map_updates": self.map_update_count,
             "maps_updated": len(self.maps_updated),
+            "map_resolve_hit_rate": self.map_resolve_hit_rate,
+            "map_merge_p50_ms": self.map_merge_percentile(50.0),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Complete, JSON-stable serialization of the report.
+
+        Everything :meth:`summary` reports plus the fleet-map lifecycle
+        state it elides — resolved canonical versions, refreshed versions,
+        acquisition/publish/update provenance, resolve hit rate and version
+        churn — and a per-session outcome digest keyed by stream id.  Bulky
+        raw telemetry (per-frame latency lists, decision reasons) is
+        summarized, not dumped: the dict is a wire/log artifact, not a
+        pickle substitute.  The key set is pinned by
+        ``tests/test_obs_serving.py``; extend the pin when adding fields.
+        """
+        return {
+            "ingestion": self.ingestion,
+            "parallel": self.parallel,
+            "workers": self.workers,
+            "final_workers": self.final_workers,
+            "wall_s": self.wall_s,
+            "ticks": self.ticks,
+            "session_count": self.session_count,
+            "computed_sessions": self.computed_sessions,
+            "store_hits": self.store_hits,
+            "frame_count": self.frame_count,
+            "sessions_per_second": self.sessions_per_second,
+            "frames_per_second": self.frames_per_second,
+            "mean_batch_size": self.mean_batch_size,
+            "p50_frame_ms": self.latency_percentile(50.0),
+            "p95_frame_ms": self.latency_percentile(95.0),
+            "p50_serving_ms": self.virtual_latency_percentile(50.0),
+            "p95_serving_ms": self.virtual_latency_percentile(95.0),
+            "deadline_misses": self.deadline_misses,
+            "mode_census": self.mode_census(),
+            "mode_switches": self.mode_switch_count,
+            "resizes": self.resize_count,
+            "scale_decisions": [asdict(decision) for decision in self.scale_decisions],
+            "fleet_maps": dict(sorted(self.fleet_maps.items())),
+            "maps_published": self.maps_published,
+            "maps_updated": dict(sorted(self.maps_updated.items())),
+            "map_acquisition_count": self.map_acquisition_count,
+            "map_update_count": self.map_update_count,
+            "map_resolve_hits": self.map_resolve_hits,
+            "map_resolve_misses": self.map_resolve_misses,
+            "map_resolve_hit_rate": self.map_resolve_hit_rate,
+            "map_merge_p50_ms": self.map_merge_percentile(50.0),
+            "map_version_churn": dict(sorted(self.map_version_churn.items())),
+            "sessions": {
+                stream_id: {
+                    "frames": result.frame_count,
+                    "mode_switches": len(result.mode_switches),
+                    "map_acquisitions": len(result.map_acquisitions),
+                    "published_maps": len(result.published_maps),
+                    "map_updates": len(result.map_updates),
+                    "signature": result.signature(),
+                }
+                for stream_id, result in sorted(self.results.items())
+            },
         }
 
 
@@ -295,7 +378,9 @@ class ServingEngine:
                  map_merger: Optional[MapMerger] = None,
                  min_map_quality: float = DEFAULT_MIN_MAP_QUALITY,
                  map_updates: bool = True,
-                 map_aware_sizing: Optional[bool] = None) -> None:
+                 map_aware_sizing: Optional[bool] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.store = store
         self.max_workers = resolve_max_workers(max_workers)
         self.autoscaler = autoscaler
@@ -333,6 +418,14 @@ class ServingEngine:
         # well as by tick.  Latency accounting always uses the raw virtual
         # clock; the offset is telemetry-only.
         self._decision_clock = 0.0
+        # Observability (repro.obs): both hooks are inert when absent — the
+        # tracer only ever collects spans (nothing reads it mid-serve, so it
+        # cannot perturb results), and every metric site is guarded by a
+        # None check.  EUDOXUS_TRACE=1 auto-creates a tracer.
+        self.tracer = tracer if tracer is not None else tracer_from_env()
+        self.metrics: Optional[MetricsRegistry] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
 
     def serve(self, specs: Sequence[StreamSpec], parallel: Optional[bool] = None,
               ingestion: Optional[str] = None) -> ServingReport:
@@ -364,6 +457,10 @@ class ServingEngine:
                              "it cannot be combined with parallel=True")
         started = time.perf_counter()
         report = ServingReport(workers=self.max_workers)
+        # The virtual-clock offset this call's deterministic spans are
+        # shifted by — captured before any path can advance it.
+        trace_offset = self._decision_clock
+        map_counters = self._map_counters()
         # Fleet-map resolution happens once, before any path dispatch: every
         # execution path (store hit, streaming, materialized, pool) of this
         # call sees the same canonical map per environment, which is what
@@ -384,6 +481,11 @@ class ServingEngine:
             if self.store is not None:
                 key = serving_key(spec, self._map_versions(maps_by_stream[spec.stream_id]))
                 stored = self.store.load_key(key, expect=SessionResult)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "run_store.hit" if stored is not None else "run_store.miss",
+                        "store", self.tracer.wall_now(), clock="wall",
+                        track="store", stream=spec.stream_id)
                 if stored is not None:
                     report.store_hits += 1
                     replayed.add(spec.stream_id)
@@ -416,6 +518,9 @@ class ServingEngine:
                     self._absorb(report, spec, result, maps_by_stream)
         self._publish_fleet_maps(report, replayed)
         self._apply_map_updates(report, replayed)
+        self._finish_map_telemetry(report, map_counters)
+        self._emit_trace(report, trace_offset)
+        self._record_serve_metrics(report)
         report.wall_s = time.perf_counter() - started
         return report
 
@@ -510,6 +615,13 @@ class ServingEngine:
                 served_cost += (segment_costs[stream_id][stream_frame.segment_index]
                                 if segment_costs else 1.0)
                 latency_ms = max(0.0, (clock - arrival) * 1000.0)
+                if self.tracer is not None:
+                    # Arrival-to-service on the virtual clock: the queueing
+                    # delay the autoscaler regulates, one span per frame.
+                    self.tracer.span("frame.wait", "engine",
+                                     clock_base + arrival,
+                                     max(0.0, clock - arrival),
+                                     track="ingress", stream=stream_id)
                 deadline = session.spec.deadline_ms
                 self._account_service_latency(report, latency_ms, deadline)
                 if self.autoscaler is not None:
@@ -602,10 +714,13 @@ class ServingEngine:
                     "maps": maps_by_stream.get(spec.stream_id) or {}}
 
         if self.autoscaler is None:
-            for index, result in fan_out(_run_session_payload,
-                                         [_pool_payload(spec) for spec in cold],
-                                         self.max_workers, on_pool=_mark_parallel):
-                self._absorb(report, cold[index], result, maps_by_stream)
+            with self._maybe_wall_span("wave.dispatch", "engine", track="pool",
+                                       sessions=len(cold),
+                                       width=self.max_workers):
+                for index, result in fan_out(_run_session_payload,
+                                             [_pool_payload(spec) for spec in cold],
+                                             self.max_workers, on_pool=_mark_parallel):
+                    self._absorb(report, cold[index], result, maps_by_stream)
             return
 
         autoscaler = self.autoscaler
@@ -631,14 +746,17 @@ class ServingEngine:
                 while queue:
                     wave = queue[:max(1, pool.width)]
                     del queue[:len(wave)]
-                    for index, result in fan_out(_run_session_payload,
-                                                 [_pool_payload(spec) for spec in wave],
-                                                 pool.width, on_pool=_mark_parallel,
-                                                 pool=pool):
-                        spec = wave[index]
-                        self._absorb(report, spec, result, maps_by_stream)
-                        for wall_ms in result.frame_wall_ms:
-                            autoscaler.observe(wall_ms, spec.deadline_ms)
+                    with self._maybe_wall_span("wave.dispatch", "engine",
+                                               track="pool", sessions=len(wave),
+                                               width=pool.width):
+                        for index, result in fan_out(_run_session_payload,
+                                                     [_pool_payload(spec) for spec in wave],
+                                                     pool.width, on_pool=_mark_parallel,
+                                                     pool=pool):
+                            spec = wave[index]
+                            self._absorb(report, spec, result, maps_by_stream)
+                            for wall_ms in result.frame_wall_ms:
+                                autoscaler.observe(wall_ms, spec.deadline_ms)
                     if queue:
                         # Only decide while there is still work to size for:
                         # a decision after the last wave would mutate the
@@ -722,6 +840,127 @@ class ServingEngine:
             reason=(f"map-aware sizing prior: expected demand "
                     f"{demand:.2f} cost-units/tick over {len(specs)} sessions"),
             clock=clock)
+
+    # -------------------------------------------------------- observability
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Register the engine's metric families and cascade to the attached
+        autoscaler, run store and map store.  Idempotent — family creation
+        returns the existing family on re-registration."""
+        self.metrics = registry
+        self._m_serves = registry.counter(
+            "eudoxus_engine_serve_calls_total",
+            "Serve calls by resolved ingestion path.", ("ingestion",))
+        self._m_sessions = registry.counter(
+            "eudoxus_engine_sessions_total",
+            "Sessions resolved, by outcome (computed vs run-store hit).",
+            ("outcome",))
+        self._m_frames = registry.counter(
+            "eudoxus_engine_frames_total",
+            "Frames served across the fleet (computed and replayed sessions).")
+        self._m_mode_frames = registry.counter(
+            "eudoxus_engine_mode_frames_total",
+            "Frames served per backend mode (the Fig. 2 census).", ("mode",))
+        self._m_latency = registry.histogram(
+            "eudoxus_engine_serving_latency_ms",
+            "Virtual-clock serving latency: arrival to service, per frame.")
+        self._m_misses = registry.counter(
+            "eudoxus_engine_deadline_misses_total",
+            "Frames served past their QoS deadline on the virtual schedule.")
+        self._m_switches = registry.counter(
+            "eudoxus_engine_mode_switches_total",
+            "Online backend mode switches across the fleet.")
+        self._m_hit_rate = registry.gauge(
+            "eudoxus_engine_map_resolve_hit_rate",
+            "Canonical map resolve hit rate of the most recent serve call.")
+        if self.autoscaler is not None:
+            self.autoscaler.bind_metrics(registry)
+        if self.store is not None:
+            self.store.bind_metrics(registry)
+        if self.map_store is not None:
+            self.map_store.bind_metrics(registry)
+            self.map_merger.bind_metrics(registry)
+
+    def _maybe_wall_span(self, name: str, category: str, *, track: str,
+                         **args: object):
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return self.tracer.wall_span(name, category, track=track, **args)
+
+    def _map_counters(self) -> Optional[Dict[str, object]]:
+        """Snapshot of the map store's telemetry counters (None storeless)."""
+        if self.map_store is None:
+            return None
+        return {"hits": self.map_store.resolve_hits,
+                "misses": self.map_store.resolve_misses,
+                "merges": len(self.map_store.merge_ms),
+                "churn": dict(self.map_store.version_churn)}
+
+    def _finish_map_telemetry(self, report: ServingReport,
+                              before: Optional[Dict[str, object]]) -> None:
+        """Fold this call's map-store counter deltas into the report."""
+        if before is None or self.map_store is None:
+            return
+        store = self.map_store
+        report.map_resolve_hits = store.resolve_hits - before["hits"]
+        report.map_resolve_misses = store.resolve_misses - before["misses"]
+        report.map_merge_ms = list(store.merge_ms)[before["merges"]:]
+        churn: Dict[str, int] = {}
+        for environment_id, count in store.version_churn.items():
+            delta = count - before["churn"].get(environment_id, 0)
+            if delta:
+                churn[environment_id] = delta
+        report.map_version_churn = churn
+
+    def _emit_trace(self, report: ServingReport, clock_offset: float) -> None:
+        """Fold this call's deterministic span set into the tracer.
+
+        Session-category spans are *derived from result data* post-serve
+        (:meth:`SessionResult.trace_spans`), never recorded on the hot path
+        — so by the bit-identity contract they are identical across the
+        materialized, streaming and pool ingestion paths and on warm store
+        hits.  Scheduler instants come from the report's decision log
+        (already on the continuity-offset virtual clock); map-lifecycle
+        events are wall-domain telemetry.  Emission order is deterministic:
+        sorted stream ids, then decisions in log order.
+        """
+        if self.tracer is None:
+            return
+        for stream_id in sorted(report.results):
+            self.tracer.extend(report.results[stream_id].trace_spans(clock_offset))
+        for decision in report.scale_decisions:
+            self.tracer.instant(
+                f"autoscaler.{decision.action}", "scheduler", decision.clock,
+                track="autoscaler", workers_before=decision.workers_before,
+                workers_after=decision.workers_after, reason=decision.reason)
+        wall = self.tracer.wall_now()
+        for environment_id, version in sorted(report.fleet_maps.items()):
+            self.tracer.instant("map.resolve", "maps", wall, clock="wall",
+                                track="maps", environment=environment_id,
+                                version=version[:12])
+        if report.maps_published:
+            self.tracer.instant("map.publish_wave", "maps", wall, clock="wall",
+                                track="maps", published=report.maps_published)
+        for environment_id, version in sorted(report.maps_updated.items()):
+            self.tracer.instant("map.apply_updates", "maps", wall, clock="wall",
+                                track="maps", environment=environment_id,
+                                version=version[:12])
+
+    def _record_serve_metrics(self, report: ServingReport) -> None:
+        if self.metrics is None:
+            return
+        self._m_serves.inc(ingestion=report.ingestion or "none")
+        self._m_sessions.inc(report.computed_sessions, outcome="computed")
+        self._m_sessions.inc(report.store_hits, outcome="store_hit")
+        self._m_frames.inc(report.frame_count)
+        for mode, count in sorted(report.mode_census().items()):
+            self._m_mode_frames.inc(count, mode=mode)
+        for latency_ms in report.virtual_latency_ms:
+            self._m_latency.observe(latency_ms)
+        self._m_misses.inc(report.deadline_misses)
+        self._m_switches.inc(report.mode_switch_count)
+        if report.map_resolve_hits or report.map_resolve_misses:
+            self._m_hit_rate.set(report.map_resolve_hit_rate)
 
     # ------------------------------------------------------------ internals
 

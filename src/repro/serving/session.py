@@ -223,6 +223,76 @@ class SessionResult:
             digest.update(f"upd:{update.environment_id}:{update.version}".encode())
         return digest.hexdigest()
 
+    def trace_spans(self, clock_offset: float = 0.0) -> List["SpanEvent"]:
+        """Derive this session's deterministic trace spans (virtual clock).
+
+        Spans are computed *from the result data* — estimate timestamps and
+        modes, switch events, map provenance — never recorded on the serving
+        hot path.  Because a session result is a pure function of its spec
+        (the bit-identity contract :meth:`signature` witnesses), the derived
+        span sequence is identical across the materialized, streaming and
+        pool ingestion paths, and on warm store hits.  ``clock_offset``
+        shifts the stream-relative timestamps onto the engine's continuous
+        decision clock.
+        """
+        from repro.obs.trace import SpanEvent, quantize_us
+
+        estimates = self.trajectory.estimates
+        if not estimates:
+            return []
+        rate = float(self.spec_payload.get("camera_rate_hz", 0.0) or 0.0)
+        interval = 1.0 / rate if rate > 0.0 else 0.0
+
+        def span(name: str, start: float, duration: float,
+                 phase: str = "X", **args: object) -> SpanEvent:
+            return SpanEvent(
+                name=name, category="session", phase=phase, clock="virtual",
+                timestamp_us=quantize_us(clock_offset + start),
+                duration_us=max(0, quantize_us(duration)),
+                track=self.stream_id, args=tuple(sorted(args.items())))
+
+        first, last = estimates[0].timestamp, estimates[-1].timestamp
+        spans = [span("session", first, (last - first) + interval,
+                      frames=self.frame_count,
+                      switches=len(self.mode_switches))]
+        # Mode runs: consecutive frames served by the same backend collapse
+        # into one span each — the trace shows *which backend held the
+        # stream when*, not five hundred per-frame slivers.
+        run_start = 0
+        for index in range(1, len(estimates) + 1):
+            if (index == len(estimates)
+                    or estimates[index].mode != estimates[run_start].mode):
+                start_ts = estimates[run_start].timestamp
+                end_ts = estimates[index - 1].timestamp
+                spans.append(span(f"mode.{estimates[run_start].mode}",
+                                  start_ts, (end_ts - start_ts) + interval,
+                                  frames=index - run_start,
+                                  start_frame=run_start))
+                run_start = index
+        for switch in self.mode_switches:
+            spans.append(span("mode.switch", switch.timestamp, 0.0, phase="i",
+                              frame=switch.frame_index,
+                              from_mode=str(switch.from_mode),
+                              to_mode=switch.to_mode, reason=switch.reason))
+        for acquisition in self.map_acquisitions:
+            spans.append(span("map.acquire", acquisition.timestamp, 0.0,
+                              phase="i",
+                              environment=acquisition.environment_id,
+                              version=acquisition.version[:12],
+                              frame=acquisition.frame_index))
+        # Publishes and updates are flushed at segment exit / end of serve;
+        # snapshots carry no stream timestamp, so pin them to session end.
+        session_end = last + interval
+        for snapshot in self.published_maps:
+            spans.append(span("map.publish", session_end, 0.0, phase="i",
+                              environment=snapshot.environment_id,
+                              version=snapshot.version[:12]))
+        for update in self.map_updates:
+            spans.append(span("map.update", session_end, 0.0, phase="i",
+                              environment=update.environment_id,
+                              version=update.version[:12]))
+        return spans
+
 
 class Session:
     """One client's serving state: stream position, ingress queue, localizer.
