@@ -84,6 +84,14 @@ def serving_settings(request):
     return {"segment_duration": 2.4}
 
 
+@pytest.fixture(scope="session")
+def shard_settings(request):
+    """Shard ladder for the horizontal-scaling benchmark."""
+    if _smoke_selected(request.config):
+        return {"shard_counts": (1, 2)}
+    return {"shard_counts": (1, 2, 4)}
+
+
 @pytest.fixture(scope="session", autouse=True)
 def warm_runs(request):
     """Build the per-mode characterization runs once for the whole session.
@@ -94,7 +102,7 @@ def warm_runs(request):
     the characterization runs), so the dedicated serving CI job stays lean.
     """
     serving_benchmarks = {"test_serving_throughput.py", "test_map_reuse.py",
-                          "test_obs_overhead.py"}
+                          "test_obs_overhead.py", "test_shard_scaling.py"}
     benchmarks_dir = Path(__file__).parent
     paths = [Path(str(getattr(item, "fspath", "")))
              for item in getattr(request.session, "items", [])]

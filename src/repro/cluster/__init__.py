@@ -1,0 +1,50 @@
+"""Horizontal sharding: N serving engines coordinated through the stores.
+
+The cluster layer scales the single-box serving stack sideways without a
+control plane: a :class:`HashRing` partitions the fleet by ``stream_id``,
+a :class:`ShardedServingEngine` runs one full serving engine per shard
+(each with its own autoscaler and store handles), and a
+:class:`ShardRebalancer` shifts hash slots between waves using the
+deadline pressure the shard autoscalers already measure.  All cross-shard
+coordination goes through the shared content-addressed ``RunStore`` /
+``MapStore`` roots — the same wave-to-wave coordination contract the
+single engine already obeys.
+"""
+
+from repro.cluster.engine import (
+    SHARDS_ENV,
+    ShardedServingEngine,
+    ShardedServingReport,
+    resolve_shard_count,
+)
+from repro.cluster.rebalance import (
+    DEFAULT_MAX_SLOT_MOVES,
+    DEFAULT_PRESSURE_GAP,
+    MAX_SLOT_MOVES_ENV,
+    PRESSURE_GAP_ENV,
+    RebalanceDecision,
+    ShardRebalancer,
+)
+from repro.cluster.ring import (
+    DEFAULT_SLOT_COUNT,
+    HashRing,
+    SLOT_COUNT_ENV,
+    resolve_slot_count,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SLOT_MOVES",
+    "DEFAULT_PRESSURE_GAP",
+    "DEFAULT_SLOT_COUNT",
+    "HashRing",
+    "MAX_SLOT_MOVES_ENV",
+    "PRESSURE_GAP_ENV",
+    "RebalanceDecision",
+    "SHARDS_ENV",
+    "SLOT_COUNT_ENV",
+    "ShardRebalancer",
+    "ShardedServingEngine",
+    "ShardedServingReport",
+    "resolve_shard_count",
+    "resolve_slot_count",
+]

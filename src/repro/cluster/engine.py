@@ -1,0 +1,729 @@
+"""Horizontally sharded serving: N engines, one map store, zero RPC.
+
+:class:`ShardedServingEngine` scales :class:`~repro.serving.ServingEngine`
+past one process-pool on one box.  A fleet is consistent-hashed on
+``stream_id`` across N shards (:class:`~repro.cluster.ring.HashRing` —
+fixed hash slots, rebalanced by slot reassignment), each shard a full
+``ServingEngine`` with its own run-store handle, map-store handle, and
+:class:`~repro.scheduler.LatencyAutoscaler`.  The shards coordinate
+**only** through the shared content-addressed stores — the same
+coordination plane the single-box engine already uses across waves:
+
+* one shard's published :class:`~repro.maps.MapSnapshot`\\ s become part of
+  the canonical merge every shard resolves next wave (publishes are
+  content-addressed and idempotent, so concurrent shard writers are safe
+  by construction);
+* ``MapUpdate`` deltas are applied **centrally by the coordinator** in one
+  fold after all shards finish.  Unlike publishes, update application
+  produces a new canonical version from an order-sensitive accumulation —
+  one fold through one store handle (with the deltas sorted inside
+  :meth:`~repro.maps.MapStore.apply_updates`) is what keeps the resulting
+  version independent of shard count and shard completion order;
+* a session computed by any shard lands in the shared run store under the
+  same ``serving_key``, so a stream rebalanced to another shard replays
+  from cache instead of recomputing.
+
+**Determinism contract.**  Sessions are pure functions of
+``(spec, resolved maps)``.  The coordinator resolves the wave's canonical
+assignment once, pre-dispatch, and pins every shard to it
+(``ServingEngine.serve(..., fleet_maps=...)``) — so shard count, slot
+assignment, and in-process vs process-parallel shard execution cannot
+change a single served pose.  The single-shard report signature is pinned
+bit-identical to the plain engine's (tests/test_cluster.py), and N-shard
+session signatures equal the plain engine's session by session.
+
+**Rebalancing.**  After each wave the coordinator feeds the per-shard
+deadline pressure (from the autoscalers' decision logs) and the expected
+per-slot serving cost (the ``MODE_FRAME_COST`` economics over the resolved
+maps — the cross-environment sizing prior, applied at partition time) to a
+:class:`~repro.cluster.rebalance.ShardRebalancer`, which moves hash slots
+from the hottest shard to the coolest between waves.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import RunStore, fan_out, resolve_max_workers
+from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, tracer_from_env
+from repro.scheduler.autoscaler import LatencyAutoscaler
+from repro.sensors.dataset import segment_frame_count
+from repro.serving.engine import ServingEngine, ServingReport
+from repro.serving.streams import StreamSpec
+from repro.cluster.rebalance import RebalanceDecision, ShardRebalancer
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "SHARDS_ENV",
+    "ShardedServingEngine",
+    "ShardedServingReport",
+    "resolve_shard_count",
+]
+
+SHARDS_ENV = "EUDOXUS_SHARDS"
+
+#: Rebalance decisions kept for the service metrics endpoint — bounded like
+#: every other decision log in the stack.
+REBALANCE_LOG_LIMIT = 1024
+
+
+def resolve_shard_count(shards: Optional[int] = None) -> int:
+    """Explicit argument > ``EUDOXUS_SHARDS`` > 1 (unsharded)."""
+    if shards is not None:
+        return int(shards)
+    raw = os.environ.get(SHARDS_ENV, "").strip()
+    return int(raw) if raw else 1
+
+
+def _store_bounds(store: RunStore) -> Tuple[float, float]:
+    """A store's bounds in constructor form (None = disabled -> -1)."""
+    return (-1.0 if store.max_bytes is None else float(store.max_bytes),
+            -1.0 if store.max_age_s is None else float(store.max_age_s))
+
+
+def _autoscaler_config(scaler: Optional[LatencyAutoscaler]) -> Optional[Dict]:
+    """Everything needed to reconstruct the scaler in a shard subprocess.
+
+    ``initial_workers`` is the *current* width, not the construction-time
+    one: the reconstruction continues from where the resident scaler left
+    off, which is what carries pool width across process-mode waves.
+    """
+    if scaler is None:
+        return None
+    return {
+        "min_workers": scaler.min_workers,
+        "max_workers": scaler.max_workers,
+        "initial_workers": scaler.workers,
+        "window": scaler._window,
+        "grow_pressure": scaler.grow_pressure,
+        "shrink_pressure": scaler.shrink_pressure,
+        "grow_patience": scaler.grow_patience,
+        "shrink_patience": scaler.shrink_patience,
+        "cooldown": scaler.cooldown,
+        "grow_factor": scaler.grow_factor,
+        "default_deadline_ms": scaler.default_deadline_ms,
+    }
+
+
+def _serve_shard_payload(payload: Dict) -> ServingReport:
+    """Process-pool entry point: rebuild one shard's engine and serve.
+
+    Each shard subprocess constructs its own store handles on the shared
+    roots (the content-addressed layout makes concurrent handles safe) and
+    its own autoscaler from the shipped config; the coordinator folds the
+    returned report's final width back into the resident scaler
+    (:meth:`LatencyAutoscaler.sync`).  ``map_updates`` is always off here —
+    update application is the coordinator's single post-wave fold.
+    """
+    specs = [StreamSpec.from_payload(raw) for raw in payload["specs"]]
+    run_store = (RunStore(payload["run_root"], *payload["run_bounds"])
+                 if payload["run_root"] else None)
+    map_store = (MapStore(payload["map_root"], *payload["map_bounds"])
+                 if payload["map_root"] else None)
+    config = payload["autoscaler"]
+    engine = ServingEngine(
+        store=run_store,
+        max_workers=payload["max_workers"],
+        autoscaler=LatencyAutoscaler(**config) if config else None,
+        frames_per_worker_tick=payload["frames_per_worker_tick"],
+        map_store=map_store,
+        map_merger=payload["merger"],
+        min_map_quality=payload["min_map_quality"],
+        map_updates=False,
+    )
+    return engine.serve(specs, parallel=False, ingestion=payload["ingestion"],
+                        fleet_maps=payload["fleet_maps"])
+
+
+@dataclass
+class ShardedServingReport(ServingReport):
+    """A :class:`ServingReport` merged across shards, plus the breakdown.
+
+    The merged view is consumer-compatible with the plain report (union of
+    results, concatenated telemetry, summed counters, coordinator-measured
+    ``wall_s``); the extra fields carry what only a cluster has — which
+    shard served which stream, the per-shard reports, the slot assignment
+    after this wave, and the rebalance decisions it triggered.
+    """
+
+    shard_count: int = 0
+    shard_of: Dict[str, int] = field(default_factory=dict)
+    shard_reports: List[Optional[ServingReport]] = field(default_factory=list)
+    rebalances: List[RebalanceDecision] = field(default_factory=list)
+    slot_assignment: Tuple[int, ...] = ()
+
+    @property
+    def final_workers(self) -> int:
+        """Total cluster width: the sum of per-shard final widths.
+
+        The base report reads its last scale decision, but the merged
+        decision log concatenates per-shard logs — its tail is just the
+        last *shard's* width, not the cluster's.
+        """
+        if self.shard_reports:
+            return sum(rep.final_workers for rep in self.shard_reports
+                       if rep is not None)
+        return ServingReport.final_workers.fget(self)
+
+    def shard_summary(self) -> List[Dict[str, object]]:
+        """One row per shard (empty shards report zeros, not gaps)."""
+        rows = []
+        for shard in range(self.shard_count):
+            rep = (self.shard_reports[shard]
+                   if shard < len(self.shard_reports) else None)
+            if rep is None:
+                rows.append({"shard": shard, "sessions": 0, "frames": 0,
+                             "computed_sessions": 0, "store_hits": 0,
+                             "deadline_misses": 0, "final_workers": 0,
+                             "p95_serving_ms": 0.0, "wall_s": 0.0})
+                continue
+            rows.append({
+                "shard": shard,
+                "sessions": rep.session_count,
+                "frames": rep.frame_count,
+                "computed_sessions": rep.computed_sessions,
+                "store_hits": rep.store_hits,
+                "deadline_misses": rep.deadline_misses,
+                "final_workers": rep.final_workers,
+                "p95_serving_ms": rep.virtual_latency_percentile(95.0),
+                "wall_s": rep.wall_s,
+            })
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        payload = super().summary()
+        payload["shards"] = self.shard_count
+        payload["rebalanced_slots"] = sum(len(d.slots) for d in self.rebalances)
+        return payload
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = super().as_dict()
+        payload["shard_count"] = self.shard_count
+        payload["shard_of"] = dict(sorted(self.shard_of.items()))
+        payload["shards"] = self.shard_summary()
+        payload["rebalances"] = [asdict(d) for d in self.rebalances]
+        payload["slot_assignment"] = list(self.slot_assignment)
+        return payload
+
+
+class ShardedServingEngine:
+    """N ``ServingEngine`` shards behind one serve() call.
+
+    Construction mirrors the plain engine where the concepts coincide; the
+    per-shard pieces take factories.  ``run_store`` / ``map_store`` are the
+    *coordinator's* handles — every shard gets its own handle onto the same
+    roots (constructed here for in-process shards, in the subprocess for
+    process-parallel waves), which is both the scale-out story and the
+    cross-instance coordination the store machinery is tested for.
+    """
+
+    def __init__(self, shards: Optional[int] = None, *,
+                 run_store: Optional[RunStore] = None,
+                 map_store: Optional[MapStore] = None,
+                 map_merger: Optional[MapMerger] = None,
+                 min_map_quality: float = DEFAULT_MIN_MAP_QUALITY,
+                 map_updates: bool = True,
+                 autoscaler_factory: Optional[
+                     Callable[[int], Optional[LatencyAutoscaler]]] = None,
+                 max_workers_per_shard: int = 1,
+                 frames_per_worker_tick: Optional[int] = None,
+                 slot_count: Optional[int] = None,
+                 rebalancer: Optional[ShardRebalancer] = None,
+                 shard_parallel: Optional[bool] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.shard_count = resolve_shard_count(shards)
+        if self.shard_count < 1:
+            raise ValueError("shards must be >= 1")
+        self.ring = HashRing(self.shard_count, slot_count)
+        self.rebalancer = rebalancer if rebalancer is not None else ShardRebalancer()
+        self.run_store = run_store
+        self.map_store = map_store
+        self.map_merger = map_merger or MapMerger()
+        self.min_map_quality = float(min_map_quality)
+        self.map_updates = bool(map_updates)
+        self.max_workers_per_shard = max(1, int(max_workers_per_shard))
+        # None = decide per wave: processes when the host has cores to use.
+        self.shard_parallel = shard_parallel
+        self.autoscalers: List[Optional[LatencyAutoscaler]] = [
+            autoscaler_factory(shard) if autoscaler_factory is not None else None
+            for shard in range(self.shard_count)
+        ]
+        # Resident in-process shard engines: used directly on sequential
+        # waves, and as the configuration source for subprocess payloads on
+        # parallel waves.  map_updates is off — the coordinator applies the
+        # wave's deltas in one fold (see the module docstring); shard
+        # engines still publish their own snapshots (content-addressed,
+        # order-independent).  Each gets its own store handles on the
+        # shared roots, never the coordinator's.
+        self.engines: List[ServingEngine] = [
+            ServingEngine(
+                store=self._shard_run_store(),
+                max_workers=self.max_workers_per_shard,
+                autoscaler=self.autoscalers[shard],
+                frames_per_worker_tick=frames_per_worker_tick,
+                map_store=self._shard_map_store(),
+                map_merger=self.map_merger,
+                min_map_quality=self.min_map_quality,
+                map_updates=False,
+            )
+            for shard in range(self.shard_count)
+        ]
+        self.frames_per_worker_tick = self.engines[0].frames_per_worker_tick
+        self.waves_served = 0
+        self.rebalance_log: List[RebalanceDecision] = []
+        self.tracer = tracer if tracer is not None else tracer_from_env()
+        self.metrics: Optional[MetricsRegistry] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    # ------------------------------------------------------------- stores
+
+    def _shard_run_store(self) -> Optional[RunStore]:
+        if self.run_store is None:
+            return None
+        return RunStore(self.run_store.root, *_store_bounds(self.run_store))
+
+    def _shard_map_store(self) -> Optional[MapStore]:
+        if self.map_store is None:
+            return None
+        return MapStore(self.map_store.base_root,
+                        *_store_bounds(self.map_store))
+
+    # ------------------------------------------------------------ serving
+
+    def serve(self, specs: Sequence[StreamSpec],
+              parallel: Optional[bool] = None,
+              ingestion: Optional[str] = None) -> ShardedServingReport:
+        """Partition the fleet by the ring, serve every shard, merge.
+
+        ``parallel`` here selects *shard-level* process fan-out (``None`` =
+        processes whenever the host has more than one core and more than
+        one shard is loaded; within a shard the deterministic serial
+        streaming loop always runs).  ``ingestion`` is passed through to
+        every shard.  Results are bit-identical across all of it — see the
+        module docstring for why.
+        """
+        if ingestion not in (None, "streaming", "materialized"):
+            raise ValueError(f"unknown ingestion mode: {ingestion!r}")
+        started = time.perf_counter()
+        specs = list(specs)
+        # Cross-shard duplicate rejection happens HERE, before any shard
+        # dispatch: per-shard checks would only catch duplicates that hash
+        # to the same shard, and even those only after sibling shards had
+        # served — a duplicate must fail the wave at the door, atomically.
+        seen = set()
+        for spec in specs:
+            if spec.stream_id in seen:
+                raise ValueError(f"duplicate stream_id in fleet: {spec.stream_id}")
+            seen.add(spec.stream_id)
+        map_counters = self._map_counters()
+        # One pre-wave canonical resolve through the coordinator's handle,
+        # pinned for every shard: mid-wave publishes by one shard must not
+        # give later shards a different assignment than earlier ones.
+        fleet_maps = self._resolve_fleet_maps(specs)
+        shard_specs: List[List[StreamSpec]] = [[] for _ in range(self.shard_count)]
+        shard_of: Dict[str, int] = {}
+        for spec in specs:
+            shard = self.ring.shard_for(spec.stream_id)
+            shard_of[spec.stream_id] = shard
+            shard_specs[shard].append(spec)
+        loaded = [shard for shard in range(self.shard_count) if shard_specs[shard]]
+        shard_ingestion = ingestion or "streaming"
+        shard_reports: List[Optional[ServingReport]] = [None] * self.shard_count
+        spawned = [False]
+        if self._use_processes(parallel) and len(loaded) > 1:
+            payloads = [self._shard_payload(shard, shard_specs[shard],
+                                            fleet_maps, shard_ingestion)
+                        for shard in loaded]
+            width = min(len(loaded), resolve_max_workers(None))
+            with self._maybe_wall_span("cluster.wave", shards=len(loaded),
+                                       width=width, mode="process"):
+                for index, shard_report in fan_out(
+                        _serve_shard_payload, payloads, width,
+                        on_pool=lambda: spawned.__setitem__(0, True)):
+                    shard = loaded[index]
+                    shard_reports[shard] = shard_report
+                    self._sync_shard_state(shard, shard_report)
+        else:
+            with self._maybe_wall_span("cluster.wave", shards=len(loaded),
+                                       width=1, mode="sequential"):
+                for shard in loaded:
+                    with self._maybe_wall_span("shard.serve", shard=shard,
+                                               sessions=len(shard_specs[shard])):
+                        shard_reports[shard] = self.engines[shard].serve(
+                            shard_specs[shard], parallel=False,
+                            ingestion=shard_ingestion, fleet_maps=fleet_maps)
+        report = self._merge(shard_reports, shard_of, fleet_maps,
+                             shard_ingestion if loaded else "",
+                             parallel=spawned[0])
+        self._apply_map_updates(report, shard_reports)
+        self._finish_map_telemetry(report, map_counters, shard_reports)
+        report.rebalances = self._rebalance(specs, shard_reports, fleet_maps)
+        report.slot_assignment = self.ring.assignment()
+        self._emit_trace(report)
+        self._record_serve_metrics(report)
+        report.wall_s = time.perf_counter() - started
+        return report
+
+    def _use_processes(self, parallel: Optional[bool]) -> bool:
+        if self.shard_count < 2:
+            return False
+        choice = self.shard_parallel if parallel is None else parallel
+        if choice is not None:
+            return bool(choice)
+        return resolve_max_workers(None) > 1
+
+    def _shard_payload(self, shard: int, specs: List[StreamSpec],
+                       fleet_maps: Dict[str, MapSnapshot],
+                       ingestion: str) -> Dict:
+        return {
+            "shard": shard,
+            "specs": [spec.payload() for spec in specs],
+            "run_root": (str(self.run_store.root)
+                         if self.run_store is not None else None),
+            "run_bounds": (_store_bounds(self.run_store)
+                           if self.run_store is not None else None),
+            "map_root": (str(self.map_store.base_root)
+                         if self.map_store is not None else None),
+            "map_bounds": (_store_bounds(self.map_store)
+                           if self.map_store is not None else None),
+            "merger": self.map_merger,
+            "min_map_quality": self.min_map_quality,
+            "max_workers": self.max_workers_per_shard,
+            "frames_per_worker_tick": self.frames_per_worker_tick,
+            "autoscaler": _autoscaler_config(self.autoscalers[shard]),
+            "ingestion": ingestion,
+            "fleet_maps": fleet_maps,
+        }
+
+    def _sync_shard_state(self, shard: int, shard_report: ServingReport) -> None:
+        """Fold a subprocess shard's controller state back into the
+        resident scaler, and its decisions into the resident log — so the
+        next wave, the admission probe, and the service metrics endpoint
+        behave identically across sequential and process execution."""
+        scaler = self.autoscalers[shard]
+        if scaler is None:
+            return
+        saturated = bool(shard_report.scale_decisions
+                         and shard_report.scale_decisions[-1].saturated)
+        scaler.sync(shard_report.final_workers, saturated)
+        scaler.decisions.extend(shard_report.scale_decisions)
+
+    # ------------------------------------------------------------ merging
+
+    def _merge(self, shard_reports: List[Optional[ServingReport]],
+               shard_of: Dict[str, int],
+               fleet_maps: Dict[str, MapSnapshot],
+               ingestion: str, parallel: bool) -> ShardedServingReport:
+        report = ShardedServingReport(shard_count=self.shard_count)
+        report.shard_of = shard_of
+        report.shard_reports = shard_reports
+        report.ingestion = ingestion
+        report.fleet_maps = {environment_id: snapshot.version
+                             for environment_id, snapshot in fleet_maps.items()}
+        workers = 0
+        for shard_report in shard_reports:
+            if shard_report is None:
+                continue
+            report.results.update(shard_report.results)
+            report.computed_sessions += shard_report.computed_sessions
+            report.store_hits += shard_report.store_hits
+            report.replayed_streams.extend(shard_report.replayed_streams)
+            report.batch_sizes.extend(shard_report.batch_sizes)
+            report.served_frame_wall_ms.extend(shard_report.served_frame_wall_ms)
+            report.virtual_latency_ms.extend(shard_report.virtual_latency_ms)
+            report.deadline_misses += shard_report.deadline_misses
+            report.ticks += shard_report.ticks
+            report.scale_decisions.extend(shard_report.scale_decisions)
+            report.maps_published += shard_report.maps_published
+            report.parallel = report.parallel or shard_report.parallel
+            workers += shard_report.workers
+        report.replayed_streams.sort()
+        report.workers = workers if workers else self.shard_count
+        report.parallel = report.parallel or parallel
+        return report
+
+    def _apply_map_updates(self, report: ShardedServingReport,
+                           shard_reports: List[Optional[ServingReport]]) -> None:
+        """The coordinator's single post-wave fold of the fleet's deltas.
+
+        Shard order is fixed (ring index) and :meth:`MapStore.apply_updates`
+        sorts deltas internally, so the produced canonical versions are
+        independent of which shard finished first — and identical to what
+        the plain engine produces for the same fleet.  Replayed sessions'
+        deltas were applied when first computed; re-applying them would
+        double-count their observations (same rule as the plain engine).
+        """
+        if self.map_store is None or not self.map_updates:
+            return
+        updates = []
+        for shard_report in shard_reports:
+            if shard_report is None:
+                continue
+            replayed = set(shard_report.replayed_streams)
+            for stream_id, result in shard_report.results.items():
+                if stream_id not in replayed:
+                    updates.extend(result.map_updates)
+        if not updates:
+            return
+        applied = self.map_store.apply_updates(updates, merger=self.map_merger)
+        report.maps_updated = {environment_id: snapshot.version
+                               for environment_id, snapshot in applied.items()}
+
+    def _map_counters(self) -> Optional[Dict[str, object]]:
+        if self.map_store is None:
+            return None
+        return {"hits": self.map_store.resolve_hits,
+                "misses": self.map_store.resolve_misses,
+                "merges": len(self.map_store.merge_ms),
+                "churn": dict(self.map_store.version_churn)}
+
+    def _finish_map_telemetry(self, report: ShardedServingReport,
+                              before: Optional[Dict[str, object]],
+                              shard_reports: List[Optional[ServingReport]]) -> None:
+        """Merged map telemetry: coordinator deltas + per-shard traffic.
+
+        Resolve hits/misses and merge latencies are real work wherever they
+        happened, so the coordinator's deltas and every shard's are summed.
+        Version *churn* is different: a canonical version change is one
+        global event that every store handle would also observe as its own
+        recompute — only the coordinator's view is counted, or N shards
+        would multiply each change by the shard count.
+        """
+        if before is None or self.map_store is None:
+            return
+        store = self.map_store
+        report.map_resolve_hits = store.resolve_hits - before["hits"]
+        report.map_resolve_misses = store.resolve_misses - before["misses"]
+        report.map_merge_ms = list(store.merge_ms)[before["merges"]:]
+        for shard_report in shard_reports:
+            if shard_report is None:
+                continue
+            report.map_resolve_hits += shard_report.map_resolve_hits
+            report.map_resolve_misses += shard_report.map_resolve_misses
+            report.map_merge_ms.extend(shard_report.map_merge_ms)
+        churn: Dict[str, int] = {}
+        for environment_id, count in store.version_churn.items():
+            delta = count - before["churn"].get(environment_id, 0)
+            if delta:
+                churn[environment_id] = delta
+        report.map_version_churn = churn
+
+    def _resolve_fleet_maps(self, specs: Sequence[StreamSpec]
+                            ) -> Dict[str, MapSnapshot]:
+        """Pre-wave canonical resolve through the coordinator's handle
+        (same quality gate as the plain engine's pre-dispatch resolve)."""
+        if self.map_store is None:
+            return {}
+        resolved: Dict[str, MapSnapshot] = {}
+        for spec in specs:
+            for environment_id in spec.environment_ids.values():
+                if environment_id in resolved:
+                    continue
+                snapshot = self.map_store.resolve(
+                    environment_id, merger=self.map_merger,
+                    min_quality=self.min_map_quality)
+                if snapshot is not None:
+                    resolved[environment_id] = snapshot
+        return resolved
+
+    # --------------------------------------------------------- rebalancing
+
+    def _expected_session_cost(self, spec: StreamSpec,
+                               fleet_maps: Dict[str, MapSnapshot]) -> float:
+        """Expected cost-units of one whole session, given the maps
+        resolvable now — the same per-environment ``MODE_FRAME_COST``
+        expectation the shard autoscalers prime on, reused at partition
+        time so capacity splits by expected cost rather than stream count
+        (a SLAM-bound cold-environment stream weighs ~3x a registration-
+        bound one)."""
+        costs = ServingEngine._segment_costs(spec, fleet_maps)
+        frames = [segment_frame_count(segment.duration, spec.camera_rate_hz)
+                  for segment in spec.segments]
+        return float(sum(cost * count for cost, count in zip(costs, frames)))
+
+    def _rebalance(self, specs: List[StreamSpec],
+                   shard_reports: List[Optional[ServingReport]],
+                   fleet_maps: Dict[str, MapSnapshot]) -> List[RebalanceDecision]:
+        self.waves_served += 1
+        if self.rebalancer is None or self.shard_count < 2 or not specs:
+            return []
+        pressures = [self._shard_pressure(shard_report)
+                     for shard_report in shard_reports]
+        slot_costs: Dict[int, float] = {}
+        for spec in specs:
+            slot = self.ring.slot_of(spec.stream_id)
+            slot_costs[slot] = (slot_costs.get(slot, 0.0)
+                                + self._expected_session_cost(spec, fleet_maps))
+        decisions = self.rebalancer.rebalance(self.ring, pressures, slot_costs,
+                                              wave=self.waves_served)
+        self.rebalance_log.extend(decisions)
+        del self.rebalance_log[:-REBALANCE_LOG_LIMIT]
+        return decisions
+
+    @staticmethod
+    def _shard_pressure(shard_report: Optional[ServingReport]) -> float:
+        """The shard's final observed deadline pressure this wave (0.0 for
+        an idle shard, a shard without an autoscaler, or a wave that only
+        ever primed)."""
+        if shard_report is None:
+            return 0.0
+        for decision in reversed(shard_report.scale_decisions):
+            if decision.action != "prime":
+                return float(decision.pressure)
+        return 0.0
+
+    # ----------------------------------------------------------- admission
+
+    def saturated_for(self, stream_id: str) -> bool:
+        """Admission probe: is the shard this stream would land on saturated?
+
+        The pinned aggregate semantics (tests/test_service.py and
+        tests/test_cluster.py): a request sheds on the saturation of its
+        *target* shard only — one hot shard must not shed traffic bound for
+        idle shards.  The probe follows the live ring, so after a rebalance
+        a stream is judged by its new shard immediately; and a saturated
+        shard's next wave re-primes its scaler, which clears the flag.
+        """
+        scaler = self.autoscalers[self.ring.shard_for(stream_id)]
+        return bool(scaler.saturated) if scaler is not None else False
+
+    @property
+    def saturated(self) -> bool:
+        """Cluster-wide saturation: every shard's actuator is exhausted.
+
+        The conservative aggregate for callers without a stream id (health
+        endpoint, zero-arg admission fallback): with any shard unsaturated,
+        the rebalancer can still move load there, so the cluster as a whole
+        is not out of capacity.
+        """
+        scalers = [scaler for scaler in self.autoscalers if scaler is not None]
+        return bool(scalers) and all(scaler.saturated for scaler in scalers)
+
+    @property
+    def pinned_capacity(self) -> Optional[int]:
+        """The cluster's pinned per-tick service capacity (the admission
+        controller's tightened inflight bound), or None without scalers."""
+        scalers = [scaler for scaler in self.autoscalers if scaler is not None]
+        if not scalers:
+            return None
+        return sum(scaler.max_workers for scaler in scalers) * self.frames_per_worker_tick
+
+    def shard_health(self) -> List[Dict[str, object]]:
+        """Per-shard liveness row for ``GET /healthz``."""
+        rows = []
+        for shard in range(self.shard_count):
+            scaler = self.autoscalers[shard]
+            rows.append({
+                "shard": shard,
+                "slots": len(self.ring.slots_of(shard)),
+                "workers": scaler.workers if scaler is not None
+                else self.max_workers_per_shard,
+                "saturated": bool(scaler.saturated) if scaler is not None else False,
+            })
+        return rows
+
+    def describe(self) -> Dict[str, object]:
+        """Cluster topology + rebalance history for the metrics endpoint."""
+        return {
+            "shards": self.shard_count,
+            "slot_count": self.ring.slot_count,
+            "slots_per_shard": {shard: len(self.ring.slots_of(shard))
+                                for shard in range(self.shard_count)},
+            "waves_served": self.waves_served,
+            "slot_moves": self.ring.moves,
+            "rebalances": [asdict(d) for d in self.rebalance_log[-16:]],
+        }
+
+    # ------------------------------------------------------- observability
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Register the cluster's families and cascade to the coordinator's
+        stores (idempotent).
+
+        Cluster families carry a ``shard`` label and are recorded by the
+        coordinator from shard reports — NOT by binding the shard engines:
+        the engine's own families are unlabeled (re-registering them with a
+        shard label would conflict with any plain engine sharing the
+        registry), and subprocess shards could not report into this
+        registry anyway.  Recording from reports makes sequential and
+        process waves meter identically.
+        """
+        self.metrics = registry
+        self._m_shard_sessions = registry.counter(
+            "eudoxus_cluster_shard_sessions_total",
+            "Sessions resolved per shard, by outcome.", ("shard", "outcome"))
+        self._m_shard_frames = registry.counter(
+            "eudoxus_cluster_shard_frames_total",
+            "Frames served per shard.", ("shard",))
+        self._m_shard_misses = registry.counter(
+            "eudoxus_cluster_shard_deadline_misses_total",
+            "Virtual-schedule deadline misses per shard.", ("shard",))
+        self._m_shard_workers = registry.gauge(
+            "eudoxus_cluster_shard_workers",
+            "Final worker width of each shard after its last wave.", ("shard",))
+        self._m_shard_saturated = registry.gauge(
+            "eudoxus_cluster_shard_saturated",
+            "Whether each shard's autoscaler reports saturation (0/1).",
+            ("shard",))
+        self._m_rebalances = registry.counter(
+            "eudoxus_cluster_rebalances_total",
+            "Rebalance decisions applied between waves.")
+        self._m_moved_slots = registry.counter(
+            "eudoxus_cluster_rebalanced_slots_total",
+            "Hash slots moved between shards by the rebalancer.")
+        if self.map_store is not None:
+            self.map_store.bind_metrics(registry)
+            self.map_merger.bind_metrics(registry)
+        if self.run_store is not None:
+            self.run_store.bind_metrics(registry)
+
+    def _maybe_wall_span(self, name: str, **args: object):
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return self.tracer.wall_span(name, "cluster", track="cluster", **args)
+
+    def _emit_trace(self, report: ShardedServingReport) -> None:
+        if self.tracer is None:
+            return
+        wall = self.tracer.wall_now()
+        for row in report.shard_summary():
+            self.tracer.instant("shard.wave", "cluster", wall, clock="wall",
+                                track=f"shard-{row['shard']}", **row)
+        for decision in report.rebalances:
+            self.tracer.instant(
+                "cluster.rebalance", "cluster", wall, clock="wall",
+                track="cluster", source=decision.source, target=decision.target,
+                slots=len(decision.slots), reason=decision.reason)
+        for environment_id, version in sorted(report.maps_updated.items()):
+            self.tracer.instant("map.apply_updates", "maps", wall, clock="wall",
+                                track="maps", environment=environment_id,
+                                version=version[:12])
+
+    def _record_serve_metrics(self, report: ShardedServingReport) -> None:
+        if self.metrics is None:
+            return
+        for row in report.shard_summary():
+            shard = str(row["shard"])
+            self._m_shard_sessions.inc(row["computed_sessions"],
+                                       shard=shard, outcome="computed")
+            self._m_shard_sessions.inc(row["store_hits"],
+                                       shard=shard, outcome="store_hit")
+            self._m_shard_frames.inc(row["frames"], shard=shard)
+            self._m_shard_misses.inc(row["deadline_misses"], shard=shard)
+            self._m_shard_workers.set(float(row["final_workers"]), shard=shard)
+            scaler = self.autoscalers[row["shard"]]
+            self._m_shard_saturated.set(
+                1.0 if (scaler is not None and scaler.saturated) else 0.0,
+                shard=shard)
+        if report.rebalances:
+            self._m_rebalances.inc(len(report.rebalances))
+            self._m_moved_slots.inc(
+                sum(len(decision.slots) for decision in report.rebalances))

@@ -1,0 +1,139 @@
+"""Cross-shard load rebalancing between serving waves.
+
+The rebalancer closes the loop the per-shard autoscalers cannot: a shard's
+:class:`~repro.scheduler.LatencyAutoscaler` can only widen its own pool,
+so a skewed partition (one shard drew the SLAM-heavy streams) ends with
+one shard saturated while its siblings idle.  After each wave the
+coordinator hands the rebalancer the per-shard *deadline pressure* the
+autoscalers already computed (the p95 latency/deadline ratio from each
+shard's final scale decision) plus the expected cost carried by every hash
+slot, and the rebalancer moves slots from the hottest shard to the coolest
+— between waves only, so a stream never changes shard mid-wave.
+
+Slot costs are *expected* per-environment serving cost (the
+``MODE_FRAME_COST`` economics: a stream bound for mapped environments
+registers cheaply, an unmapped one pays for SLAM), which is what makes the
+transfer capacity-aware rather than stream-count-aware — the
+cross-environment sizing prior applied at partition time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "DEFAULT_MAX_SLOT_MOVES",
+    "DEFAULT_PRESSURE_GAP",
+    "MAX_SLOT_MOVES_ENV",
+    "PRESSURE_GAP_ENV",
+    "RebalanceDecision",
+    "ShardRebalancer",
+]
+
+PRESSURE_GAP_ENV = "EUDOXUS_REBALANCE_GAP"
+MAX_SLOT_MOVES_ENV = "EUDOXUS_REBALANCE_MAX_SLOTS"
+#: Minimum hottest-minus-coolest pressure spread before any slot moves.
+#: Below this the shards are close enough that the churn (streams changing
+#: shard lose their shard-local cache locality story) outweighs the gain.
+DEFAULT_PRESSURE_GAP = 0.5
+#: Ceiling on slots transferred per wave: rebalancing is a trim between
+#: waves, not a re-partition — bounding the move keeps a single noisy wave
+#: from churning half the ring.
+DEFAULT_MAX_SLOT_MOVES = 8
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """One hot->cool slot transfer, with the evidence behind it."""
+
+    wave: int
+    source: int
+    target: int
+    slots: Tuple[int, ...]
+    moved_cost: float
+    source_pressure: float
+    target_pressure: float
+    reason: str
+
+
+class ShardRebalancer:
+    """Greedy cost-weighted slot transfer from the hottest shard to the
+    coolest, at most once per wave."""
+
+    def __init__(self, pressure_gap: Optional[float] = None,
+                 max_slot_moves: Optional[int] = None) -> None:
+        self.pressure_gap = float(
+            _env_float(PRESSURE_GAP_ENV, DEFAULT_PRESSURE_GAP)
+            if pressure_gap is None else pressure_gap)
+        self.max_slot_moves = max(1, int(
+            _env_int(MAX_SLOT_MOVES_ENV, DEFAULT_MAX_SLOT_MOVES)
+            if max_slot_moves is None else max_slot_moves))
+
+    def rebalance(self, ring: HashRing, pressures: Sequence[float],
+                  slot_costs: Dict[int, float],
+                  wave: int = 0) -> List[RebalanceDecision]:
+        """Move slots on ``ring`` if the pressure spread warrants it.
+
+        ``pressures`` is one deadline-pressure sample per shard (0.0 for a
+        shard that served nothing or has no autoscaler); ``slot_costs`` is
+        the expected serving cost the wave carried per hash slot.  The
+        transfer closes roughly half the cost gap between the hottest and
+        coolest shard, largest-cost slots first: each slot is taken only if
+        moving it brings the two shards *closer* (a slot whose cost
+        overshoots the midpoint would just swap the hotspot, so a
+        single-stream hot shard correctly stays put).  Mutates the ring and
+        returns the decision log (empty when balanced).
+        """
+        if ring.shard_count < 2 or len(pressures) != ring.shard_count:
+            return []
+        source = max(range(ring.shard_count), key=lambda s: (pressures[s], -s))
+        target = min(range(ring.shard_count), key=lambda s: (pressures[s], s))
+        gap = pressures[source] - pressures[target]
+        if source == target or gap < self.pressure_gap:
+            return []
+        loaded = [(slot, slot_costs[slot]) for slot in ring.slots_of(source)
+                  if slot_costs.get(slot, 0.0) > 0.0]
+        if not loaded:
+            return []
+        source_cost = sum(cost for _, cost in loaded)
+        target_cost = sum(slot_costs.get(slot, 0.0)
+                          for slot in ring.slots_of(target))
+        needed = (source_cost - target_cost) / 2.0
+        if needed <= 0.0:
+            return []
+        moved: List[int] = []
+        moved_cost = 0.0
+        for slot, cost in sorted(loaded, key=lambda item: (-item[1], item[0])):
+            if len(moved) >= self.max_slot_moves or moved_cost >= needed:
+                break
+            # Strict midpoint test: take the slot only if the transfer lands
+            # short of the midpoint — overshooting past it would leave the
+            # target hotter than the source was, i.e. swap the hotspot.
+            if moved_cost + 0.5 * cost < needed:
+                moved.append(slot)
+                moved_cost += cost
+        if not moved:
+            return []
+        ring.move(moved, target)
+        decision = RebalanceDecision(
+            wave=wave, source=source, target=target, slots=tuple(sorted(moved)),
+            moved_cost=moved_cost, source_pressure=float(pressures[source]),
+            target_pressure=float(pressures[target]),
+            reason=(f"pressure gap {gap:.2f} >= {self.pressure_gap:.2f}: "
+                    f"moved {len(moved)} slot(s) carrying "
+                    f"{moved_cost:.1f} cost-units shard {source} -> {target}"))
+        return [decision]

@@ -176,6 +176,22 @@ class LatencyAutoscaler:
         """
         return self._saturated
 
+    def sync(self, workers: int, saturated: bool = False) -> None:
+        """Adopt externally observed controller state.
+
+        A sharded serving coordinator running shards in worker *processes*
+        reconstructs a copy of this scaler in each subprocess; the copy's
+        final width and saturation flag come back in the shard's report,
+        and the coordinator folds them into the resident scaler here — so
+        the next wave starts where the last one ended and the front door's
+        admission probe reads live overload, exactly as in the
+        single-process case.  No decision is logged: the decisions were
+        made (and logged) by the copy; this only carries the state across
+        the process boundary.
+        """
+        self.workers = self._clamp(workers)
+        self._saturated = bool(saturated)
+
     # ------------------------------------------------------------ observing
 
     def observe(self, latency_ms: float, deadline_ms: Optional[float] = None) -> None:

@@ -3,25 +3,39 @@
 A convenience entry point for manual poking: an in-process
 :class:`~repro.serving.ServingEngine` with a small autoscaler, no
 persistent stores, listening on ``EUDOXUS_SERVICE_PORT`` (default 8351).
-Production-shaped deployments should construct
-:class:`~repro.service.LocalizationService` around their own engine.
+``EUDOXUS_SHARDS=N`` (N > 1) swaps in a
+:class:`~repro.cluster.ShardedServingEngine` — N engines behind the same
+door, shard-aware admission included.  Production-shaped deployments
+should construct :class:`~repro.service.LocalizationService` around their
+own engine.
 """
 
 from __future__ import annotations
 
+from repro.cluster import ShardedServingEngine, resolve_shard_count
 from repro.scheduler.autoscaler import LatencyAutoscaler
 from repro.serving.engine import ServingEngine
 from repro.service.server import LocalizationService
 
 
 def main() -> None:
-    engine = ServingEngine(
-        store=None,
-        autoscaler=LatencyAutoscaler(min_workers=1, max_workers=4),
-    )
+    shards = resolve_shard_count()
+    if shards > 1:
+        engine = ShardedServingEngine(
+            shards,
+            autoscaler_factory=lambda shard: LatencyAutoscaler(
+                min_workers=1, max_workers=4),
+        )
+        shape = f"{shards} shards"
+    else:
+        engine = ServingEngine(
+            store=None,
+            autoscaler=LatencyAutoscaler(min_workers=1, max_workers=4),
+        )
+        shape = "1 engine"
     service = LocalizationService(engine)
     print(f"localization service on {service.host}:{service.port} "
-          f"(policy={service.admission.policy}, "
+          f"({shape}, policy={service.admission.policy}, "
           f"max_inflight={service.admission.max_inflight})")
     service.run()
 

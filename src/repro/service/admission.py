@@ -21,6 +21,16 @@ Two pressure signals, two policies beyond ``none``:
   of compounding.  Protected (``sheddable=False``) classes keep being
   admitted up to the hard cap.
 
+With a sharded engine behind the door there are N autoscalers, not one, so
+"saturated" needs an aggregate definition.  The pinned semantics
+(:meth:`AdmissionController._saturation_signal`): a request sheds on the
+saturation of the shard it would actually land on — the per-stream
+``shard_saturated_fn`` probe — never on "any shard saturated", which would
+let one hot shard refuse traffic bound for idle siblings.  The zero-arg
+``saturated_fn`` remains the fallback for requests with no stream identity
+yet, and a sharded engine binds it to *all*-shards saturation (the
+cluster genuinely out of capacity), keeping the conservative direction.
+
 Decisions are recorded in a bounded log for the metrics endpoint — same
 discipline as the autoscaler's decision log.
 """
@@ -76,7 +86,11 @@ class AdmissionController:
     ``saturated_fn`` is a zero-argument probe, typically bound to the
     engine's shared autoscaler (``lambda: autoscaler.saturated``); the
     controller never imports the engine, so it is testable with a plain
-    closure over a bool.
+    closure over a bool.  ``shard_saturated_fn``, when set, is the
+    per-stream refinement a sharded engine provides
+    (``engine.saturated_for``): given the stream id a create request would
+    serve under, it reports the saturation of the one shard that would do
+    the work.
     """
 
     policy: str = "saturation"
@@ -85,6 +99,9 @@ class AdmissionController:
     # service capacity.  None disables tightening (pure shed-by-class).
     saturated_inflight: Optional[int] = None
     saturated_fn: Callable[[], bool] = lambda: False
+    # Per-stream saturation probe for sharded engines; None falls back to
+    # the zero-arg signal for every request.
+    shard_saturated_fn: Optional[Callable[[str], bool]] = None
     decisions: Deque[AdmissionDecision] = field(
         default_factory=lambda: deque(maxlen=DECISION_LOG_LIMIT))
     shed_counts: Dict[str, int] = field(default_factory=dict)
@@ -115,9 +132,15 @@ class AdmissionController:
             "eudoxus_service_shed_total",
             "Sessions refused at the door, by shed reason.", ("reason",))
 
-    def admit(self, qos: QoSClass, inflight: int) -> AdmissionDecision:
-        """Verdict for one session-create under the current load signals."""
-        decision = self._decide(qos, inflight)
+    def admit(self, qos: QoSClass, inflight: int,
+              stream_id: Optional[str] = None) -> AdmissionDecision:
+        """Verdict for one session-create under the current load signals.
+
+        ``stream_id`` is the identity the session would serve under (the
+        service computes it before admitting, so the verdict can consult
+        the shard the stream would actually land on).
+        """
+        decision = self._decide(qos, inflight, stream_id)
         self.decisions.append(decision)
         if decision.admitted:
             self.admitted_count += 1
@@ -132,8 +155,25 @@ class AdmissionController:
                 self._m_shed.inc(reason=decision.reason)
         return decision
 
-    def _decide(self, qos: QoSClass, inflight: int) -> AdmissionDecision:
-        saturated = (self.policy == "saturation") and bool(self.saturated_fn())
+    def _saturation_signal(self, stream_id: Optional[str]) -> bool:
+        """The saturation signal for one request — pinned semantics.
+
+        With a per-stream probe available and a stream identity on the
+        request, the verdict is the TARGET shard's saturation: shedding on
+        "any shard saturated" would refuse traffic bound for idle shards,
+        and "all shards saturated" would keep stuffing a hot shard as long
+        as a sibling idles.  After a rebalance the probe follows the live
+        ring, so a relocated stream is immediately judged by its new
+        shard.  Requests without a stream identity (or controllers without
+        the probe) fall back to the zero-arg aggregate signal.
+        """
+        if self.shard_saturated_fn is not None and stream_id is not None:
+            return bool(self.shard_saturated_fn(stream_id))
+        return bool(self.saturated_fn())
+
+    def _decide(self, qos: QoSClass, inflight: int,
+                stream_id: Optional[str] = None) -> AdmissionDecision:
+        saturated = (self.policy == "saturation") and self._saturation_signal(stream_id)
         if self.policy == "none":
             return AdmissionDecision(True, "policy none", qos.name,
                                      inflight, None, saturated)

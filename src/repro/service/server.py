@@ -199,23 +199,43 @@ class LocalizationService:
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None) -> None:
         self.engine = engine
+        # Duck-typed shard awareness: a sharded engine
+        # (repro.cluster.ShardedServingEngine) exposes the per-stream
+        # saturation probe; the service never imports the cluster layer.
+        self._sharded = hasattr(engine, "saturated_for")
         self.qos_classes = dict(qos_classes or DEFAULT_QOS_CLASSES)
         self.host = host
         self.port = int(os.environ.get(PORT_ENV, DEFAULT_PORT)) if port is None else port
         if admission is None:
-            scaler = engine.autoscaler
-            admission = AdmissionController(
-                policy=os.environ.get(SHED_POLICY_ENV, "saturation"),
-                max_inflight=int(os.environ.get(MAX_INFLIGHT_ENV,
-                                                DEFAULT_MAX_INFLIGHT)),
-                # While saturated, tighten admissions to the pool's pinned
-                # per-tick service capacity so the backlog drains.
-                saturated_inflight=(
-                    scaler.max_workers * engine.frames_per_worker_tick
-                    if scaler is not None else None),
-                saturated_fn=(lambda: scaler.saturated)
-                if scaler is not None else (lambda: False),
-            )
+            policy = os.environ.get(SHED_POLICY_ENV, "saturation")
+            max_inflight = int(os.environ.get(MAX_INFLIGHT_ENV,
+                                              DEFAULT_MAX_INFLIGHT))
+            if self._sharded:
+                # Sharded engine: the per-stream probe judges the TARGET
+                # shard (see AdmissionController._saturation_signal for the
+                # pinned aggregate semantics); the zero-arg fallback is
+                # cluster-wide exhaustion; the tightened bound is the
+                # cluster's summed pinned capacity.
+                admission = AdmissionController(
+                    policy=policy,
+                    max_inflight=max_inflight,
+                    saturated_inflight=engine.pinned_capacity,
+                    saturated_fn=lambda: engine.saturated,
+                    shard_saturated_fn=engine.saturated_for,
+                )
+            else:
+                scaler = engine.autoscaler
+                admission = AdmissionController(
+                    policy=policy,
+                    max_inflight=max_inflight,
+                    # While saturated, tighten admissions to the pool's
+                    # pinned per-tick service capacity so the backlog drains.
+                    saturated_inflight=(
+                        scaler.max_workers * engine.frames_per_worker_tick
+                        if scaler is not None else None),
+                    saturated_fn=(lambda: scaler.saturated)
+                    if scaler is not None else (lambda: False),
+                )
         self.admission = admission
         # Observability: the service owns one registry for the whole stack
         # (``/v1/metrics?format=prometheus`` renders it) and shares the
@@ -292,7 +312,11 @@ class LocalizationService:
         return sum(1 for session in self.sessions.values() if session.inflight)
 
     def _saturated(self) -> bool:
-        scaler = self.engine.autoscaler
+        if self._sharded:
+            # Cluster-wide exhaustion (every shard saturated) — the health
+            # endpoint's headline; per-shard detail rides in "shards".
+            return bool(self.engine.saturated)
+        scaler = getattr(self.engine, "autoscaler", None)
         return bool(scaler.saturated) if scaler is not None else False
 
     async def _dispatch_loop(self) -> None:
@@ -315,10 +339,17 @@ class LocalizationService:
             try:
                 # The engine is synchronous and CPU-bound; a worker thread
                 # keeps admission and health endpoints live mid-wave.
+                # parallel=False pins the plain engine to the deterministic
+                # serial loop; a sharded engine gets parallel=None instead —
+                # its shard fan-out is across processes (each shard still
+                # runs the serial loop internally), so letting it spread
+                # over the host's cores is the whole point of sharding and
+                # cannot perturb results.
                 with wave_span:
                     report: ServingReport = await asyncio.to_thread(
                         self.engine.serve, specs,
-                        parallel=False, ingestion="streaming")
+                        parallel=None if self._sharded else False,
+                        ingestion="streaming")
             except Exception as exc:  # engine bug or bad fleet: fail the wave
                 for session in wave:
                     session.state = "failed"
@@ -429,8 +460,12 @@ class LocalizationService:
                 name, _, value = pair.partition("=")
                 params[name] = value
         if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok", "inflight": self.inflight,
-                         "saturated": self._saturated()}
+            payload: Dict[str, object] = {"status": "ok",
+                                          "inflight": self.inflight,
+                                          "saturated": self._saturated()}
+            if self._sharded:
+                payload["shards"] = self.engine.shard_health()
+            return 200, payload
         if method == "GET" and path == "/v1/metrics":
             fmt = params.get("format", "json")
             if fmt == "prometheus":
@@ -471,7 +506,13 @@ class LocalizationService:
             raise ServiceError(
                 400, f"unknown QoS class {qos_name!r}; expected one of "
                      f"{sorted(self.qos_classes)}")
-        decision = self.admission.admit(qos, self.inflight)
+        # The prospective identity is computed BEFORE the verdict so a
+        # shard-aware controller can judge the shard this stream would
+        # actually land on; the id counter only advances on admission, so a
+        # shed request still leaves no trace (not even a consumed id).
+        session_id = str(body.get("stream_id", "")) or f"s-{self._next_id:06d}"
+        decision = self.admission.admit(qos, self.inflight,
+                                        stream_id=session_id)
         if self.tracer is not None:
             self.tracer.instant(
                 "admission.admit" if decision.admitted else "admission.shed",
@@ -482,7 +523,6 @@ class LocalizationService:
             raise ServiceError(
                 503, f"shed ({decision.reason}): inflight {decision.inflight}"
                      f", limit {decision.limit}")
-        session_id = str(body.get("stream_id", "")) or f"s-{self._next_id:06d}"
         self._next_id += 1
         if session_id in self.sessions:
             raise ServiceError(409, f"session {session_id!r} already exists")
@@ -591,7 +631,7 @@ class LocalizationService:
         }
 
     def metrics(self) -> Dict[str, object]:
-        scaler = self.engine.autoscaler
+        scaler = getattr(self.engine, "autoscaler", None)
         decisions: List[Dict[str, object]] = []
         if scaler is not None:
             decisions = [
@@ -600,6 +640,19 @@ class LocalizationService:
                  "reason": d.reason}
                 for d in list(scaler.decisions)[-64:]
             ]
+        elif self._sharded:
+            # One autoscaler per shard: report each shard's recent tail,
+            # tagged with its shard index.
+            per_shard = max(1, 64 // max(1, self.engine.shard_count))
+            for shard, shard_scaler in enumerate(self.engine.autoscalers):
+                if shard_scaler is None:
+                    continue
+                decisions.extend(
+                    {"shard": shard, "tick": d.tick, "clock": d.clock,
+                     "action": d.action, "workers": d.workers_after,
+                     "saturated": d.saturated, "reason": d.reason}
+                    for d in list(shard_scaler.decisions)[-per_shard:]
+                )
         turnaround = self.turnaround_ms
         percentiles = {
             "p50": float(np.percentile(turnaround, 50.0)) if turnaround else 0.0,
@@ -620,6 +673,7 @@ class LocalizationService:
                 for name, qos in self.qos_classes.items()
             },
             "saturated": self._saturated(),
+            "cluster": (self.engine.describe() if self._sharded else None),
             "map_service": self._map_service_metrics(),
             "turnaround_ms": percentiles,
             "waves": self.waves[-32:],

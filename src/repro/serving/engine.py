@@ -161,6 +161,12 @@ class ServingReport:
     wall_s: float = 0.0
     computed_sessions: int = 0
     store_hits: int = 0
+    # The store-hit sessions by stream id (sorted): which results were
+    # replayed from the run store rather than computed this call.  Consumers
+    # that must not double-apply side effects — the sharded coordinator's
+    # central MapUpdate application — key off this instead of re-deriving
+    # replay status from counters.
+    replayed_streams: List[str] = field(default_factory=list)
     parallel: bool = False
     workers: int = 1
     ingestion: str = ""
@@ -295,6 +301,28 @@ class ServingReport:
             "map_merge_p50_ms": self.map_merge_percentile(50.0),
         }
 
+    def signature(self) -> str:
+        """Content-only digest of the wave's served state.
+
+        Covers what serving *computed* — each session's result signature,
+        the canonical map assignment it was served against, and the
+        canonical versions its update application produced — and none of
+        the wall-clock, scheduling, or cache-outcome telemetry.  Two
+        reports with equal signatures served the same fleet to the same
+        poses against the same maps and left the map store in the same
+        state; the sharded engine pins its single-shard report
+        bit-identical to the plain engine's with exactly this digest
+        (tests/test_cluster.py).
+        """
+        payload = {
+            "sessions": {stream_id: result.signature()
+                         for stream_id, result in sorted(self.results.items())},
+            "fleet_maps": dict(sorted(self.fleet_maps.items())),
+            "maps_updated": dict(sorted(self.maps_updated.items())),
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
     def as_dict(self) -> Dict[str, object]:
         """Complete, JSON-stable serialization of the report.
 
@@ -317,6 +345,7 @@ class ServingReport:
             "session_count": self.session_count,
             "computed_sessions": self.computed_sessions,
             "store_hits": self.store_hits,
+            "replayed_streams": list(self.replayed_streams),
             "frame_count": self.frame_count,
             "sessions_per_second": self.sessions_per_second,
             "frames_per_second": self.frames_per_second,
@@ -428,7 +457,8 @@ class ServingEngine:
             self.bind_metrics(metrics)
 
     def serve(self, specs: Sequence[StreamSpec], parallel: Optional[bool] = None,
-              ingestion: Optional[str] = None) -> ServingReport:
+              ingestion: Optional[str] = None,
+              fleet_maps: Optional[Dict[str, MapSnapshot]] = None) -> ServingReport:
         """Resolve every session: store -> event loop / process pool.
 
         ``parallel`` of ``None`` shards across the process pool whenever
@@ -444,6 +474,13 @@ class ServingEngine:
         and is rejected alongside ``parallel=True``.  All paths produce
         bit-identical :meth:`SessionResult.signature` values.
 
+        ``fleet_maps`` pins a pre-resolved canonical map assignment instead
+        of resolving one here.  A sharded coordinator
+        (:class:`repro.cluster.ShardedServingEngine`) resolves the wave
+        once and hands every shard the same view — without the pin, a
+        sibling shard's publishes landing on the shared store mid-wave
+        could give later shards a different assignment than earlier ones.
+
         The engine's ``autoscaler`` and ``accelerator`` hooks are features
         of the *streaming* loop (and, for the autoscaler, the pool path):
         the materialized reference loop has no arrival clock to scale
@@ -455,6 +492,14 @@ class ServingEngine:
         if ingestion is not None and parallel is True:
             raise ValueError("ingestion selects the serial event loop; "
                              "it cannot be combined with parallel=True")
+        # Duplicate stream ids make the fleet invalid as a whole, so the
+        # check runs before any store lookup, map resolution, or session
+        # construction — nothing may start serving a fleet that will fail.
+        seen = set()
+        for spec in specs:
+            if spec.stream_id in seen:
+                raise ValueError(f"duplicate stream_id in fleet: {spec.stream_id}")
+            seen.add(spec.stream_id)
         started = time.perf_counter()
         report = ServingReport(workers=self.max_workers)
         # The virtual-clock offset this call's deterministic spans are
@@ -465,7 +510,10 @@ class ServingEngine:
         # execution path (store hit, streaming, materialized, pool) of this
         # call sees the same canonical map per environment, which is what
         # keeps serial/streaming/pool bit-identical with acquisition enabled.
-        fleet_maps = self._resolve_fleet_maps(specs)
+        if fleet_maps is None:
+            fleet_maps = self._resolve_fleet_maps(specs)
+        else:
+            fleet_maps = dict(fleet_maps)
         report.fleet_maps = {environment_id: snapshot.version
                              for environment_id, snapshot in fleet_maps.items()}
         maps_by_stream: Dict[str, Dict[str, MapSnapshot]] = {
@@ -473,11 +521,7 @@ class ServingEngine:
         }
         cold: List[StreamSpec] = []
         replayed: set = set()
-        seen = set()
         for spec in specs:
-            if spec.stream_id in seen:
-                raise ValueError(f"duplicate stream_id in fleet: {spec.stream_id}")
-            seen.add(spec.stream_id)
             if self.store is not None:
                 key = serving_key(spec, self._map_versions(maps_by_stream[spec.stream_id]))
                 stored = self.store.load_key(key, expect=SessionResult)
@@ -497,6 +541,7 @@ class ServingEngine:
                     report.results[spec.stream_id] = stored
                     continue
             cold.append(spec)
+        report.replayed_streams = sorted(replayed)
 
         if parallel is None:
             use_pool = (ingestion is None and self.max_workers > 1 and len(cold) > 1)

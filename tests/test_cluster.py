@@ -1,0 +1,516 @@
+"""Horizontal sharding: ring, rebalancer, and the sharded serving engine.
+
+The load-bearing contracts, in order of importance:
+
+* **Bit-identity.**  A 1-shard :class:`ShardedServingEngine` produces a
+  report whose :meth:`ServingReport.signature` equals the plain engine's,
+  and an N-shard cluster serves every session to the plain engine's exact
+  :meth:`SessionResult.signature` — sharding is an execution topology, not
+  a result change.
+* **Store-mediated coordination.**  Shards publish through their own map
+  store handles; the coordinator applies the wave's MapUpdate deltas in
+  one fold; the refreshed canonical maps are what every shard resolves
+  next wave.
+* **Single-box assumption sweep.**  Cross-shard duplicate rejection before
+  any shard serves; per-target-shard saturation for admission (not
+  any-shard); churn telemetry counted once, not once per shard handle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cluster import (
+    DEFAULT_SLOT_COUNT,
+    HashRing,
+    RebalanceDecision,
+    ShardRebalancer,
+    ShardedServingEngine,
+    ShardedServingReport,
+    resolve_shard_count,
+    resolve_slot_count,
+)
+from repro.experiments.runner import RunStore
+from repro.maps import MapStore
+from repro.scheduler import LatencyAutoscaler
+from repro.serving import ServingEngine, multi_environment_fleet
+
+
+def small_fleet(count=5, prefix="session", base_seed=0):
+    """A fast multi-environment fleet: transit + two indoor environments."""
+    return multi_environment_fleet(
+        count, segment_duration=1.0, base_seed=base_seed,
+        deadline_ms=400.0, prefix=prefix)
+
+
+def session_signatures(report):
+    return {stream_id: result.signature()
+            for stream_id, result in report.results.items()}
+
+
+def make_scaler(shard=0):
+    return LatencyAutoscaler(min_workers=1, max_workers=4)
+
+
+# --------------------------------------------------------------------- ring
+
+
+class TestHashRing:
+    def test_slot_is_sha256_of_stream_id(self):
+        # Never Python's salted hash(): the mapping must be identical in
+        # every interpreter, or shards in different processes would route
+        # the same stream differently.
+        ring = HashRing(4)
+        digest = hashlib.sha256(b"session-007").digest()
+        expected = int.from_bytes(digest[:8], "big") % ring.slot_count
+        assert ring.slot_of("session-007") == expected
+
+    def test_initial_assignment_is_balanced(self):
+        ring = HashRing(3, slot_count=64)
+        sizes = [len(ring.slots_of(shard)) for shard in range(3)]
+        assert sum(sizes) == 64
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_for_follows_slot_assignment(self):
+        ring = HashRing(2, slot_count=8)
+        stream = "session-001"
+        slot = ring.slot_of(stream)
+        assert ring.shard_for(stream) == ring.shard_of_slot(slot)
+        other = 1 - ring.shard_for(stream)
+        ring.move([slot], other)
+        assert ring.shard_for(stream) == other
+
+    def test_move_counts_only_real_changes(self):
+        ring = HashRing(2, slot_count=8)
+        slots = ring.slots_of(1)[:2]
+        assert ring.move(slots, 1) == 0  # already there
+        assert ring.move(slots, 0) == 2
+        assert ring.moves == 2
+
+    def test_move_validates_slot_and_target(self):
+        ring = HashRing(2, slot_count=8)
+        with pytest.raises(ValueError):
+            ring.move([0], 5)
+        with pytest.raises(ValueError):
+            ring.move([99], 0)
+
+    def test_slot_count_knobs(self, monkeypatch):
+        assert resolve_slot_count() == DEFAULT_SLOT_COUNT
+        monkeypatch.setenv("EUDOXUS_SHARD_SLOTS", "16")
+        assert resolve_slot_count() == 16
+        assert resolve_slot_count(32) == 32  # explicit beats env
+        with pytest.raises(ValueError):
+            HashRing(8, slot_count=4)  # fewer slots than shards
+
+    def test_shard_count_env_knob(self, monkeypatch):
+        assert resolve_shard_count() == 1
+        monkeypatch.setenv("EUDOXUS_SHARDS", "3")
+        assert resolve_shard_count() == 3
+        assert resolve_shard_count(2) == 2
+
+
+# --------------------------------------------------------------- rebalancer
+
+
+class TestShardRebalancer:
+    def ring_with_costs(self, hot=0, cool=1):
+        ring = HashRing(2, slot_count=8)
+        # All cost on the hot shard, spread over its slots.
+        costs = {slot: 10.0 for slot in ring.slots_of(hot)}
+        return ring, costs
+
+    def test_moves_slots_hot_to_cool(self):
+        ring, costs = self.ring_with_costs()
+        decisions = ShardRebalancer(pressure_gap=0.5).rebalance(
+            ring, [3.0, 0.2], costs, wave=7)
+        assert len(decisions) == 1
+        decision = decisions[0]
+        assert decision.source == 0 and decision.target == 1
+        assert decision.wave == 7
+        assert decision.slots  # something actually moved
+        for slot in decision.slots:
+            assert ring.shard_of_slot(slot) == 1
+
+    def test_no_move_below_pressure_gap(self):
+        ring, costs = self.ring_with_costs()
+        before = ring.assignment()
+        assert ShardRebalancer(pressure_gap=0.5).rebalance(
+            ring, [1.0, 0.8], costs) == []
+        assert ring.assignment() == before
+
+    def test_single_loaded_slot_does_not_swap_the_hotspot(self):
+        # One stream carries all the load: moving its slot would just make
+        # the cool shard the hot one.  The strict midpoint test keeps it.
+        ring = HashRing(2, slot_count=8)
+        slot = ring.slots_of(0)[0]
+        before = ring.assignment()
+        decisions = ShardRebalancer(pressure_gap=0.5).rebalance(
+            ring, [5.0, 0.0], {slot: 30.0})
+        assert decisions == []
+        assert ring.assignment() == before
+
+    def test_max_slot_moves_caps_the_transfer(self):
+        ring, costs = self.ring_with_costs()
+        decisions = ShardRebalancer(pressure_gap=0.5,
+                                    max_slot_moves=1).rebalance(
+            ring, [3.0, 0.0], costs)
+        assert len(decisions[0].slots) == 1
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("EUDOXUS_REBALANCE_GAP", "2.5")
+        monkeypatch.setenv("EUDOXUS_REBALANCE_MAX_SLOTS", "2")
+        rebalancer = ShardRebalancer()
+        assert rebalancer.pressure_gap == 2.5
+        assert rebalancer.max_slot_moves == 2
+        assert ShardRebalancer(pressure_gap=0.1).pressure_gap == 0.1
+
+
+# ------------------------------------------------------------ bit-identity
+
+
+@pytest.fixture(scope="module")
+def identity_reports(tmp_path_factory):
+    """Serve the same fleet through the plain engine, a 1-shard cluster,
+    and a 2-shard cluster (separate store roots each), once per module."""
+    tmp = tmp_path_factory.mktemp("cluster-identity")
+    fleet = small_fleet(5)
+    reports = {}
+    plain = ServingEngine(
+        store=RunStore(tmp / "runs-plain", -1, -1),
+        map_store=MapStore(tmp / "maps-plain", -1, -1),
+        autoscaler=make_scaler())
+    reports["plain"] = plain.serve(fleet, parallel=False, ingestion="streaming")
+    for shards in (1, 2):
+        engine = ShardedServingEngine(
+            shards,
+            run_store=RunStore(tmp / f"runs-{shards}", -1, -1),
+            map_store=MapStore(tmp / f"maps-{shards}", -1, -1),
+            autoscaler_factory=make_scaler,
+            shard_parallel=False)
+        reports[shards] = engine.serve(fleet)
+        reports[f"engine-{shards}"] = engine
+    return reports
+
+
+class TestShardedBitIdentity:
+    def test_single_shard_signature_is_bit_identical_to_plain(self, identity_reports):
+        # THE acceptance pin: one shard is the plain engine, exactly —
+        # same session results, same resolved maps, same post-wave
+        # canonical versions.
+        assert identity_reports[1].signature() == \
+            identity_reports["plain"].signature()
+
+    def test_two_shards_serve_identical_sessions(self, identity_reports):
+        assert session_signatures(identity_reports[2]) == \
+            session_signatures(identity_reports["plain"])
+
+    def test_two_shards_apply_identical_map_updates(self, identity_reports):
+        assert identity_reports[2].maps_updated == \
+            identity_reports["plain"].maps_updated
+        assert identity_reports[2].fleet_maps == \
+            identity_reports["plain"].fleet_maps
+
+    def test_report_signature_matches_across_shard_counts(self, identity_reports):
+        assert identity_reports[2].signature() == \
+            identity_reports["plain"].signature()
+
+    def test_merged_report_counters(self, identity_reports):
+        report = identity_reports[2]
+        assert isinstance(report, ShardedServingReport)
+        assert report.session_count == 5
+        assert report.computed_sessions == 5
+        assert report.store_hits == 0
+        assert report.shard_count == 2
+        assert set(report.shard_of) == {spec.stream_id
+                                        for spec in small_fleet(5)}
+        loaded = [rep for rep in report.shard_reports if rep is not None]
+        assert sum(rep.session_count for rep in loaded) == 5
+        assert report.ticks == sum(rep.ticks for rep in loaded)
+        assert report.maps_published == sum(rep.maps_published
+                                            for rep in loaded)
+
+    def test_merged_as_dict_extends_the_plain_shape(self, identity_reports):
+        plain_keys = set(identity_reports["plain"].as_dict())
+        payload = identity_reports[2].as_dict()
+        assert plain_keys <= set(payload)
+        assert set(payload) - plain_keys == {
+            "shard_count", "shard_of", "shards", "rebalances",
+            "slot_assignment"}
+        assert len(payload["shards"]) == 2
+        assert len(payload["slot_assignment"]) == DEFAULT_SLOT_COUNT
+
+    def test_churn_counted_once_not_per_shard(self, identity_reports):
+        # Each shard handle observing the same canonical version change
+        # must not multiply one global event by the shard count.
+        plain_churn = identity_reports["plain"].map_version_churn
+        assert identity_reports[2].map_version_churn == plain_churn
+
+    def test_final_workers_sums_shards(self, identity_reports):
+        report = identity_reports[2]
+        loaded = [rep for rep in report.shard_reports if rep is not None]
+        assert report.final_workers == sum(rep.final_workers
+                                           for rep in loaded)
+
+
+# ------------------------------------------------------- cluster behaviors
+
+
+class TestShardedServing:
+    def test_duplicate_stream_rejected_before_any_shard_serves(self, tmp_path):
+        # The single-box bug: per-engine duplicate detection only catches
+        # duplicates landing on the same shard, and only after sibling
+        # shards already served.  The coordinator must refuse the whole
+        # fleet at the door.
+        store = RunStore(tmp_path / "runs", -1, -1)
+        engine = ShardedServingEngine(
+            2, run_store=store, autoscaler_factory=make_scaler,
+            shard_parallel=False)
+        fleet = small_fleet(4)
+        dup = fleet + [fleet[0]]
+        with pytest.raises(ValueError, match="duplicate stream_id"):
+            engine.serve(dup)
+        # No shard did any work: nothing was computed into the shared store.
+        assert len(store) == 0
+        assert engine.waves_served == 0
+
+    def test_second_wave_replays_from_the_shared_store(self, tmp_path):
+        engine = ShardedServingEngine(
+            2, run_store=RunStore(tmp_path / "runs", -1, -1),
+            map_store=MapStore(tmp_path / "maps", -1, -1),
+            autoscaler_factory=make_scaler, shard_parallel=False)
+        fleet = small_fleet(4)
+        first = engine.serve(fleet)
+        second = engine.serve(fleet)
+        assert first.computed_sessions == 4 and first.store_hits == 0
+        assert second.store_hits == 4 and second.computed_sessions == 0
+        assert second.replayed_streams == sorted(spec.stream_id
+                                                 for spec in fleet)
+        # Replayed sessions' deltas were applied when first computed;
+        # re-applying would double-count their observations.
+        assert second.maps_updated == {}
+
+    def test_wave_two_resolves_wave_one_canonical_maps(self, tmp_path):
+        # The store IS the coordination plane: shard publishes and the
+        # coordinator's update fold from wave 1 become every shard's
+        # canonical assignment in wave 2.
+        engine = ShardedServingEngine(
+            2, map_store=MapStore(tmp_path / "maps", -1, -1),
+            min_map_quality=0.0,  # short segments: don't let the quality
+            autoscaler_factory=make_scaler,  # gate hide the lifecycle
+            shard_parallel=False)
+        first = engine.serve(small_fleet(4))
+        assert first.fleet_maps == {}  # cold world: nothing to resolve yet
+        assert first.maps_published > 0
+        second = engine.serve(small_fleet(4, prefix="wave2", base_seed=50))
+        # Both shared environments (atrium + warehouse world digests) now
+        # resolve to canonical maps built from wave 1's publishes.
+        assert len(second.fleet_maps) == 2
+        for environment_id, version in first.maps_updated.items():
+            assert second.fleet_maps[environment_id] == version
+
+    def test_process_parallel_shards_match_sequential(self, tmp_path):
+        fleet = small_fleet(4)
+        sequential = ShardedServingEngine(
+            2, map_store=MapStore(tmp_path / "maps-seq", -1, -1),
+            autoscaler_factory=make_scaler, shard_parallel=False)
+        processes = ShardedServingEngine(
+            2, map_store=MapStore(tmp_path / "maps-proc", -1, -1),
+            autoscaler_factory=make_scaler, shard_parallel=True)
+        seq_report = sequential.serve(fleet)
+        proc_report = processes.serve(fleet)
+        assert session_signatures(proc_report) == session_signatures(seq_report)
+        assert proc_report.maps_updated == seq_report.maps_updated
+        assert proc_report.signature() == seq_report.signature()
+        # Subprocess controller state was folded back into the resident
+        # scalers: widths live, decision logs populated.
+        for scaler in processes.autoscalers:
+            assert scaler.workers >= 1
+            assert len(scaler.decisions) > 0
+
+    def test_empty_fleet_serves_to_an_empty_report(self):
+        engine = ShardedServingEngine(2, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        report = engine.serve([])
+        assert report.session_count == 0
+        assert report.rebalances == []
+
+    def test_rebalance_decisions_reroute_the_next_wave(self, tmp_path):
+        class ForcedRebalancer:
+            """Deterministically move stream 0's slot to the other shard."""
+
+            def __init__(self, ring_slot, target):
+                self.ring_slot = ring_slot
+                self.target = target
+                self.fired = False
+
+            def rebalance(self, ring, pressures, slot_costs, wave=0):
+                if self.fired:
+                    return []
+                self.fired = True
+                ring.move([self.ring_slot], self.target)
+                return [RebalanceDecision(
+                    wave=wave, source=1 - self.target, target=self.target,
+                    slots=(self.ring_slot,), moved_cost=1.0,
+                    source_pressure=2.0, target_pressure=0.0,
+                    reason="forced for test")]
+
+        fleet = small_fleet(4)
+        probe = HashRing(2)
+        stream = fleet[0].stream_id
+        slot = probe.slot_of(stream)
+        target = 1 - probe.shard_for(stream)
+        engine = ShardedServingEngine(
+            2, run_store=RunStore(tmp_path / "runs", -1, -1),
+            autoscaler_factory=make_scaler, shard_parallel=False,
+            rebalancer=ForcedRebalancer(slot, target))
+        first = engine.serve(fleet)
+        assert len(first.rebalances) == 1
+        assert first.shard_of[stream] == 1 - target  # moved AFTER serving
+        second = engine.serve(fleet)
+        assert second.shard_of[stream] == target  # ... takes effect next wave
+        # Relocation is invisible to results: the shared run store replays
+        # the session on its new shard.
+        assert second.results[stream].signature() == \
+            first.results[stream].signature()
+        assert engine.describe()["slot_moves"] == 1
+
+    def test_organic_rebalance_from_skewed_pressure(self):
+        # End-to-end through _rebalance: synthesize the autoscaler state a
+        # skewed wave leaves behind and check slots actually flow from the
+        # pressured shard to the idle one.
+        engine = ShardedServingEngine(
+            2, autoscaler_factory=make_scaler, shard_parallel=False,
+            rebalancer=ShardRebalancer(pressure_gap=0.5, max_slot_moves=4))
+        # Rig a genuinely skewed fleet: most streams hash to one shard, so
+        # the pressured shard also carries the larger expected cost.
+        candidates = small_fleet(10)
+        by_shard = {0: [], 1: []}
+        for spec in candidates:
+            by_shard[engine.ring.shard_for(spec.stream_id)].append(spec)
+        hot = 0 if len(by_shard[0]) >= len(by_shard[1]) else 1
+        fleet = by_shard[hot][:5] + by_shard[1 - hot][:1]
+        assert len(fleet) == 6
+        from repro.serving.engine import ServingReport
+        from repro.scheduler.autoscaler import ScaleDecision
+
+        def fake_report(pressure):
+            report = ServingReport()
+            report.scale_decisions.append(ScaleDecision(
+                tick=1, clock=1.0, action="hold", workers_before=1,
+                workers_after=1, p50_ms=0.0, p95_ms=0.0, pressure=pressure,
+                reason="synthetic", saturated=False))
+            return report
+
+        reports = [None, None]
+        reports[hot] = fake_report(3.0)
+        reports[1 - hot] = fake_report(0.1)
+        before = len(engine.ring.slots_of(hot))
+        decisions = engine._rebalance(fleet, reports, {})
+        assert len(decisions) == 1
+        assert decisions[0].source == hot and decisions[0].target == 1 - hot
+        assert len(engine.ring.slots_of(hot)) < before
+
+
+# ------------------------------------------------------- admission surface
+
+
+class TestClusterAdmissionSurface:
+    def saturate(self, scaler):
+        scaler.workers = scaler.max_workers
+        scaler._saturated = True
+
+    def test_saturated_for_judges_the_target_shard_only(self):
+        engine = ShardedServingEngine(2, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        fleet = small_fleet(6)
+        shard_of = {spec.stream_id: engine.ring.shard_for(spec.stream_id)
+                    for spec in fleet}
+        assert len(set(shard_of.values())) == 2  # fleet spans both shards
+        self.saturate(engine.autoscalers[0])
+        for stream_id, shard in shard_of.items():
+            assert engine.saturated_for(stream_id) == (shard == 0)
+
+    def test_cluster_saturated_means_all_shards(self):
+        engine = ShardedServingEngine(2, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        assert not engine.saturated
+        self.saturate(engine.autoscalers[0])
+        assert not engine.saturated  # one hot shard is not cluster exhaustion
+        self.saturate(engine.autoscalers[1])
+        assert engine.saturated
+
+    def test_saturated_for_follows_the_live_ring(self):
+        engine = ShardedServingEngine(2, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        stream = "session-000"
+        home = engine.ring.shard_for(stream)
+        self.saturate(engine.autoscalers[home])
+        assert engine.saturated_for(stream)
+        # A rebalance relocates the stream: the probe must judge the new
+        # shard immediately.
+        engine.ring.move([engine.ring.slot_of(stream)], 1 - home)
+        assert not engine.saturated_for(stream)
+
+    def test_sync_adopts_state_and_next_wave_clears_saturation(self):
+        scaler = make_scaler()
+        scaler.sync(3, saturated=True)
+        assert scaler.workers == 3 and scaler.saturated
+        scaler.sync(99, saturated=False)  # clamped to max_workers
+        assert scaler.workers == scaler.max_workers and not scaler.saturated
+
+    def test_pinned_capacity_sums_shards(self):
+        engine = ShardedServingEngine(3, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        assert engine.pinned_capacity == \
+            3 * 4 * engine.frames_per_worker_tick
+        bare = ShardedServingEngine(2, shard_parallel=False)
+        assert bare.pinned_capacity is None
+
+    def test_shard_health_and_describe_shapes(self):
+        engine = ShardedServingEngine(2, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        health = engine.shard_health()
+        assert [row["shard"] for row in health] == [0, 1]
+        assert all(set(row) == {"shard", "slots", "workers", "saturated"}
+                   for row in health)
+        topology = engine.describe()
+        assert topology["shards"] == 2
+        assert sum(topology["slots_per_shard"].values()) == \
+            topology["slot_count"]
+
+
+# ------------------------------------------------------------ metrics plane
+
+
+class TestClusterMetrics:
+    def test_cluster_families_record_per_shard(self, tmp_path):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        engine = ShardedServingEngine(
+            2, map_store=MapStore(tmp_path / "maps", -1, -1),
+            autoscaler_factory=make_scaler, shard_parallel=False,
+            metrics=registry)
+        report = engine.serve(small_fleet(4))
+        sessions = registry.counter(
+            "eudoxus_cluster_shard_sessions_total",
+            "Sessions resolved per shard, by outcome.", ("shard", "outcome"))
+        total = sum(sessions.value(shard=str(shard), outcome="computed")
+                    for shard in range(2))
+        assert total == report.computed_sessions == 4
+        frames = registry.counter("eudoxus_cluster_shard_frames_total",
+                                  "Frames served per shard.", ("shard",))
+        assert sum(frames.value(shard=str(shard))
+                   for shard in range(2)) == report.frame_count
+
+    def test_bind_is_idempotent_and_coexists_with_plain_engine(self, tmp_path):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        plain = ServingEngine(store=None, metrics=registry)
+        engine = ShardedServingEngine(2, autoscaler_factory=make_scaler,
+                                      shard_parallel=False)
+        engine.bind_metrics(registry)
+        engine.bind_metrics(registry)  # idempotent re-bind
+        assert "eudoxus_cluster_rebalances_total" in registry
+        assert "eudoxus_engine_sessions_total" in registry

@@ -776,3 +776,157 @@ class TestMapStoreEdgeCases:
         # The scale the serving gate is calibrated against; moving it
         # silently would reshuffle every fleet's SLAM/registration split.
         assert QUALITY_COUNT_SCALE == 60.0
+
+
+class TestMapStoreCrossInstance:
+    """Two store handles on one root: the sharded engine's coordination plane.
+
+    The canonical-merge memo is keyed on the full on-disk stem set (rescanned
+    every call) + merger signature — so a *foreign* publish or compaction by
+    a sibling handle must be picked up as a recompute (a resolve miss, with
+    churn recorded if the version moved), never served stale from the memo.
+    """
+
+    def _store(self, tmp_path):
+        return MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+
+    def test_foreign_publish_is_a_miss_not_a_hit(self, tmp_path):
+        mine, sibling = self._store(tmp_path), self._store(tmp_path)
+        mine.publish(_snapshot(count=40, seed=1))
+        first = mine.resolve("env-a", min_quality=0.0)
+        assert (mine.resolve_misses, mine.resolve_hits) == (1, 0)
+        # Unchanged disk: the memo serves, counted as a hit.
+        assert mine.resolve("env-a", min_quality=0.0).version == first.version
+        assert (mine.resolve_misses, mine.resolve_hits) == (1, 1)
+        # A sibling handle publishes new content; this handle's next resolve
+        # must rescan, recompute, and account a miss + a churn event.
+        sibling.publish(_snapshot(count=40, seed=2, id_offset=100))
+        second = mine.resolve("env-a", min_quality=0.0)
+        assert second.landmark_count > first.landmark_count
+        assert (mine.resolve_misses, mine.resolve_hits) == (2, 1)
+        assert mine.version_churn["env-a"] == 2  # None -> v1, v1 -> v2
+
+    def test_unchanged_disk_hits_do_not_churn(self, tmp_path):
+        mine = self._store(tmp_path)
+        mine.publish(_snapshot(count=40, seed=1))
+        for _ in range(3):
+            mine.resolve("env-a", min_quality=0.0)
+        assert mine.version_churn["env-a"] == 1
+        assert mine.resolve_hits == 2
+
+    def test_foreign_compaction_is_visible(self, tmp_path):
+        mine, sibling = self._store(tmp_path), self._store(tmp_path)
+        snapshot = _snapshot(count=30, seed=3)
+        mine.publish(snapshot)
+        mine.resolve("env-a", min_quality=0.0)  # memoize the pre-update state
+        target = int(snapshot.landmark_ids[4])
+        update = _update(snapshot, [target], [snapshot.positions[4] + 5.0],
+                         [5.0], counts=[2])
+        sibling.apply_updates([update],
+                              merger=MapMerger(drift_residual_m=0.5,
+                                               relocate_min_observations=3))
+        # The sibling replaced the history on disk; this handle's memo keys
+        # no longer match the stems and the pruned landmark stays gone.
+        resolved = mine.resolve("env-a", min_quality=0.0)
+        assert target not in resolved.landmark_ids
+
+    def test_handle_created_before_content_sees_it(self, tmp_path):
+        early = self._store(tmp_path)
+        assert not early.has_history("env-a")
+        self._store(tmp_path).publish(_snapshot())
+        assert early.has_history("env-a")
+        assert early.resolve("env-a", min_quality=0.0) is not None
+
+    def test_two_handles_resolve_identical_canonicals(self, tmp_path):
+        mine, sibling = self._store(tmp_path), self._store(tmp_path)
+        mine.publish(_snapshot(count=50, seed=1))
+        sibling.publish(_snapshot(count=50, seed=2, id_offset=40))
+        assert mine.resolve("env-a", min_quality=0.0).version == \
+            sibling.resolve("env-a", min_quality=0.0).version
+
+
+# ----------------------------------------------- concurrent publisher workers
+
+
+def _concurrent_publish_worker(root, barrier, seed, id_offset):
+    """One shard's wave: publish a shared snapshot + its own, repeatedly."""
+    store = MapStore(root, max_bytes=-1, max_age_s=-1)
+    shared = _snapshot(count=30, seed=7)  # identical content in every worker
+    own = _snapshot(count=20, seed=seed, id_offset=id_offset)
+    barrier.wait()
+    for _ in range(3):
+        store.publish(shared)
+        store.publish(own)
+
+
+def _concurrent_apply_worker(root, barrier, updates):
+    """One shard applying the wave's deltas through its own handle."""
+    store = MapStore(root, max_bytes=-1, max_age_s=-1)
+    merger = MapMerger(drift_residual_m=0.5, relocate_min_observations=3)
+    barrier.wait()
+    store.apply_updates(updates, merger=merger)
+
+
+class TestMapStoreConcurrentProcesses:
+    """Two real processes sharing one root — the sharded serve() in anger."""
+
+    def _run(self, workers):
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+
+    def test_concurrent_publishers_converge(self, tmp_path):
+        import multiprocessing
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        self._run([
+            context.Process(target=_concurrent_publish_worker,
+                            args=(tmp_path, barrier, seed, offset))
+            for seed, offset in ((11, 100), (22, 200))
+        ])
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        # Content-addressed idempotency under concurrency: the shared
+        # snapshot exists once, each worker's own snapshot once — three
+        # files, no duplicates, no torn writes.
+        assert len(store.snapshots("env-a")) == 3
+        # Two fresh handles (the "next wave" of two shards) resolve the
+        # same canonical merge of everything both publishers wrote.
+        other = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        mine = store.resolve("env-a", min_quality=0.0)
+        assert mine is not None
+        assert mine.version == other.resolve("env-a", min_quality=0.0).version
+        assert mine.landmark_count > 30  # merged, not just the shared one
+
+    def test_concurrent_update_application_stays_consistent(self, tmp_path):
+        import multiprocessing
+        store = MapStore(tmp_path, max_bytes=-1, max_age_s=-1)
+        snapshot = _snapshot(count=30, seed=3)
+        store.publish(snapshot)
+        target = int(snapshot.landmark_ids[4])
+        updates = [_update(snapshot, [target], [snapshot.positions[4] + 5.0],
+                           [5.0], counts=[2])]
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        self._run([
+            context.Process(target=_concurrent_apply_worker,
+                            args=(tmp_path, barrier, updates))
+            for _ in range(2)
+        ])
+        # Whatever the interleaving, the store converges: the second
+        # application either hit the idempotent-target fast path or
+        # quiesced against the already-updated canonical.  Pruned content
+        # must not resurrect, and any two next-wave handles must agree.
+        merger = MapMerger(drift_residual_m=0.5, relocate_min_observations=3)
+        first = MapStore(tmp_path, max_bytes=-1, max_age_s=-1).resolve(
+            "env-a", merger=merger, min_quality=0.0)
+        second = MapStore(tmp_path, max_bytes=-1, max_age_s=-1).resolve(
+            "env-a", merger=merger, min_quality=0.0)
+        assert first is not None
+        assert target not in first.landmark_ids
+        assert first.version == second.version
+        # Compaction held: at most the updated snapshot (plus, in the worst
+        # interleaving, one superseded survivor that the next application
+        # would fold away) remains on disk.
+        assert len(store.snapshots("env-a")) <= 2

@@ -303,9 +303,9 @@ REPORT_KEYS = {
     "map_resolve_misses", "map_update_count", "map_version_churn",
     "maps_published", "maps_updated", "mean_batch_size", "mode_census",
     "mode_switches", "p50_frame_ms", "p50_serving_ms", "p95_frame_ms",
-    "p95_serving_ms", "parallel", "resizes", "scale_decisions",
-    "session_count", "sessions", "sessions_per_second", "store_hits",
-    "ticks", "wall_s", "workers",
+    "p95_serving_ms", "parallel", "replayed_streams", "resizes",
+    "scale_decisions", "session_count", "sessions", "sessions_per_second",
+    "store_hits", "ticks", "wall_s", "workers",
 }
 
 SESSION_KEYS = {"frames", "map_acquisitions", "map_updates", "mode_switches",

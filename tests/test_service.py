@@ -482,3 +482,120 @@ class TestServiceMetrics:
         summary = report.summary()
         assert summary["shed_rate"] == 0.0
         assert summary["p95_turnaround_ms"] > 0.0
+
+
+# ------------------------------------------------------- sharded front door
+
+
+def _sharded_engine(shards=2):
+    from repro.cluster import ShardedServingEngine
+    # max_workers == min_workers so a single over-pressure observation
+    # saturates a shard (same idiom as the plain-engine saturation test).
+    return ShardedServingEngine(
+        shards,
+        autoscaler_factory=lambda shard: LatencyAutoscaler(
+            min_workers=1, max_workers=1, grow_patience=1),
+        shard_parallel=False,
+    )
+
+
+def _stream_for_shard(engine, shard, prefix="svc"):
+    """A stream id the engine's live ring routes to ``shard``."""
+    for index in range(4096):
+        stream_id = f"{prefix}-{index}"
+        if engine.ring.shard_for(stream_id) == shard:
+            return stream_id
+    raise AssertionError(f"no stream id found for shard {shard}")
+
+
+def _saturate_shard(engine, shard):
+    scaler = engine.autoscalers[shard]
+    scaler.observe(1000.0, deadline_ms=100.0)
+    scaler.decide()
+    assert scaler.saturated
+
+
+class TestShardedService:
+    def test_default_admission_wired_to_shard_probes(self):
+        """A sharded engine behind the door gets per-shard admission: the
+        target-shard probe, all-shards fallback, and the pinned cluster
+        capacity as the tightened bound."""
+        engine = _sharded_engine()
+        service = LocalizationService(engine, port=0)
+        assert service.admission.shard_saturated_fn == engine.saturated_for
+        assert service.admission.saturated_inflight == engine.pinned_capacity
+        assert service.admission.saturated_inflight == \
+            2 * 1 * engine.frames_per_worker_tick
+        # Zero-arg fallback is ALL-shards saturation, not any-shard.
+        assert not service.admission.saturated_fn()
+        _saturate_shard(engine, 0)
+        assert not service.admission.saturated_fn()
+        _saturate_shard(engine, 1)
+        assert service.admission.saturated_fn()
+
+    def test_sheds_by_target_shard_not_cluster(self):
+        """One hot shard refuses only its own streams; traffic bound for
+        the idle sibling keeps flowing."""
+        engine = _sharded_engine()
+        _saturate_shard(engine, 0)
+        hot = _stream_for_shard(engine, 0)
+        cool = _stream_for_shard(engine, 1)
+
+        async def scenario(service):
+            status, payload = await request(
+                service.host, service.port, "POST", "/v1/sessions",
+                {"stream_id": hot, "qos": "bronze",
+                 "segments": SEGMENTS_WIRE, "camera_rate_hz": RATE})
+            assert status == 503
+            assert "saturated" in payload["error"]
+            status, _ = await request(
+                service.host, service.port, "POST", "/v1/sessions",
+                {"stream_id": cool, "qos": "bronze",
+                 "segments": SEGMENTS_WIRE, "camera_rate_hz": RATE})
+            assert status == 201
+            status, result = await request(
+                service.host, service.port, "GET",
+                f"/v1/sessions/{cool}/result")
+            assert status == 200 and result["state"] == "done"
+            return service
+        service = _run(scenario, engine=engine)
+        assert service.admission.shed_counts == {"saturated": 1}
+        assert hot not in service.sessions
+
+    def test_healthz_and_metrics_expose_cluster_shape(self):
+        engine = _sharded_engine()
+
+        async def scenario(service):
+            await request(
+                service.host, service.port, "POST", "/v1/sessions",
+                {"stream_id": "shape", "qos": "silver",
+                 "segments": SEGMENTS_WIRE, "camera_rate_hz": RATE})
+            await request(service.host, service.port, "GET",
+                          "/v1/sessions/shape/result")
+            _, health = await request(service.host, service.port, "GET",
+                                      "/healthz")
+            _, metrics = await request(service.host, service.port, "GET",
+                                       "/v1/metrics")
+            return health, metrics
+        health, metrics = _run(scenario, engine=engine)
+        assert [row["shard"] for row in health["shards"]] == [0, 1]
+        assert all(not row["saturated"] for row in health["shards"])
+        assert metrics["cluster"]["shards"] == 2
+        assert metrics["cluster"]["waves_served"] == 1
+        assert metrics["scale_decisions"], "shard decisions must surface"
+        assert all("shard" in d for d in metrics["scale_decisions"])
+
+    def test_sharded_front_door_signature_parity(self):
+        """Determinism across both boundaries at once: network + sharding."""
+        async def scenario(service):
+            await request(
+                service.host, service.port, "POST", "/v1/sessions",
+                {"stream_id": "parity", "qos": "gold",
+                 "segments": SEGMENTS_WIRE, "camera_rate_hz": RATE, "seed": 3})
+            _, result = await request(
+                service.host, service.port, "GET",
+                "/v1/sessions/parity/result")
+            return result["signature"]
+        served = _run(scenario, engine=_sharded_engine())
+        library = run_session(_spec("parity", deadline_ms=200.0, seed=3))
+        assert served == library.signature()
