@@ -17,11 +17,16 @@ Runs are resolved through :mod:`repro.experiments.runner`, so both tiers
 reuse the persistent on-disk run store across sessions.
 """
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import common
+
+#: Where the serving-shaped benchmarks append their headline rows so CI can
+#: archive them and the trend checker can diff consecutive runs.
+BENCH_TREND_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 # One characterization length shared by every benchmark module.  Longer runs
 # sharpen the statistics but grow the (pure Python) run time roughly linearly.
@@ -121,3 +126,27 @@ def print_banner(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+def append_bench_row(bench: str, **fields: float) -> None:
+    """Append one summary row to ``BENCH_serving.json`` at the repo root.
+
+    The file is a trend log: ``{"rows": [{"bench": ..., **fields}, ...]}``,
+    one row per benchmark per run, newest last.  CI uploads it as an
+    artifact and ``scripts/check_bench_trend.py`` flags >20 % regressions
+    against each benchmark's previous row.  Corrupt or missing files start
+    a fresh log rather than failing the benchmark.
+    """
+    try:
+        payload = json.loads(BENCH_TREND_PATH.read_text())
+        rows = payload.get("rows", [])
+        if not isinstance(rows, list):
+            rows = []
+    except (OSError, ValueError):
+        rows = []
+    rows.append({"bench": bench,
+                 **{name: (value if isinstance(value, (int, str, bool))
+                           else float(value))
+                    for name, value in fields.items()}})
+    BENCH_TREND_PATH.write_text(
+        json.dumps({"rows": rows}, indent=1, sort_keys=True) + "\n")

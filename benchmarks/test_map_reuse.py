@@ -15,7 +15,7 @@ segments, and its accuracy must stay in the same band as the cold wave's.
 """
 
 import numpy as np
-from conftest import print_banner
+from conftest import append_bench_row, print_banner
 
 from repro.characterization.report import format_table
 from repro.maps import MapStore
@@ -90,6 +90,13 @@ def test_map_reuse_throughput(benchmark, serving_settings, tmp_path):
     speedup = warm.sessions_per_second / max(cold.sessions_per_second, 1e-9)
     print(f"warm-map speedup: {speedup:.2f}x sessions/sec "
           f"(fleet map: {list(warm.fleet_maps.values())})")
+
+    append_bench_row(
+        "map_reuse",
+        cold_sessions_per_second=cold.sessions_per_second,
+        warm_sessions_per_second=warm.sessions_per_second,
+        warm_speedup=speedup,
+    )
 
     # The headline claim: a warm fleet serves strictly faster than the cold
     # fleet that had to build the map.

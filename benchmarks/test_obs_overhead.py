@@ -3,9 +3,9 @@
 The inertness contract has a performance half: the ``tracer is None`` /
 ``metrics is None`` guards threaded through the serving stack must cost
 nothing measurable when observability is off, and a fully instrumented
-serve (tracer + bound metrics registry + kernel profiling hooks) must stay
-within a few percent of the plain one on the 16-session streaming
-benchmark fleet.
+serve (tracer + bound metrics registry + kernel profiling hooks + SLO
+tracker + flight recorder) must stay within a few percent of the plain
+one on the 16-session streaming benchmark fleet.
 
 Both configurations serve the identical fleet through the identical
 streaming event loop; the run also re-verifies the bit-identity contract
@@ -21,9 +21,9 @@ half of the contract.
 
 import time
 
-from conftest import print_banner
+from conftest import append_bench_row, print_banner
 
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import FlightRecorder, MetricsRegistry, SLOTracker, Tracer
 from repro.obs.profile import disable_kernel_tracing, enable_kernel_tracing
 from repro.serving import ServingEngine, mixed_fleet
 
@@ -43,7 +43,7 @@ def _best_of(rounds, serve):
     return best_s, report
 
 
-def test_obs_overhead(benchmark, serving_settings):
+def test_obs_overhead(benchmark, serving_settings, tmp_path):
     fleet = mixed_fleet(
         FLEET_SIZE,
         segment_duration=serving_settings["segment_duration"],
@@ -59,7 +59,9 @@ def test_obs_overhead(benchmark, serving_settings):
         enable_kernel_tracing(tracer)
         try:
             engine = ServingEngine(store=None, max_workers=1, tracer=tracer,
-                                   metrics=MetricsRegistry())
+                                   metrics=MetricsRegistry(),
+                                   slo=SLOTracker(domain="virtual"),
+                                   recorder=FlightRecorder(root=tmp_path))
             report = engine.serve(fleet, parallel=False, ingestion="streaming")
         finally:
             disable_kernel_tracing()
@@ -92,6 +94,14 @@ def test_obs_overhead(benchmark, serving_settings):
     print(f"spans recorded: {len(tracer)} (+{tracer.dropped} dropped), "
           f"kernel hook families: {categories}")
     print(f"instrumented bit-identical to plain: {identical}")
+
+    append_bench_row(
+        "obs_overhead",
+        overhead_pct=100.0 * (ratio - 1.0),
+        disabled_s=disabled_s,
+        instrumented_s=instrumented_s,
+        spans=len(tracer),
+    )
 
     assert identical, "instrumentation moved the served signatures"
     assert len(tracer) > 0, "full instrumentation recorded no spans"

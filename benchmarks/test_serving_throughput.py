@@ -19,7 +19,7 @@ the materialized path.
 """
 
 import numpy as np
-from conftest import print_banner
+from conftest import append_bench_row, print_banner
 
 from repro.characterization.report import format_table
 from repro.experiments.common import accelerator_for
@@ -69,6 +69,13 @@ def test_serving_throughput(benchmark, serving_settings):
     print(f"p95 frame latency (parallel): {report.latency_percentile(95.0):.2f} ms")
     print(f"mean event-loop batch width (serial): {serial.mean_batch_size:.1f}")
     print(f"parallel bit-identical to serial: {identical}")
+
+    append_bench_row(
+        "serving_throughput",
+        sessions_per_second=report.sessions_per_second,
+        frames_per_second=report.summary()["frames_per_second"],
+        p95_frame_ms=report.latency_percentile(95.0),
+    )
 
     assert report.session_count >= 16
     assert report.parallel, "no process pool spawned — the comparison would be vacuous"
@@ -132,6 +139,15 @@ def test_serving_streaming_autoscale(benchmark, serving_settings):
     trained = {m: accelerator.scheduler.observation_count(m)
                for m in ("vio", "slam", "registration")}
     print(f"online offload-scheduler observations: {trained}")
+
+    append_bench_row(
+        "serving_streaming_autoscale",
+        sessions_per_second=report.sessions_per_second,
+        p95_serving_ms=report.virtual_latency_percentile(95.0),
+        steady_p95_ms=steady_p95,
+        deadline_misses=report.deadline_misses,
+        final_workers=report.final_workers,
+    )
 
     assert identical, "streaming ingestion diverged from the materialized path"
     assert grows, "an under-provisioned pool must grow under backlog pressure"

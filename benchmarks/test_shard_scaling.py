@@ -21,7 +21,7 @@ Walls are best-of-N to absorb process-pool warm-up jitter; the identity
 assertions run on every round regardless.
 """
 
-from conftest import print_banner
+from conftest import append_bench_row, print_banner
 
 from repro.characterization.report import format_table
 from repro.cluster import ShardedServingEngine
@@ -102,6 +102,14 @@ def test_shard_scaling(benchmark, shard_settings, serving_settings):
     print(f"\nall topologies bit-identical to the plain engine: True")
     print(f"report signature (topology-invariant): "
           f"{baseline.signature()[:16]}…")
+
+    for shards in shard_counts:
+        append_bench_row(
+            f"shard_scaling_x{shards}",
+            sessions_per_second=best[shards].sessions_per_second,
+            speedup=speedup[shards],
+            parallel=best[shards].parallel,
+        )
 
     # The acceptance pin: a 1-shard cluster is the plain engine, bit for
     # bit, merged report included.

@@ -35,7 +35,12 @@ flash crowd runs fully instrumented: a shared `repro.obs.Tracer` collects
 admission verdicts, dispatch waves, autoscaler decisions and per-session
 mode schedules into one Chrome/Perfetto trace (exported to a temp file and
 summarized), and the service's Prometheus exposition is parsed back for
-the shed counters.
+the shed counters.  The SLO plane watches the same crowd: the front door
+burns each tenant's wall-clock error budget on sheds and late sessions,
+the engine burns the virtual-clock budget on late frames, and the flight
+recorder captures a content-addressed forensic bundle when a trigger
+(shed spike, deadline-miss burst, SLO fast burn) fires — burn rates and
+the bundle path are printed at the end.
 
 Run with:  python examples/serving_demo.py
 """
@@ -48,7 +53,7 @@ from pathlib import Path
 from repro.experiments.common import accelerator_for
 from repro.experiments.runner import RunStore
 from repro.maps import MapStore
-from repro.obs import Tracer, parse_prometheus
+from repro.obs import FlightRecorder, SLOTracker, Tracer, parse_prometheus
 from repro.scheduler import LatencyAutoscaler
 from repro.service import (
     AdmissionController,
@@ -271,8 +276,12 @@ async def service_mode_demo() -> None:
     autoscaler = LatencyAutoscaler(min_workers=1, max_workers=2,
                                    grow_patience=1, shrink_patience=50,
                                    cooldown=0, window=512)
+    recorder = FlightRecorder(
+        root=Path(tempfile.gettempdir()) / "eudoxus-demo-forensics")
     engine = ServingEngine(store=None, autoscaler=autoscaler,
-                           frames_per_worker_tick=1)
+                           frames_per_worker_tick=1,
+                           slo=SLOTracker(domain="virtual"),
+                           recorder=recorder)
     admission = AdmissionController(
         policy="saturation", max_inflight=64,
         saturated_inflight=autoscaler.max_workers * engine.frames_per_worker_tick,
@@ -325,6 +334,29 @@ async def service_mode_demo() -> None:
                       for key, value in shed_samples.items()}
     print(f"Metrics: {len(families)} Prometheus families; "
           f"shed counters {shed_by_reason}")
+
+    # The SLO plane's verdict on the crowd: wall-clock burn at the front
+    # door (sheds and late sessions spend the tenant's error budget),
+    # virtual-clock burn inside the engine, and whatever forensic bundles
+    # the flight recorder's triggers captured.
+    print("SLO burn rates (multiples of the error-budget spend rate):")
+    for label, tracker in (("front door (wall)", service.slo),
+                           ("engine (virtual)", engine.slo)):
+        snapshot = tracker.snapshot()
+        for tenant, row in sorted(snapshot["tenants"].items()):
+            if row["hits"] or row["misses"]:
+                flag = "  << FAST BURN" if row["fast_burn"] else ""
+                print(f"  {label} {tenant}: {row['hits']} hits / "
+                      f"{row['misses']} misses, burn fast "
+                      f"{row['burn']['fast']:.1f} / slow "
+                      f"{row['burn']['slow']:.1f}{flag}")
+    bundles = recorder.bundle_paths()
+    if bundles:
+        print(f"Flight recorder: {len(bundles)} bundle(s) under "
+              f"{recorder.root} — latest {bundles[-1].name}")
+    else:
+        print(f"Flight recorder: no trigger fired (bundles would land "
+              f"under {recorder.root})")
 
 
 if __name__ == "__main__":

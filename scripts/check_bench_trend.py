@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Flag >20% regressions between consecutive benchmark trend rows.
+
+The serving-shaped benchmarks (``benchmarks/test_serving_throughput.py``,
+``test_shard_scaling.py``, ``test_map_reuse.py``, ``test_obs_overhead.py``)
+append one summary row per run to ``BENCH_serving.json`` at the repo root via
+``benchmarks/conftest.py:append_bench_row``.  This checker diffs each
+benchmark's newest row against its previous one and exits non-zero when a
+headline metric moved more than the tolerance in the bad direction:
+
+* throughput-shaped fields (``*sessions_per_second``, ``*frames_per_second``,
+  ``speedup``, ``warm_speedup``) regress when they *drop*;
+* latency/overhead-shaped fields (``*_ms``, ``*_s``, ``overhead_pct``,
+  ``deadline_misses``) regress when they *rise*.
+
+Fields near zero (|previous| < the floor) are skipped — percentage deltas
+against ~0 baselines (e.g. an overhead measured at 0.3%) are pure noise.
+A file with zero or one row per benchmark passes trivially: the log has to
+start somewhere.
+
+Usage::
+
+    python scripts/check_bench_trend.py [path] [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+DEFAULT_TOLERANCE = 0.20
+#: |previous| below this floor -> the percentage delta is meaningless noise.
+BASELINE_FLOOR = 1e-6
+
+HIGHER_IS_BETTER = ("sessions_per_second", "frames_per_second", "speedup")
+LOWER_IS_BETTER = ("_ms", "_s", "overhead_pct", "deadline_misses")
+
+
+def direction_for(field: str):
+    """+1 when the field should grow, -1 when it should shrink, 0 to skip."""
+    if any(field.endswith(marker) for marker in HIGHER_IS_BETTER):
+        return +1
+    if any(field.endswith(marker) for marker in LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def compare_rows(previous, latest, tolerance):
+    """Regression messages for one benchmark's last two rows."""
+    problems = []
+    for field in sorted(set(previous) & set(latest) - {"bench"}):
+        direction = direction_for(field)
+        before, after = previous[field], latest[field]
+        if direction == 0 or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in (before, after)):
+            continue
+        if abs(before) < BASELINE_FLOOR:
+            continue
+        delta = (after - before) / abs(before)
+        if direction * delta < -tolerance:
+            problems.append(
+                f"{field}: {before:.4g} -> {after:.4g} "
+                f"({100.0 * delta:+.1f}%, tolerance ±{100.0 * tolerance:.0f}%)")
+    return problems
+
+
+def check(path, tolerance):
+    try:
+        rows = json.loads(Path(path).read_text()).get("rows", [])
+    except FileNotFoundError:
+        print(f"{path}: no trend file yet — nothing to check")
+        return 0
+    except (OSError, ValueError) as error:
+        print(f"{path}: unreadable trend file ({error})")
+        return 2
+
+    by_bench = {}
+    for row in rows:
+        if isinstance(row, dict) and "bench" in row:
+            by_bench.setdefault(str(row["bench"]), []).append(row)
+
+    failures = 0
+    for bench in sorted(by_bench):
+        history = by_bench[bench]
+        if len(history) < 2:
+            print(f"{bench}: {len(history)} row(s) — baseline only")
+            continue
+        problems = compare_rows(history[-2], history[-1], tolerance)
+        if problems:
+            failures += 1
+            print(f"{bench}: REGRESSED")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"{bench}: ok ({len(history)} rows)")
+
+    if failures:
+        print(f"\n{failures} benchmark(s) regressed more than "
+              f"{100.0 * tolerance:.0f}% vs their previous row")
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=DEFAULT_PATH,
+                        help="trend file (default: repo-root BENCH_serving.json)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fractional regression tolerance (default 0.20)")
+    args = parser.parse_args(argv)
+    return check(args.path, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,10 +51,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments.runner import RunStore, fan_out, resolve_max_workers
 from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder, recorder_from_env
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import Tracer, tracer_from_env
 from repro.scheduler.autoscaler import LatencyAutoscaler
 from repro.sensors.dataset import segment_frame_count
-from repro.serving.engine import ServingEngine, ServingReport
+from repro.serving.engine import (
+    ServingEngine,
+    ServingReport,
+    capture_report_forensics,
+)
 from repro.serving.streams import StreamSpec
 from repro.cluster.rebalance import RebalanceDecision, ShardRebalancer
 from repro.cluster.ring import HashRing
@@ -180,7 +186,8 @@ class ShardedServingReport(ServingReport):
             if rep is None:
                 rows.append({"shard": shard, "sessions": 0, "frames": 0,
                              "computed_sessions": 0, "store_hits": 0,
-                             "deadline_misses": 0, "final_workers": 0,
+                             "deadline_misses": 0, "failures": 0,
+                             "final_workers": 0,
                              "p95_serving_ms": 0.0, "wall_s": 0.0})
                 continue
             rows.append({
@@ -190,6 +197,7 @@ class ShardedServingReport(ServingReport):
                 "computed_sessions": rep.computed_sessions,
                 "store_hits": rep.store_hits,
                 "deadline_misses": rep.deadline_misses,
+                "failures": rep.failed_session_count,
                 "final_workers": rep.final_workers,
                 "p95_serving_ms": rep.virtual_latency_percentile(95.0),
                 "wall_s": rep.wall_s,
@@ -237,7 +245,9 @@ class ShardedServingEngine:
                  rebalancer: Optional[ShardRebalancer] = None,
                  shard_parallel: Optional[bool] = None,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 slo: Optional[SLOTracker] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.shard_count = resolve_shard_count(shards)
         if self.shard_count < 1:
             raise ValueError("shards must be >= 1")
@@ -279,6 +289,16 @@ class ShardedServingEngine:
         self.waves_served = 0
         self.rebalance_log: List[RebalanceDecision] = []
         self.tracer = tracer if tracer is not None else tracer_from_env()
+        # Coordinator-level SLO plane: per-session outcomes recorded once
+        # per wave, rolled up per tenant AND per shard.  The clock is the
+        # wave counter — deterministic by construction, so cluster burn
+        # rates (and the forensic bundles that embed them) replay
+        # bit-identically.
+        self.slo = slo
+        # One recorder for the whole cluster: triggers are evaluated on the
+        # *merged* report, so a failure census split across shards still
+        # crosses its thresholds.
+        self.recorder = recorder if recorder is not None else recorder_from_env()
         self.metrics: Optional[MetricsRegistry] = None
         if metrics is not None:
             self.bind_metrics(metrics)
@@ -365,11 +385,15 @@ class ShardedServingEngine:
                              parallel=spawned[0])
         self._apply_map_updates(report, shard_reports)
         self._finish_map_telemetry(report, map_counters, shard_reports)
+        self._record_slo(report)
         report.rebalances = self._rebalance(specs, shard_reports, fleet_maps)
         report.slot_assignment = self.ring.assignment()
         self._emit_trace(report)
         self._record_serve_metrics(report)
         report.wall_s = time.perf_counter() - started
+        # Forensics last, outside the timed window (same rule as the plain
+        # engine): bundle I/O must not pollute the wave's telemetry.
+        self._record_forensics(report, specs, fleet_maps)
         return report
 
     def _use_processes(self, parallel: Optional[bool]) -> bool:
@@ -440,6 +464,11 @@ class ShardedServingEngine:
             report.served_frame_wall_ms.extend(shard_report.served_frame_wall_ms)
             report.virtual_latency_ms.extend(shard_report.virtual_latency_ms)
             report.deadline_misses += shard_report.deadline_misses
+            # Stream ids are disjoint across shards (the ring partitions
+            # them), so the per-stream folds are plain unions.
+            report.deadline_misses_by_stream.update(
+                shard_report.deadline_misses_by_stream)
+            report.failure_signatures.update(shard_report.failure_signatures)
             report.ticks += shard_report.ticks
             report.scale_decisions.extend(shard_report.scale_decisions)
             report.maps_published += shard_report.maps_published
@@ -533,6 +562,41 @@ class ShardedServingEngine:
                 if snapshot is not None:
                     resolved[environment_id] = snapshot
         return resolved
+
+    # ------------------------------------------------------ SLO + forensics
+
+    def _record_slo(self, report: ShardedServingReport) -> None:
+        """Fold the wave's per-session deadline outcomes into the tracker.
+
+        One event per deadlined session, under both the fleet-wide rollup
+        and the shard that served it.  The clock is the wave ordinal —
+        monotone and deterministic — so burn rates answer "what fraction
+        of the last N waves' sessions missed", independent of wall time.
+        """
+        if self.slo is None:
+            return
+        clock = float(self.waves_served + 1)
+        for stream_id in sorted(report.results):
+            result = report.results[stream_id]
+            tenant = self.slo.tenant_for_deadline(
+                result.spec_payload.get("deadline_ms"))
+            if tenant is None:
+                continue
+            ok = report.deadline_misses_by_stream.get(stream_id, 0) == 0
+            self.slo.record(tenant, clock, ok,
+                            shard=str(report.shard_of.get(stream_id, "")))
+
+    def _record_forensics(self, report: ShardedServingReport,
+                          specs: Sequence[StreamSpec],
+                          fleet_maps: Dict[str, MapSnapshot]) -> None:
+        if self.recorder is None:
+            return
+        maps_by_stream = {
+            spec.stream_id: ServingEngine._maps_for(spec, fleet_maps)
+            for spec in specs
+        }
+        capture_report_forensics(self.recorder, report, maps_by_stream,
+                                 slo=self.slo, tracer=self.tracer)
 
     # --------------------------------------------------------- rebalancing
 
@@ -666,6 +730,10 @@ class ShardedServingEngine:
         self._m_shard_misses = registry.counter(
             "eudoxus_cluster_shard_deadline_misses_total",
             "Virtual-schedule deadline misses per shard.", ("shard",))
+        self._m_shard_failures = registry.counter(
+            "eudoxus_cluster_shard_failures_total",
+            "Sessions triaged into a non-ok failure signature, per shard.",
+            ("shard",))
         self._m_shard_workers = registry.gauge(
             "eudoxus_cluster_shard_workers",
             "Final worker width of each shard after its last wave.", ("shard",))
@@ -679,6 +747,10 @@ class ShardedServingEngine:
         self._m_moved_slots = registry.counter(
             "eudoxus_cluster_rebalanced_slots_total",
             "Hash slots moved between shards by the rebalancer.")
+        if self.tracer is not None:
+            self.tracer.bind_metrics(registry)
+        if self.slo is not None:
+            self.slo.bind_metrics(registry)
         if self.map_store is not None:
             self.map_store.bind_metrics(registry)
             self.map_merger.bind_metrics(registry)
@@ -718,6 +790,7 @@ class ShardedServingEngine:
                                        shard=shard, outcome="store_hit")
             self._m_shard_frames.inc(row["frames"], shard=shard)
             self._m_shard_misses.inc(row["deadline_misses"], shard=shard)
+            self._m_shard_failures.inc(row["failures"], shard=shard)
             self._m_shard_workers.set(float(row["final_workers"]), shard=shard)
             scaler = self.autoscalers[row["shard"]]
             self._m_shard_saturated.set(

@@ -1,0 +1,238 @@
+"""Flight recorder: content-addressed forensic bundles on failure triggers.
+
+By the time an operator notices a bad wave, the evidence — tracer ring,
+decision logs, the offending sessions' identities — has scrolled away.
+The :class:`FlightRecorder` captures it at the moment a deterministic
+trigger fires:
+
+* **deadline-miss burst** — a serve call's virtual-schedule misses reach
+  the burst threshold;
+* **SLO fast-burn** — the engine's virtual-clock
+  :class:`~repro.obs.slo.SLOTracker` reports a tenant burning in both
+  windows;
+* **``map_stale`` thrash / session divergence** — any session triaged
+  into those signatures (see :mod:`repro.obs.triage`);
+* **shed spike** — the front door refuses a burst of sessions inside the
+  wall-clock window (the only wall-domain trigger).
+
+A bundle is one JSON file under ``<run-store root>/forensics/``, split in
+two sections.  ``payload`` holds only *deterministic* evidence — trigger
+kinds, failure signatures, the offending sessions' spec fingerprints and
+``serving_key``s (replayable against the run store), map lifecycle state,
+the virtual-clock autoscaler decision tail — and is what the bundle hash
+covers: ``sha256`` over the canonical JSON, so identical virtual-clock
+failures produce bit-identical hashes and dedupe to one file.
+``telemetry`` holds the wall-domain extras (tracer-ring tail, admission
+decision tail, wall seconds) that aid a human but must not split the
+content address.  The filename leads with the trigger kind, so identical
+failures also dedupe *by signature* at a directory listing.
+
+The recorder only ever appends files after a serve call completes —
+nothing in the serving stack reads it — so the enabled path cannot
+perturb results, and the disabled path is a ``recorder is None`` check.
+
+Env knobs:
+
+* ``EUDOXUS_RECORDER=1`` — engines and the front door construct a
+  recorder automatically when none is passed.
+* ``EUDOXUS_RECORDER_MAX_BUNDLES`` — bundles kept on disk (default 16);
+  the oldest are evicted beyond it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter, deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.triage import SIG_DIVERGENCE, SIG_MAP_STALE_THRASH
+
+__all__ = [
+    "DEFAULT_MAX_BUNDLES",
+    "DEFAULT_MISS_BURST",
+    "DEFAULT_SHED_SPIKE",
+    "DEFAULT_SHED_WINDOW_S",
+    "FlightRecorder",
+    "MAX_BUNDLES_ENV",
+    "RECORDER_ENV",
+    "bundle_digest",
+    "load_bundle",
+    "recorder_enabled",
+    "recorder_from_env",
+]
+
+RECORDER_ENV = "EUDOXUS_RECORDER"
+MAX_BUNDLES_ENV = "EUDOXUS_RECORDER_MAX_BUNDLES"
+
+DEFAULT_MAX_BUNDLES = 16
+#: Virtual-schedule deadline misses in one serve call that count as a burst.
+DEFAULT_MISS_BURST = 8
+#: Front-door sheds inside the wall window that count as a spike.
+DEFAULT_SHED_SPIKE = 8
+DEFAULT_SHED_WINDOW_S = 60.0
+
+#: How much decision/trace history a bundle carries.
+DECISION_TAIL = 64
+TRACE_TAIL = 256
+
+#: Trigger kinds in severity order; the first that fired names the bundle.
+TRIGGER_ORDER = ("divergence", "map_stale_thrash", "slo_fast_burn",
+                 "deadline_miss_burst")
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def recorder_enabled() -> bool:
+    """Whether ``EUDOXUS_RECORDER`` asks for automatic construction."""
+    return _env_truthy(RECORDER_ENV)
+
+
+def _max_bundles_from_env() -> int:
+    raw = os.environ.get(MAX_BUNDLES_ENV, "").strip()
+    try:
+        count = int(raw) if raw else DEFAULT_MAX_BUNDLES
+    except ValueError:
+        count = DEFAULT_MAX_BUNDLES
+    return max(1, count)
+
+
+def recorder_from_env() -> Optional["FlightRecorder"]:
+    """A fresh recorder when ``EUDOXUS_RECORDER`` is set, else None (off)."""
+    return FlightRecorder() if recorder_enabled() else None
+
+
+def bundle_digest(kind: str, payload: Dict) -> str:
+    """The bundle's content address: sha256 over canonical trigger+payload.
+
+    Only the deterministic ``payload`` section enters the digest, so two
+    runs hitting the identical virtual-clock failure produce the identical
+    hash — the dedupe and the cross-run acceptance pin both hang off this.
+    """
+    body = json.dumps({"kind": kind, "payload": payload}, sort_keys=True)
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def load_bundle(path: os.PathLike) -> Dict:
+    """Read one bundle back (the forensics CLI of last resort)."""
+    return json.loads(Path(path).read_text())
+
+
+class FlightRecorder:
+    """Bounded, content-addressed capture of failure evidence."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 max_bundles: Optional[int] = None,
+                 miss_burst: int = DEFAULT_MISS_BURST,
+                 shed_spike: int = DEFAULT_SHED_SPIKE,
+                 shed_window_s: float = DEFAULT_SHED_WINDOW_S) -> None:
+        self._root = Path(root) if root is not None else None
+        self.max_bundles = (max(1, int(max_bundles))
+                            if max_bundles is not None
+                            else _max_bundles_from_env())
+        self.miss_burst = int(miss_burst)
+        self.shed_spike = int(shed_spike)
+        self.shed_window_s = float(shed_window_s)
+        #: Paths written (or deduped into) by this recorder instance.
+        self.captured: List[Path] = []
+        self._sheds: Deque[Tuple[float, str]] = deque(maxlen=4096)
+
+    @property
+    def root(self) -> Path:
+        """Bundle directory, defaulting under the run-store root.
+
+        Resolved lazily (and imported lazily — the runner imports the
+        serving layer, which imports this module) so constructing a
+        disabled-by-default recorder never touches the filesystem.  A
+        subdirectory keeps bundles invisible to the run store's own
+        ``*.pkl`` eviction scan.
+        """
+        if self._root is None:
+            from repro.experiments.runner import default_store_root
+            self._root = default_store_root() / "forensics"
+        return self._root
+
+    # ------------------------------------------------------------- triggers
+
+    def triggers_for(self, report, slo=None) -> List[str]:
+        """Deterministic trigger kinds a finished serve call fired, in
+        severity order (empty = nothing to capture)."""
+        signatures = getattr(report, "failure_signatures", {}) or {}
+        fired = []
+        if SIG_DIVERGENCE in signatures.values():
+            fired.append("divergence")
+        if SIG_MAP_STALE_THRASH in signatures.values():
+            fired.append("map_stale_thrash")
+        if slo is not None and slo.fast_burns():
+            fired.append("slo_fast_burn")
+        if report.deadline_misses >= self.miss_burst:
+            fired.append("deadline_miss_burst")
+        return fired
+
+    def note_shed(self, reason: str, now: float,
+                  context: Optional[Dict] = None) -> Optional[Path]:
+        """Count one front-door shed at wall clock ``now``; capture a
+        ``shed_spike`` bundle when the window fills.
+
+        The window resets after a capture, so a sustained overload yields
+        one bundle per spike rather than one per refused session.
+        """
+        self._sheds.append((float(now), reason))
+        horizon = float(now) - self.shed_window_s
+        recent = [(clock, shed_reason) for clock, shed_reason in self._sheds
+                  if clock > horizon]
+        if len(recent) < self.shed_spike:
+            return None
+        reasons = Counter(shed_reason for _, shed_reason in recent)
+        payload = {
+            "shed_count": len(recent),
+            "reasons": {reason: reasons[reason] for reason in sorted(reasons)},
+            "window_s": self.shed_window_s,
+        }
+        self._sheds.clear()
+        return self.record("shed_spike", payload, telemetry=context)
+
+    # -------------------------------------------------------------- capture
+
+    def record(self, kind: str, payload: Dict,
+               telemetry: Optional[Dict] = None) -> Path:
+        """Write (or dedupe into) one bundle; returns its path.
+
+        The filename is ``<kind>-<hash16>.json``: content-addressed, so a
+        repeat of the identical failure refreshes the existing file's
+        mtime instead of writing a sibling.
+        """
+        digest = bundle_digest(kind, payload)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{kind}-{digest[:16]}.json"
+        if path.exists():
+            path.touch()
+        else:
+            body = {"schema": 1, "kind": kind, "bundle_hash": digest,
+                    "payload": payload, "telemetry": telemetry or {}}
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(body, sort_keys=True, indent=1))
+            tmp.replace(path)
+            self._evict()
+        if path not in self.captured:
+            self.captured.append(path)
+        return path
+
+    def bundle_paths(self) -> List[Path]:
+        """Bundles on disk, oldest first."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"),
+                      key=lambda p: (p.stat().st_mtime, p.name))
+
+    def _evict(self) -> None:
+        paths = self.bundle_paths()
+        for path in paths[:max(0, len(paths) - self.max_bundles)]:
+            try:
+                path.unlink()
+            except OSError:
+                pass

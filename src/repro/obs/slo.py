@@ -1,0 +1,335 @@
+"""SLO plane: per-QoS deadline objectives and multi-window burn rates.
+
+An :class:`SLOTarget` states, per QoS class, what fraction of deadlined
+requests must meet their deadline (the *objective*); the complement is the
+error budget.  An :class:`SLOTracker` consumes hit/miss events stamped on
+an explicit clock and reports Google-SRE-style **multi-window burn rates**:
+the observed miss rate divided by the error budget, evaluated over a fast
+and a slow window ending at the latest recorded clock.  A *fast burn* —
+both windows burning above the threshold at once — is the page-worthy
+signal (and one of the flight recorder's capture triggers).
+
+The tracker is clock-agnostic on purpose, because the stack runs two clock
+domains (see :mod:`repro.obs.trace`):
+
+* the serving engine records **per-frame** outcomes on its deterministic
+  virtual clock inside the streaming loop, so burn rates within a serve
+  call are a pure function of the fleet;
+* the service front door records **per-session** outcomes on the wall
+  clock as waves finish, which is the operator-facing view.
+
+Both roll up per tenant (QoS class) and — when the caller stamps events
+with a shard id — per shard.  Like every obs component the tracker only
+ever collects: nothing in the serving stack reads it mid-flight, so the
+enabled path cannot perturb poses, signatures or cache keys, and the
+disabled path is a ``slo is None`` check.
+
+Env knobs (defaults in parentheses):
+
+* ``EUDOXUS_SLO_FAST_WINDOW_S`` — fast burn window, seconds (60).
+* ``EUDOXUS_SLO_SLOW_WINDOW_S`` — slow burn window, seconds (600).
+* ``EUDOXUS_SLO_FAST_BURN`` — burn-rate threshold both windows must
+  exceed for a fast burn (8.0).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_FAST_BURN_THRESHOLD",
+    "DEFAULT_FAST_WINDOW_S",
+    "DEFAULT_SLOW_WINDOW_S",
+    "DEFAULT_SLO_TARGETS",
+    "FAST_BURN_ENV",
+    "FAST_WINDOW_ENV",
+    "SLOTarget",
+    "SLOTracker",
+    "SLOW_WINDOW_ENV",
+]
+
+FAST_WINDOW_ENV = "EUDOXUS_SLO_FAST_WINDOW_S"
+SLOW_WINDOW_ENV = "EUDOXUS_SLO_SLOW_WINDOW_S"
+FAST_BURN_ENV = "EUDOXUS_SLO_FAST_BURN"
+
+DEFAULT_FAST_WINDOW_S = 60.0
+DEFAULT_SLOW_WINDOW_S = 600.0
+DEFAULT_FAST_BURN_THRESHOLD = 8.0
+
+#: Events retained per (shard, tenant) rollup — enough to cover both
+#: windows at serving rates, bounded so a long-lived tracker cannot grow.
+EVENT_CAPACITY = 4096
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One QoS class's deadline-hit-rate objective.
+
+    ``objective`` is the required hit fraction (0.995 = "99.5 % of
+    deadlined requests meet their deadline"); ``deadline_ms`` mirrors the
+    class's deadline from the service QoS catalog so the engine — which
+    only sees ``StreamSpec.deadline_ms``, never a class name — can map a
+    deadline back to its tenant.  Classes without a deadline (best-effort)
+    simply have no target: they are exempt, not failing.
+    """
+
+    name: str
+    objective: float
+    deadline_ms: float
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated miss fraction (floored so burn math never divides
+        by zero on a 100 % objective)."""
+        return max(1e-9, 1.0 - self.objective)
+
+
+#: Default objectives for the service QoS catalog's deadlined tiers
+#: (``repro.service.qos.DEFAULT_QOS_CLASSES``): gold 99.5, silver 99,
+#: bronze 95.  ``best_effort`` carries no deadline and therefore no target.
+DEFAULT_SLO_TARGETS: Dict[str, SLOTarget] = {
+    "gold": SLOTarget("gold", objective=0.995, deadline_ms=200.0),
+    "silver": SLOTarget("silver", objective=0.99, deadline_ms=400.0),
+    "bronze": SLOTarget("bronze", objective=0.95, deadline_ms=800.0),
+}
+
+_RollupKey = Tuple[Optional[int], str]  # (shard or None, tenant)
+
+
+class SLOTracker:
+    """Burn-rate accounting over explicit-clock hit/miss events.
+
+    ``domain`` is a label only ("virtual" for the engine, "wall" for the
+    front door): it keeps the two trackers' metric children distinct when
+    both bind into one registry, and documents which clock the caller
+    stamps events with.  The tracker itself never reads a clock — *now* is
+    always the latest clock it has been handed, so burn rates inside a
+    serve call are deterministic.
+    """
+
+    def __init__(self, targets: Optional[Dict[str, SLOTarget]] = None,
+                 domain: str = "virtual",
+                 fast_window_s: Optional[float] = None,
+                 slow_window_s: Optional[float] = None,
+                 fast_burn_threshold: Optional[float] = None,
+                 capacity: int = EVENT_CAPACITY) -> None:
+        self.targets = dict(DEFAULT_SLO_TARGETS if targets is None else targets)
+        self.domain = domain
+        self.fast_window_s = (fast_window_s if fast_window_s is not None
+                              else _env_float(FAST_WINDOW_ENV,
+                                              DEFAULT_FAST_WINDOW_S))
+        self.slow_window_s = (slow_window_s if slow_window_s is not None
+                              else _env_float(SLOW_WINDOW_ENV,
+                                              DEFAULT_SLOW_WINDOW_S))
+        self.fast_burn_threshold = (
+            fast_burn_threshold if fast_burn_threshold is not None
+            else _env_float(FAST_BURN_ENV, DEFAULT_FAST_BURN_THRESHOLD))
+        self.capacity = max(1, int(capacity))
+        self._events: Dict[_RollupKey, Deque[Tuple[float, bool]]] = {}
+        self._totals: Dict[_RollupKey, List[int]] = {}  # [hits, misses]
+        self.latest_clock = 0.0
+        self._bound_registries: List[int] = []
+
+    # ------------------------------------------------------------- recording
+
+    def tenant_for_deadline(self, deadline_ms: Optional[float]) -> Optional[str]:
+        """Map a per-stream deadline back to its QoS tenant (None = exempt)."""
+        if deadline_ms is None:
+            return None
+        for target in self.targets.values():
+            if target.deadline_ms == float(deadline_ms):
+                return target.name
+        return None
+
+    def record(self, tenant: str, clock: float, ok: bool,
+               shard: Optional[int] = None) -> None:
+        """Record one deadlined request outcome at ``clock``.
+
+        Unknown tenants are dropped (no target, no budget to burn); a
+        ``shard`` stamps the event into that shard's rollup as well as the
+        overall per-tenant view.
+        """
+        if tenant not in self.targets:
+            return
+        clock = float(clock)
+        keys: Tuple[_RollupKey, ...] = ((None, tenant),)
+        if shard is not None:
+            keys += ((int(shard), tenant),)
+        for key in keys:
+            events = self._events.get(key)
+            if events is None:
+                events = deque(maxlen=self.capacity)
+                self._events[key] = events
+                self._totals[key] = [0, 0]
+            events.append((clock, bool(ok)))
+            self._totals[key][0 if ok else 1] += 1
+        if clock > self.latest_clock:
+            self.latest_clock = clock
+
+    # -------------------------------------------------------------- querying
+
+    def shards(self) -> List[int]:
+        """Shard ids any event was stamped with, sorted."""
+        return sorted({shard for shard, _ in self._events if shard is not None})
+
+    def totals(self, tenant: str, shard: Optional[int] = None) -> Tuple[int, int]:
+        """Cumulative (hits, misses) for one tenant rollup."""
+        hits, misses = self._totals.get((shard, tenant), (0, 0))
+        return hits, misses
+
+    def burn_rate(self, tenant: str, window_s: float,
+                  now: Optional[float] = None,
+                  shard: Optional[int] = None) -> float:
+        """Miss rate over the window ending at ``now``, over the budget.
+
+        1.0 means the tenant is consuming budget exactly at the sustainable
+        rate; an idle window burns nothing.
+        """
+        target = self.targets.get(tenant)
+        if target is None:
+            return 0.0
+        now = self.latest_clock if now is None else float(now)
+        horizon = now - float(window_s)
+        total = misses = 0
+        for clock, ok in self._events.get((shard, tenant), ()):
+            if horizon < clock <= now:
+                total += 1
+                if not ok:
+                    misses += 1
+        if total == 0:
+            return 0.0
+        return (misses / total) / target.error_budget
+
+    def burn_rates(self, now: Optional[float] = None,
+                   shard: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+        """Fast/slow burn rates for every tenant with recorded traffic."""
+        tenants = sorted({tenant for key_shard, tenant in self._events
+                          if key_shard == shard})
+        return {
+            tenant: {
+                "fast": self.burn_rate(tenant, self.fast_window_s, now, shard),
+                "slow": self.burn_rate(tenant, self.slow_window_s, now, shard),
+            }
+            for tenant in tenants
+        }
+
+    def fast_burns(self, now: Optional[float] = None,
+                   shard: Optional[int] = None) -> List[str]:
+        """Tenants burning above threshold in *both* windows (page signal).
+
+        The multi-window AND is the SRE guard against paging on a blip:
+        the fast window proves the problem is current, the slow window
+        proves it is material to the budget.
+        """
+        burning = []
+        for tenant, rates in self.burn_rates(now, shard).items():
+            if (rates["fast"] >= self.fast_burn_threshold
+                    and rates["slow"] >= self.fast_burn_threshold):
+                burning.append(tenant)
+        return burning
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        """A JSON-ready rollup (the ``/v1/slo`` endpoint's building block)."""
+        tenants: Dict[str, object] = {}
+        for name in sorted(self.targets):
+            target = self.targets[name]
+            hits, misses = self.totals(name)
+            rates = {
+                "fast": self.burn_rate(name, self.fast_window_s, now),
+                "slow": self.burn_rate(name, self.slow_window_s, now),
+            }
+            tenants[name] = {
+                "objective": target.objective,
+                "deadline_ms": target.deadline_ms,
+                "hits": hits,
+                "misses": misses,
+                "burn": rates,
+                "fast_burn": (rates["fast"] >= self.fast_burn_threshold
+                              and rates["slow"] >= self.fast_burn_threshold),
+            }
+        shards = {
+            str(shard): {
+                "burn": self.burn_rates(now, shard),
+                "fast_burn": self.fast_burns(now, shard),
+            }
+            for shard in self.shards()
+        }
+        return {
+            "domain": self.domain,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "fast_burn_threshold": self.fast_burn_threshold,
+            "tenants": tenants,
+            "fast_burn": self.fast_burns(now),
+            "shards": shards,
+        }
+
+    # --------------------------------------------------------------- metrics
+
+    def bind_metrics(self, registry) -> None:
+        """Register ``eudoxus_slo_*`` families, refreshed at render time.
+
+        Everything is collector-driven (set from live tracker state before
+        each render) rather than incremented inline, so binding changes
+        nothing about how events are recorded.  The ``domain`` label keeps
+        the engine's virtual-clock tracker and the front door's wall-clock
+        tracker from colliding in a shared registry.
+        """
+        if any(bound is id(registry) or bound == id(registry)
+               for bound in self._bound_registries):
+            return
+        self._bound_registries.append(id(registry))
+        requests = registry.counter(
+            "eudoxus_slo_requests_total",
+            "Deadlined requests by SLO tenant and outcome.",
+            ["domain", "tenant", "outcome"])
+        objective = registry.gauge(
+            "eudoxus_slo_objective",
+            "Deadline-hit-rate objective per SLO tenant.",
+            ["domain", "tenant"])
+        burn = registry.gauge(
+            "eudoxus_slo_burn_rate",
+            "Error-budget burn rate per SLO tenant and window.",
+            ["domain", "tenant", "window"])
+        fast_burn = registry.gauge(
+            "eudoxus_slo_fast_burn",
+            "1 when a tenant burns above threshold in both windows.",
+            ["domain", "tenant"])
+        shard_burn = registry.gauge(
+            "eudoxus_slo_shard_burn_rate",
+            "Error-budget burn rate per shard, tenant and window.",
+            ["domain", "shard", "tenant", "window"])
+
+        def collect(_registry, tracker=self) -> None:
+            burning = set(tracker.fast_burns())
+            for name in sorted(tracker.targets):
+                target = tracker.targets[name]
+                hits, misses = tracker.totals(name)
+                labels = {"domain": tracker.domain, "tenant": name}
+                requests.labels(outcome="hit", **labels).value = float(hits)
+                requests.labels(outcome="miss", **labels).value = float(misses)
+                objective.set(target.objective, **labels)
+                burn.set(tracker.burn_rate(name, tracker.fast_window_s),
+                         window="fast", **labels)
+                burn.set(tracker.burn_rate(name, tracker.slow_window_s),
+                         window="slow", **labels)
+                fast_burn.set(1.0 if name in burning else 0.0, **labels)
+            for shard in tracker.shards():
+                for tenant, rates in tracker.burn_rates(shard=shard).items():
+                    for window, rate in sorted(rates.items()):
+                        shard_burn.set(rate, domain=tracker.domain,
+                                       shard=str(shard), tenant=tenant,
+                                       window=window)
+
+        registry.register_collector(collect)

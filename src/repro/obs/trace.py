@@ -145,6 +145,7 @@ class Tracer:
         # tracer existed, so one serve call's trace starts near zero instead
         # of at an opaque host uptime.
         self._wall_epoch = time.perf_counter()
+        self._bound_registries: List[int] = []
 
     def __len__(self) -> int:
         return len(self.events)
@@ -211,6 +212,28 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
+
+    # --------------------------------------------------------------- metrics
+
+    def bind_metrics(self, registry) -> None:
+        """Expose ring overflow as ``eudoxus_tracer_dropped_total``.
+
+        Collector-driven from :attr:`dropped` at render time, so a full
+        ring is visible at ``/v1/metrics`` instead of only on the tracer
+        object.  Idempotent per registry — the engine and the front door
+        both bind the tracer they share.
+        """
+        if id(registry) in self._bound_registries:
+            return
+        self._bound_registries.append(id(registry))
+        family = registry.counter(
+            "eudoxus_tracer_dropped_total",
+            "Events dropped by the bounded tracer ring (overflow).")
+
+        def collect(_registry, tracer=self) -> None:
+            family.labels().value = float(tracer.dropped)
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------- exporting
 

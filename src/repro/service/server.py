@@ -15,7 +15,11 @@ only the scientific toolchain) exposing the session lifecycle:
   (``open → queued → serving → done | failed``).
 * ``GET /v1/sessions/{id}/result`` — long-poll for the session's result
   (seals an open session that already has segments; ``409`` if empty).
-* ``GET /healthz`` — liveness plus the current saturation signal.
+* ``GET /healthz`` — liveness, the current saturation signal, tenants in
+  SLO fast-burn, and (sharded) per-shard rows with their burn state.
+* ``GET /v1/slo`` — the SLO plane: the front door's wall-clock burn-rate
+  snapshot and the engine's virtual-clock one (when an engine-side
+  tracker is attached).
 * ``GET /v1/metrics`` — counters, shed reasons, map-service telemetry,
   per-wave serving summaries, turnaround percentiles, and the engine's
   clock-ordered autoscaler decision log.  ``?format=prometheus`` renders
@@ -53,7 +57,10 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import Tracer
+from repro.obs.triage import SIG_SHED
 from repro.serving.engine import ServingEngine, ServingReport
 from repro.serving.session import SessionResult
 from repro.serving.streams import ScenarioKind, StreamSegment, StreamSpec
@@ -197,7 +204,9 @@ class LocalizationService:
                  host: str = "127.0.0.1",
                  port: Optional[int] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 slo: Optional[SLOTracker] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.engine = engine
         # Duck-typed shard awareness: a sharded engine
         # (repro.cluster.ShardedServingEngine) exposes the per-stream
@@ -246,8 +255,23 @@ class LocalizationService:
         self.tracer = tracer if tracer is not None else engine.tracer
         if tracer is not None:
             engine.tracer = tracer
+        # Front-door SLO plane: per-session deadline outcomes on the wall
+        # clock (the operator-facing domain), one event per finished or
+        # shed deadlined session, rolled up per tenant and — behind a
+        # sharded engine — per shard.  The engine's own tracker (if any)
+        # stays the virtual-clock view; GET /v1/slo reports both.
+        self.slo = slo if slo is not None else SLOTracker(domain="wall")
+        self._slo_epoch = time.perf_counter()
+        # The flight recorder is shared with the engine by default so the
+        # front door's shed-spike bundles land next to the engine's
+        # trigger bundles.
+        self.recorder = (recorder if recorder is not None
+                         else getattr(engine, "recorder", None))
         engine.bind_metrics(self.registry)
         self.admission.bind_metrics(self.registry)
+        self.slo.bind_metrics(self.registry)
+        if self.tracer is not None:
+            self.tracer.bind_metrics(self.registry)
         self._m_wave_wall = self.registry.histogram(
             "eudoxus_service_wave_wall_ms",
             "Wall-clock milliseconds per dispatch wave.")
@@ -265,6 +289,10 @@ class LocalizationService:
         self.created = 0
         self.completed = 0
         self.failed = 0
+        # Running triage census across waves (plus front-door "shed"
+        # stamps, which the engine never sees) — the service-lifetime
+        # aggregate of ServingReport.failure_census.
+        self.failure_census: Dict[str, int] = {}
         self.waves: List[Dict[str, float]] = []
         self.turnaround_ms: List[float] = []
         self._next_id = 0
@@ -359,6 +387,8 @@ class LocalizationService:
                 self.failed += len(wave)
                 continue
             finished = time.perf_counter()
+            slo_now = finished - self._slo_epoch
+            shard_of = getattr(report, "shard_of", {})
             for session in wave:
                 result = report.results.get(session.session_id)
                 if result is None:
@@ -369,6 +399,15 @@ class LocalizationService:
                     session.result = result
                     session.state = "done"
                     self.completed += 1
+                if session.qos.deadline_ms is not None:
+                    # One wall-clock SLO event per deadlined session: ok
+                    # means it finished with a clean virtual schedule.
+                    misses = report.deadline_misses_by_stream.get(
+                        session.session_id, 0)
+                    self.slo.record(
+                        session.qos.name, slo_now,
+                        result is not None and misses == 0,
+                        shard=shard_of.get(session.session_id))
                 session.finished_at = finished
                 if session.sealed_at is not None:
                     turnaround = 1000.0 * (finished - session.sealed_at)
@@ -376,6 +415,9 @@ class LocalizationService:
                     self._m_turnaround.observe(turnaround)
                 session.done.set()
             del self.turnaround_ms[:-TURNAROUND_RESERVOIR]
+            for signature, count in report.failure_census().items():
+                self.failure_census[signature] = (
+                    self.failure_census.get(signature, 0) + count)
             self._m_wave_wall.observe(1000.0 * (finished - started))
             self.waves.append({
                 "sessions": float(len(wave)),
@@ -462,10 +504,22 @@ class LocalizationService:
         if method == "GET" and path == "/healthz":
             payload: Dict[str, object] = {"status": "ok",
                                           "inflight": self.inflight,
-                                          "saturated": self._saturated()}
+                                          "saturated": self._saturated(),
+                                          "slo_fast_burn": self.slo.fast_burns()}
             if self._sharded:
-                payload["shards"] = self.engine.shard_health()
+                rows = self.engine.shard_health()
+                for row in rows:
+                    row["slo_fast_burn"] = bool(
+                        self.slo.fast_burns(shard=row["shard"]))
+                payload["shards"] = rows
             return 200, payload
+        if method == "GET" and path == "/v1/slo":
+            engine_slo = getattr(self.engine, "slo", None)
+            return 200, {
+                "service": self.slo.snapshot(),
+                "engine": (engine_slo.snapshot()
+                           if engine_slo is not None else None),
+            }
         if method == "GET" and path == "/v1/metrics":
             fmt = params.get("format", "json")
             if fmt == "prometheus":
@@ -520,6 +574,22 @@ class LocalizationService:
                 track="service", qos=qos.name, reason=decision.reason,
                 inflight=decision.inflight)
         if not decision.admitted:
+            # The front door is the only layer that can stamp `shed` — a
+            # refused session never produces a SessionResult to triage.
+            self.failure_census[SIG_SHED] = (
+                self.failure_census.get(SIG_SHED, 0) + 1)
+            if qos.deadline_ms is not None:
+                # A refused deadlined request burns its tenant's budget:
+                # the client asked for a contract and got nothing.
+                self.slo.record(qos.name,
+                                time.perf_counter() - self._slo_epoch,
+                                ok=False)
+            if self.recorder is not None:
+                self.recorder.note_shed(
+                    decision.reason, time.perf_counter() - self._slo_epoch,
+                    context={"admission_tail": [
+                        d.to_dict()
+                        for d in list(self.admission.decisions)[-16:]]})
             raise ServiceError(
                 503, f"shed ({decision.reason}): inflight {decision.inflight}"
                      f", limit {decision.limit}")
@@ -673,6 +743,8 @@ class LocalizationService:
                 for name, qos in self.qos_classes.items()
             },
             "saturated": self._saturated(),
+            "slo": self.slo.snapshot(),
+            "failure_census": dict(sorted(self.failure_census.items())),
             "cluster": (self.engine.describe() if self._sharded else None),
             "map_service": self._map_service_metrics(),
             "turnaround_ms": percentiles,

@@ -72,7 +72,15 @@ from repro.experiments.runner import (
 )
 from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    DECISION_TAIL,
+    TRACE_TAIL,
+    FlightRecorder,
+    recorder_from_env,
+)
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import Tracer, tracer_from_env
+from repro.obs.triage import SIG_OK, classify_session, signature_census
 from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
 from repro.serving.session import DEFAULT_INGRESS_CAPACITY, Session, SessionResult
 from repro.serving.streams import (
@@ -174,6 +182,15 @@ class ServingReport:
     served_frame_wall_ms: List[float] = field(default_factory=list)
     virtual_latency_ms: List[float] = field(default_factory=list)
     deadline_misses: int = 0
+    # Virtual-schedule misses broken out per stream — the evidence triage
+    # needs to stamp `deadline_miss` on the right session (and the SLO
+    # rollups need per-tenant), populated by the same single accounting
+    # point as the total.
+    deadline_misses_by_stream: Dict[str, int] = field(default_factory=dict)
+    # Triage: every finished session's failure signature (see
+    # repro.obs.triage) — a pure post-serve derivation from result data,
+    # so it exists on every ingestion path and never enters signature().
+    failure_signatures: Dict[str, str] = field(default_factory=dict)
     ticks: int = 0
     scale_decisions: List[ScaleDecision] = field(default_factory=list)
     # Fleet map service: the canonical maps this serve call resolved
@@ -233,6 +250,16 @@ class ServingReport:
         if not self.map_merge_ms:
             return 0.0
         return float(np.percentile(self.map_merge_ms, percent))
+
+    def failure_census(self) -> Dict[str, int]:
+        """Finished sessions per triage failure signature, sorted."""
+        return signature_census(self.failure_signatures)
+
+    @property
+    def failed_session_count(self) -> int:
+        """Sessions triaged into any non-``ok`` signature."""
+        return sum(1 for signature in self.failure_signatures.values()
+                   if signature != SIG_OK)
 
     def mode_census(self) -> Dict[str, int]:
         """Served frames per backend mode across the fleet.
@@ -299,6 +326,7 @@ class ServingReport:
             "maps_updated": len(self.maps_updated),
             "map_resolve_hit_rate": self.map_resolve_hit_rate,
             "map_merge_p50_ms": self.map_merge_percentile(50.0),
+            "failed_sessions": self.failed_session_count,
         }
 
     def signature(self) -> str:
@@ -369,6 +397,7 @@ class ServingReport:
             "map_resolve_hit_rate": self.map_resolve_hit_rate,
             "map_merge_p50_ms": self.map_merge_percentile(50.0),
             "map_version_churn": dict(sorted(self.map_version_churn.items())),
+            "failure_census": self.failure_census(),
             "sessions": {
                 stream_id: {
                     "frames": result.frame_count,
@@ -377,6 +406,10 @@ class ServingReport:
                     "published_maps": len(result.published_maps),
                     "map_updates": len(result.map_updates),
                     "signature": result.signature(),
+                    "failure_signature": self.failure_signatures.get(
+                        stream_id, SIG_OK),
+                    "deadline_misses": self.deadline_misses_by_stream.get(
+                        stream_id, 0),
                 }
                 for stream_id, result in sorted(self.results.items())
             },
@@ -409,7 +442,9 @@ class ServingEngine:
                  map_updates: bool = True,
                  map_aware_sizing: Optional[bool] = None,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 slo: Optional[SLOTracker] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.store = store
         self.max_workers = resolve_max_workers(max_workers)
         self.autoscaler = autoscaler
@@ -452,6 +487,15 @@ class ServingEngine:
         # cannot perturb results), and every metric site is guarded by a
         # None check.  EUDOXUS_TRACE=1 auto-creates a tracer.
         self.tracer = tracer if tracer is not None else tracer_from_env()
+        # SLO plane: per-QoS deadline objectives tracked on the virtual
+        # clock (the engine's deterministic domain).  Only ever *recorded
+        # into* during a serve call — burn rates are read post-serve (by
+        # the recorder's trigger check and the metrics collectors), so an
+        # attached tracker cannot perturb results.
+        self.slo = slo
+        # Flight recorder: forensic bundle capture after a serve call
+        # completes.  EUDOXUS_RECORDER=1 auto-creates one.
+        self.recorder = recorder if recorder is not None else recorder_from_env()
         self.metrics: Optional[MetricsRegistry] = None
         if metrics is not None:
             self.bind_metrics(metrics)
@@ -564,9 +608,13 @@ class ServingEngine:
         self._publish_fleet_maps(report, replayed)
         self._apply_map_updates(report, replayed)
         self._finish_map_telemetry(report, map_counters)
+        self._triage_sessions(report, maps_by_stream)
         self._emit_trace(report, trace_offset)
         self._record_serve_metrics(report)
         report.wall_s = time.perf_counter() - started
+        # Forensics last, outside the timed window: bundle capture is disk
+        # I/O that must not pollute the throughput telemetry it snapshots.
+        self._record_forensics(report, maps_by_stream)
         return report
 
     # ------------------------------------------------- streaming event loop
@@ -610,6 +658,16 @@ class ServingEngine:
                 active.append(session)
         if not active:
             return
+        # SLO rollups: each deadlined stream maps to the QoS tenant whose
+        # contract its deadline matches (resolved once — tenancy cannot
+        # change mid-serve).  Streams with no matching target are exempt.
+        slo_tenants: Dict[str, Optional[str]] = {}
+        if self.slo is not None:
+            slo_tenants = {
+                session.spec.stream_id:
+                    self.slo.tenant_for_deadline(session.spec.deadline_ms)
+                for session in active
+            }
         tick_interval = min(session.spec.frame_interval for session in active)
         clock = min(session.next_arrival() for session in active)
         # Decision clocks are offset so consecutive serve calls on one
@@ -668,7 +726,16 @@ class ServingEngine:
                                      max(0.0, clock - arrival),
                                      track="ingress", stream=stream_id)
                 deadline = session.spec.deadline_ms
-                self._account_service_latency(report, latency_ms, deadline)
+                self._account_service_latency(report, latency_ms, deadline,
+                                              stream_id)
+                if self.slo is not None and deadline is not None:
+                    tenant = slo_tenants.get(stream_id)
+                    if tenant is not None:
+                        # Continuity-offset clock, same domain as the
+                        # decision log — burn-rate windows then span serve
+                        # calls on one engine instead of restarting at zero.
+                        self.slo.record(tenant, clock_base + clock,
+                                        latency_ms <= deadline)
                 if self.autoscaler is not None:
                     self.autoscaler.observe(latency_ms, deadline)
                 if self.accelerator is not None:
@@ -707,7 +774,8 @@ class ServingEngine:
 
     @staticmethod
     def _account_service_latency(report: ServingReport, latency_ms: float,
-                                 deadline_ms: Optional[float]) -> None:
+                                 deadline_ms: Optional[float],
+                                 stream_id: Optional[str] = None) -> None:
         """The single accounting point for serving latency vs QoS deadline.
 
         ``deadline_misses`` counts *virtual-schedule* violations only: the
@@ -716,10 +784,15 @@ class ServingEngine:
         pool paths serve every frame on arrival by construction and
         contribute zero — asserted cross-path by tests/test_serving.py so
         the count can never silently diverge between ingestion modes again.
+        The per-stream breakout (triage and SLO evidence) is kept in the
+        same place so the total and the breakdown cannot drift apart.
         """
         report.virtual_latency_ms.append(latency_ms)
         if deadline_ms is not None and latency_ms > deadline_ms:
             report.deadline_misses += 1
+            if stream_id is not None:
+                report.deadline_misses_by_stream[stream_id] = (
+                    report.deadline_misses_by_stream.get(stream_id, 0) + 1)
 
     def _observe_scheduler(self, session: Session) -> None:
         """Feed the just-served frame to the accelerator's offload scheduler."""
@@ -918,6 +991,13 @@ class ServingEngine:
         self._m_hit_rate = registry.gauge(
             "eudoxus_engine_map_resolve_hit_rate",
             "Canonical map resolve hit rate of the most recent serve call.")
+        self._m_signatures = registry.counter(
+            "eudoxus_engine_failure_signatures_total",
+            "Finished sessions per triage failure signature.", ("signature",))
+        if self.tracer is not None:
+            self.tracer.bind_metrics(registry)
+        if self.slo is not None:
+            self.slo.bind_metrics(registry)
         if self.autoscaler is not None:
             self.autoscaler.bind_metrics(registry)
         if self.store is not None:
@@ -1006,6 +1086,31 @@ class ServingEngine:
         self._m_switches.inc(report.mode_switch_count)
         if report.map_resolve_hits or report.map_resolve_misses:
             self._m_hit_rate.set(report.map_resolve_hit_rate)
+        for signature, count in report.failure_census().items():
+            self._m_signatures.inc(count, signature=signature)
+
+    @staticmethod
+    def _triage_sessions(report: ServingReport,
+                         maps_by_stream: Dict[str, Dict[str, MapSnapshot]]) -> None:
+        """Stamp every finished session's failure signature into the report.
+
+        A pure post-serve derivation from result data plus the per-stream
+        miss counts and the resolved fleet-map assignment — deterministic,
+        identical across ingestion paths for on-time fleets, and always on
+        (the signature vocabulary is how the recorder decides to trigger).
+        """
+        for stream_id in sorted(report.results):
+            report.failure_signatures[stream_id] = classify_session(
+                report.results[stream_id],
+                deadline_misses=report.deadline_misses_by_stream.get(stream_id, 0),
+                mapped_environments=maps_by_stream.get(stream_id) or ())
+
+    def _record_forensics(self, report: ServingReport,
+                          maps_by_stream: Dict[str, Dict[str, MapSnapshot]]) -> None:
+        if self.recorder is None:
+            return
+        capture_report_forensics(self.recorder, report, maps_by_stream,
+                                 slo=self.slo, tracer=self.tracer)
 
     # ------------------------------------------------------------ internals
 
@@ -1144,6 +1249,99 @@ class ServingEngine:
             for session in finished:
                 yield session.spec, session.result()
             active = [session for session in active if not session.done]
+
+
+# -------------------------------------------------------- flight recording
+
+
+def capture_report_forensics(recorder: FlightRecorder, report: ServingReport,
+                             maps_by_stream: Dict[str, Dict[str, MapSnapshot]],
+                             slo: Optional[SLOTracker] = None,
+                             tracer: Optional[Tracer] = None):
+    """Capture one forensic bundle for a finished serve call, if warranted.
+
+    Shared by :class:`ServingEngine` and the sharded coordinator (the
+    recorder module cannot import the serving layer, so the evidence
+    assembly lives here).  Returns the bundle path, or None when no
+    deterministic trigger fired.
+
+    The ``payload`` section — what the bundle hash covers — holds only
+    virtual-domain evidence: trigger kinds, the failure census, the
+    offending sessions' identities (spec fingerprint + ``serving_key``,
+    replayable against the run store), map lifecycle state, SLO burn
+    rates, and (streaming only — pool decisions are wall-stamped) the
+    autoscaler decision tail.  Wall-clock extras land in ``telemetry``,
+    outside the hash, so two runs of the identical fleet produce
+    bit-identical bundle hashes.
+    """
+    triggers = recorder.triggers_for(report, slo=slo)
+    if not triggers:
+        return None
+    offending = sorted(stream_id for stream_id, signature
+                       in report.failure_signatures.items()
+                       if signature != SIG_OK)
+    if not offending:
+        # A miss burst below the per-session triage bar: the missed
+        # streams themselves are the evidence.
+        offending = sorted(report.deadline_misses_by_stream)
+    sessions = []
+    for stream_id in offending:
+        result = report.results.get(stream_id)
+        if result is None:
+            continue
+        spec = StreamSpec.from_payload(result.spec_payload)
+        versions = {environment_id: getattr(snapshot, "version", snapshot)
+                    for environment_id, snapshot
+                    in (maps_by_stream.get(stream_id) or {}).items()}
+        spec_fingerprint = hashlib.sha256(
+            json.dumps(spec.payload(), sort_keys=True).encode()).hexdigest()
+        sessions.append({
+            "stream_id": stream_id,
+            "signature": report.failure_signatures.get(stream_id, SIG_OK),
+            "serving_key": serving_key(spec, versions),
+            "spec_fingerprint": spec_fingerprint,
+            "session_signature": result.signature(),
+            "deadline_misses": report.deadline_misses_by_stream.get(stream_id, 0),
+        })
+    payload: Dict[str, object] = {
+        "triggers": triggers,
+        "ingestion": report.ingestion,
+        "deadline_misses": report.deadline_misses,
+        "failure_census": report.failure_census(),
+        "fleet_maps": dict(sorted(report.fleet_maps.items())),
+        "maps_published": report.maps_published,
+        "maps_updated": dict(sorted(report.maps_updated.items())),
+        "sessions": sessions,
+    }
+    if report.ingestion == "streaming":
+        # Streaming decisions ride the deterministic virtual clock; pool
+        # decisions are wall-stamped and would split the content address.
+        payload["autoscaler_decisions"] = [
+            asdict(decision)
+            for decision in report.scale_decisions[-DECISION_TAIL:]]
+    telemetry: Dict[str, object] = {
+        "wall_s": report.wall_s,
+        "workers": report.workers,
+    }
+    if slo is not None:
+        # Virtual-domain burn rates are deterministic and belong in the
+        # hashed evidence; a wall-domain tracker (the front door's) would
+        # split the content address, so its view rides telemetry.
+        view = {"burn_rates": slo.burn_rates(),
+                "fast_burn": sorted(slo.fast_burns())}
+        if slo.domain == "virtual":
+            payload["slo"] = view
+        else:
+            telemetry["slo"] = view
+    if tracer is not None:
+        telemetry["trace_tail"] = [
+            {"name": event.name, "category": event.category,
+             "phase": event.phase, "clock": event.clock,
+             "timestamp_us": event.timestamp_us,
+             "duration_us": event.duration_us, "track": event.track,
+             "args": event.args_dict()}
+            for event in list(tracer.events)[-TRACE_TAIL:]]
+    return recorder.record(triggers[0], payload, telemetry)
 
 
 # ------------------------------------------------- scheduler telemetry feed

@@ -38,6 +38,25 @@ from repro.obs import (
 
 
 class TestTracer:
+    def test_dropped_exposed_in_prometheus_exposition(self):
+        """Ring overflow is a first-class metric, not just an attribute:
+        binding the tracer surfaces ``eudoxus_tracer_dropped_total``,
+        collector-driven so later drops show up without re-binding."""
+        tracer = Tracer(capacity=2)
+        registry = MetricsRegistry()
+        tracer.bind_metrics(registry)
+        tracer.bind_metrics(registry)  # idempotent per registry
+        for index in range(5):
+            tracer.instant("tick", "engine", float(index))
+        assert tracer.dropped == 3
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["eudoxus_tracer_dropped_total"]["samples"][
+            "eudoxus_tracer_dropped_total"] == 3.0
+        tracer.instant("tick", "engine", 9.0)
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["eudoxus_tracer_dropped_total"]["samples"][
+            "eudoxus_tracer_dropped_total"] == 4.0
+
     def test_span_quantizes_to_integer_microseconds(self):
         tracer = Tracer()
         tracer.span("frame", "engine", 1.2345678, 0.25, stream="s-0")
@@ -292,6 +311,16 @@ class TestPrometheusRoundTrip:
         parsed = parse_prometheus(registry.render_prometheus())
         assert len(parsed["c_total"]["samples"]) == 1
 
+    def test_escaped_label_value_key_is_exact(self):
+        """The sample key carries the escaped form verbatim — quotes,
+        newlines and backslashes all inside the one brace pair."""
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("reason",)).inc(
+            reason='say "hi"\nbye\\')
+        parsed = parse_prometheus(registry.render_prometheus())
+        key = 'c_total{reason="say \\"hi\\"\\nbye\\\\"}'
+        assert parsed["c_total"]["samples"][key] == 1.0
+
     def test_malformed_line_raises(self):
         with pytest.raises(ValueError):
             parse_prometheus("metric_without_value\n")
@@ -300,6 +329,20 @@ class TestPrometheusRoundTrip:
         parsed = parse_prometheus(
             "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 4\n')
         assert parsed["h"]["samples"]['h_bucket{le="+Inf"}'] == 4.0
+
+    def test_empty_exposition_parses_to_no_families(self):
+        assert parse_prometheus("") == {}
+        assert parse_prometheus("\n\n") == {}
+
+    def test_family_with_no_samples_round_trips_empty(self):
+        """A declared-but-never-incremented labeled family renders only its
+        HELP/TYPE header; the parser must keep it as an empty family
+        rather than dropping it or inventing a sample."""
+        registry = MetricsRegistry()
+        registry.counter("c_idle_total", "Never incremented.", ("mode",))
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["c_idle_total"]["type"] == "counter"
+        assert parsed["c_idle_total"]["samples"] == {}
 
 
 # -------------------------------------------------------------- hypothesis

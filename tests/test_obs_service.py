@@ -286,3 +286,39 @@ class TestRegistrySharing:
             camera_rate_hz=5.0, seed=7,
         ), DEFAULT_QOS_CLASSES["best_effort"])
         assert body["signature"] == run_session(spec).signature()
+
+
+# ----------------------------------------------------------------- healthz
+
+
+class TestHealthzShardRows:
+    def test_one_saturated_shard_surfaces_in_its_row_only(self):
+        """Per-shard health is per-shard: saturating one shard's scaler
+        flips that row's ``saturated`` flag while the sibling stays clear,
+        the cluster-wide headline stays False (the rebalancer can still
+        move load), and every row carries its SLO fast-burn flag."""
+        from repro.cluster import ShardedServingEngine
+        engine = ShardedServingEngine(
+            2,
+            autoscaler_factory=lambda shard: LatencyAutoscaler(
+                min_workers=1, max_workers=1, grow_patience=1),
+            shard_parallel=False,
+        )
+        scaler = engine.autoscalers[1]
+        scaler.observe(1000.0, deadline_ms=100.0)
+        scaler.decide()
+        assert scaler.saturated
+
+        async def scenario(service):
+            status, health = await request(service.host, service.port,
+                                           "GET", "/healthz")
+            assert status == 200
+            return health
+        health = _run(scenario, engine=engine)
+
+        rows = health["shards"]
+        assert [row["shard"] for row in rows] == [0, 1]
+        assert [row["saturated"] for row in rows] == [False, True]
+        assert all(row["slo_fast_burn"] is False for row in rows)
+        assert health["saturated"] is False
+        assert health["slo_fast_burn"] == []

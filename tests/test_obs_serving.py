@@ -297,7 +297,8 @@ class TestMapServiceTelemetry:
 
 
 REPORT_KEYS = {
-    "computed_sessions", "deadline_misses", "final_workers", "fleet_maps",
+    "computed_sessions", "deadline_misses", "failure_census", "final_workers",
+    "fleet_maps",
     "frame_count", "frames_per_second", "ingestion", "map_acquisition_count",
     "map_merge_p50_ms", "map_resolve_hit_rate", "map_resolve_hits",
     "map_resolve_misses", "map_update_count", "map_version_churn",
@@ -308,7 +309,8 @@ REPORT_KEYS = {
     "store_hits", "ticks", "wall_s", "workers",
 }
 
-SESSION_KEYS = {"frames", "map_acquisitions", "map_updates", "mode_switches",
+SESSION_KEYS = {"deadline_misses", "failure_signature", "frames",
+                "map_acquisitions", "map_updates", "mode_switches",
                 "published_maps", "signature"}
 
 
