@@ -107,7 +107,8 @@ def warm_runs(request):
     the characterization runs), so the dedicated serving CI job stays lean.
     """
     serving_benchmarks = {"test_serving_throughput.py", "test_map_reuse.py",
-                          "test_obs_overhead.py", "test_shard_scaling.py"}
+                          "test_obs_overhead.py", "test_shard_scaling.py",
+                          "test_map_tiering.py"}
     benchmarks_dir = Path(__file__).parent
     paths = [Path(str(getattr(item, "fspath", "")))
              for item in getattr(request.session, "items", [])]

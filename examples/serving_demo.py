@@ -24,7 +24,12 @@ lifecycle then *closes*: the registering wave hands back MapUpdate deltas,
 a landmark-displacement burst demonstrates staleness detection
 (``map_stale`` demotion) and update-driven repair, and the map-aware
 autoscaler shows a warm registration-heavy fleet priming — and staying —
-at a fraction of the cold fleet's worker count.
+at a fraction of the cold fleet's worker count.  The tiered distribution
+plane gets its own exhibit: a sharded cluster resolves warm waves through
+the coordinator's Tier-1 snapshot cache (stamp-validated hits — no
+unpickle, no re-merge) and ships Tier-2 ``{version, inputs}`` references
+to its shards, with the hit/miss table and the full-vs-delta byte savings
+printed.
 
 The epilogue is service mode: the same engine behind the asyncio front
 door (`repro.service`), with per-tenant QoS classes mapped onto serving
@@ -50,6 +55,7 @@ import tempfile
 from collections import Counter
 from pathlib import Path
 
+from repro.cluster import ShardedServingEngine
 from repro.experiments.common import accelerator_for
 from repro.experiments.runner import RunStore
 from repro.maps import MapStore
@@ -232,7 +238,47 @@ def main() -> None:
               f"{recovered.map_acquisition_count} acquisitions, mode census "
               f"{recovered_modes} — registration again, no re-demotion")
 
-    # 9. Map-aware autoscaling: the engine's pre-dispatch map resolution
+    # 9. Tiered map distribution: a 2-shard cluster on the same kind of
+    #    shared world.  The coordinator resolves each wave through its
+    #    bounded Tier-1 snapshot cache — after the first wave the store's
+    #    version stamp is unchanged, so every later resolve is a hit that
+    #    never unpickles a snapshot or re-runs a merge — and process-mode
+    #    waves ship Tier-2 {version, inputs} references to the shards
+    #    instead of pickled snapshots.  (The store is frozen here; an
+    #    update fold would move the canonical and honestly turn the next
+    #    resolve into a revalidating miss.)
+    print("\n--- tiered map distribution: snapshot cache + delta sync ---")
+    with tempfile.TemporaryDirectory() as map_root:
+        seed_store = MapStore(map_root, max_bytes=-1, max_age_s=-1)
+        ServingEngine(store=None, max_workers=1, map_store=seed_store,
+                      min_map_quality=MAP_GATE).serve(
+            drifting_environment_fleet(
+                2, environment="tiered-yard", segment_duration=2.0,
+                camera_rate_hz=5.0, prefix="seed"),
+            parallel=False, ingestion="streaming")
+        cluster = ShardedServingEngine(
+            2, map_store=MapStore(map_root, max_bytes=-1, max_age_s=-1),
+            min_map_quality=MAP_GATE, map_updates=False, shard_parallel=True)
+        for wave_index in range(3):
+            cluster.serve(drifting_environment_fleet(
+                4, environment="tiered-yard", base_seed=40000 + 1000 * wave_index,
+                prefix=f"wave{wave_index}", segment_duration=2.0,
+                camera_rate_hz=5.0), parallel=True)
+        cache = cluster.map_cache.as_dict()
+        sync = cluster.sync_accounting
+        print("Tier-1 snapshot cache (coordinator), after 3 warm waves:")
+        print("  outcome       count")
+        for outcome in ("hits", "misses", "stale_serves", "evictions"):
+            print(f"  {outcome:12s} {cache[outcome]:5d}")
+        print(f"  hit rate {cache['hit_rate']:.2f}, {cache['entries']} "
+              f"entry(ies), {cache['cached_bytes']} B cached")
+        print(f"Tier-2 delta sync over {sync.waves} process wave(s): "
+              f"{sync.delta_bytes} B shipped as references vs "
+              f"{sync.full_bytes} B as full snapshots "
+              f"({100.0 * sync.savings_fraction:.1f}% saved, "
+              f"{sync.fallbacks} fallbacks)")
+
+    # 10. Map-aware autoscaling: the engine's pre-dispatch map resolution
     #    knows each session's expected mode mix, so the autoscaler starts
     #    from a mode-mix sizing prior — a cold SLAM-heavy fleet primes wide,
     #    a warm registration-heavy fleet primes narrow and stays there.
@@ -264,7 +310,7 @@ def main() -> None:
                   f"final {report.final_workers} workers, "
                   f"{report.deadline_misses} deadline misses")
 
-    # 10. Service mode: the engine behind the network front door.  A tiny
+    # 11. Service mode: the engine behind the network front door.  A tiny
     #     pinned pool meets an open-loop flash crowd; the door admits the
     #     protected gold tenant, sheds sheddable classes once the
     #     autoscaler reports saturation, and the admitted sessions complete.

@@ -68,13 +68,28 @@ def compare_rows(previous, latest, tolerance):
 
 def check(path, tolerance):
     try:
-        rows = json.loads(Path(path).read_text()).get("rows", [])
+        text = Path(path).read_text()
     except FileNotFoundError:
         print(f"{path}: no trend file yet — nothing to check")
         return 0
-    except (OSError, ValueError) as error:
+    except OSError as error:
         print(f"{path}: unreadable trend file ({error})")
         return 2
+    if not text.strip():
+        # An empty file is the "no history yet" state a fresh checkout or a
+        # truncated-then-never-written run leaves behind — same verdict as
+        # a missing file, stated out loud rather than crashing on it.
+        print(f"{path}: trend file is empty — nothing to check")
+        return 0
+    try:
+        rows = json.loads(text).get("rows", [])
+    except ValueError as error:
+        # Non-empty but unparseable IS corruption: fail loudly.
+        print(f"{path}: unreadable trend file ({error})")
+        return 2
+    if not rows:
+        print(f"{path}: trend file has no rows yet — nothing to check")
+        return 0
 
     by_bench = {}
     for row in rows:

@@ -49,7 +49,16 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import RunStore, fan_out, resolve_max_workers
-from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
+from repro.maps import (
+    DEFAULT_MIN_MAP_QUALITY,
+    MapMerger,
+    MapSnapshot,
+    MapStore,
+    SnapshotCache,
+    SyncAccounting,
+    resolve_staleness_bound,
+)
+from repro.maps.tier import payload_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import FlightRecorder, recorder_from_env
 from repro.obs.slo import SLOTracker
@@ -60,6 +69,7 @@ from repro.serving.engine import (
     ServingEngine,
     ServingReport,
     capture_report_forensics,
+    collect_map_drift_evidence,
 )
 from repro.serving.streams import StreamSpec
 from repro.cluster.rebalance import RebalanceDecision, ShardRebalancer
@@ -126,6 +136,15 @@ def _serve_shard_payload(payload: Dict) -> ServingReport:
     returned report's final width back into the resident scaler
     (:meth:`LatencyAutoscaler.sync`).  ``map_updates`` is always off here —
     update application is the coordinator's single post-wave fold.
+
+    The wave's map assignment arrives as Tier-2 ``{version, inputs}``
+    references (``fleet_map_sync``), not pickled snapshots: the shard
+    rebuilds each canonical from the shared store through its engine's
+    :class:`~repro.maps.SnapshotCache` (content addressing makes the
+    rebuild provably bit-identical — the version must match).  A reference
+    that cannot be materialized falls back to the store's own canonical
+    merge; a version mismatch there is a determinism violation and raises
+    rather than serving a map the coordinator never resolved.
     """
     specs = [StreamSpec.from_payload(raw) for raw in payload["specs"]]
     run_store = (RunStore(payload["run_root"], *payload["run_bounds"])
@@ -142,9 +161,26 @@ def _serve_shard_payload(payload: Dict) -> ServingReport:
         map_merger=payload["merger"],
         min_map_quality=payload["min_map_quality"],
         map_updates=False,
+        map_staleness_bound=0,
     )
+    fleet_maps: Dict[str, MapSnapshot] = {}
+    for environment_id, ref in payload["fleet_map_sync"].items():
+        snapshot = ref["snapshot"]
+        if snapshot is None and engine.map_cache is not None:
+            snapshot = engine.map_cache.materialize(
+                environment_id, ref["version"], ref["inputs"],
+                merger=engine.map_merger)
+        if snapshot is None and map_store is not None:
+            candidate = map_store.canonical(environment_id, engine.map_merger)
+            if candidate is not None and candidate.version == ref["version"]:
+                snapshot = candidate
+        if snapshot is None:
+            raise RuntimeError(
+                f"shard {payload['shard']} could not materialize canonical "
+                f"map {ref['version'][:12]} for {environment_id}")
+        fleet_maps[environment_id] = snapshot
     return engine.serve(specs, parallel=False, ingestion=payload["ingestion"],
-                        fleet_maps=payload["fleet_maps"])
+                        fleet_maps=fleet_maps)
 
 
 @dataclass
@@ -237,6 +273,7 @@ class ShardedServingEngine:
                  map_merger: Optional[MapMerger] = None,
                  min_map_quality: float = DEFAULT_MIN_MAP_QUALITY,
                  map_updates: bool = True,
+                 map_staleness_bound: Optional[int] = None,
                  autoscaler_factory: Optional[
                      Callable[[int], Optional[LatencyAutoscaler]]] = None,
                  max_workers_per_shard: int = 1,
@@ -258,6 +295,19 @@ class ShardedServingEngine:
         self.map_merger = map_merger or MapMerger()
         self.min_map_quality = float(min_map_quality)
         self.map_updates = bool(map_updates)
+        # Tier plane: the coordinator owns the wave's resolve, so IT holds
+        # the Tier-1 cache and the staleness knob; shards receive Tier-2
+        # references and never resolve.  Reusing a plain ServingEngine for
+        # the resolve machinery would drag a process pool along — the
+        # coordinator keeps just the cache + drift-evidence pieces.
+        self.map_staleness_bound = resolve_staleness_bound(map_staleness_bound)
+        self.map_cache = (SnapshotCache(self.map_store)
+                          if self.map_store is not None else None)
+        self.sync_accounting = SyncAccounting()
+        # environment -> condemned canonical version (see the plain
+        # engine's update-aware drift gate — same semantics, coordinator
+        # scope).  Only meaningful with map_updates enabled.
+        self._map_drift_evidence: Dict[str, str] = {}
         self.max_workers_per_shard = max(1, int(max_workers_per_shard))
         # None = decide per wave: processes when the host has cores to use.
         self.shard_parallel = shard_parallel
@@ -282,6 +332,7 @@ class ShardedServingEngine:
                 map_merger=self.map_merger,
                 min_map_quality=self.min_map_quality,
                 map_updates=False,
+                map_staleness_bound=0,
             )
             for shard in range(self.shard_count)
         ]
@@ -359,9 +410,18 @@ class ShardedServingEngine:
         shard_reports: List[Optional[ServingReport]] = [None] * self.shard_count
         spawned = [False]
         if self._use_processes(parallel) and len(loaded) > 1:
+            sync_plan, sync_fallbacks = self._build_sync_plan(fleet_maps)
             payloads = [self._shard_payload(shard, shard_specs[shard],
-                                            fleet_maps, shard_ingestion)
+                                            sync_plan, shard_ingestion)
                         for shard in loaded]
+            if fleet_maps:
+                # Every payload ships the same plan; the counterfactual is
+                # every payload shipping the full resolved snapshots.
+                self.sync_accounting.record(
+                    full_bytes=payload_bytes(fleet_maps) * len(payloads),
+                    delta_bytes=payload_bytes(sync_plan) * len(payloads),
+                    environments=len(fleet_maps) * len(payloads),
+                    fallbacks=sync_fallbacks * len(payloads))
             width = min(len(loaded), resolve_max_workers(None))
             with self._maybe_wall_span("cluster.wave", shards=len(loaded),
                                        width=width, mode="process"):
@@ -384,6 +444,7 @@ class ShardedServingEngine:
                              shard_ingestion if loaded else "",
                              parallel=spawned[0])
         self._apply_map_updates(report, shard_reports)
+        self._record_map_drift_evidence(report)
         self._finish_map_telemetry(report, map_counters, shard_reports)
         self._record_slo(report)
         report.rebalances = self._rebalance(specs, shard_reports, fleet_maps)
@@ -404,8 +465,38 @@ class ShardedServingEngine:
             return bool(choice)
         return resolve_max_workers(None) > 1
 
+    def _build_sync_plan(self, fleet_maps: Dict[str, MapSnapshot]
+                         ) -> Tuple[Dict[str, Dict], int]:
+        """The wave's Tier-2 sync plan: one reference per resolved map.
+
+        A reference carries the canonical version and the snapshot file
+        stems its merge consumed (read from the coordinator cache's
+        provenance — no extra store traffic); the shard rebuilds the exact
+        snapshot from the shared store.  A stale-served entry
+        (``versions_behind > 0``) or a cache that cannot vouch for the
+        resolved version embeds the full snapshot instead — counted as a
+        fallback, never served silently wrong.
+        """
+        plan: Dict[str, Dict] = {}
+        fallbacks = 0
+        for environment_id, snapshot in fleet_maps.items():
+            prov = (self.map_cache.provenance(environment_id, self.map_merger)
+                    if self.map_cache is not None else None)
+            if (prov is not None and prov[1] is not None
+                    and prov[1].version == snapshot.version
+                    and prov[2] == 0 and prov[0]):
+                plan[environment_id] = {"version": snapshot.version,
+                                        "inputs": list(prov[0]),
+                                        "snapshot": None}
+            else:
+                plan[environment_id] = {"version": snapshot.version,
+                                        "inputs": None,
+                                        "snapshot": snapshot}
+                fallbacks += 1
+        return plan, fallbacks
+
     def _shard_payload(self, shard: int, specs: List[StreamSpec],
-                       fleet_maps: Dict[str, MapSnapshot],
+                       sync_plan: Dict[str, Dict],
                        ingestion: str) -> Dict:
         return {
             "shard": shard,
@@ -424,7 +515,7 @@ class ShardedServingEngine:
             "frames_per_worker_tick": self.frames_per_worker_tick,
             "autoscaler": _autoscaler_config(self.autoscalers[shard]),
             "ingestion": ingestion,
-            "fleet_maps": fleet_maps,
+            "fleet_map_sync": sync_plan,
         }
 
     def _sync_shard_state(self, shard: int, shard_report: ServingReport) -> None:
@@ -506,13 +597,29 @@ class ShardedServingEngine:
         report.maps_updated = {environment_id: snapshot.version
                                for environment_id, snapshot in applied.items()}
 
+    def _record_map_drift_evidence(self, report: ShardedServingReport) -> None:
+        """The coordinator's update-aware drift gate — same semantics as
+        the plain engine's: condemned versions observed in this wave's
+        computed sessions close next wave's resolve until the canonical
+        moves.  Only the coordinator records (shards run with
+        ``map_updates`` off and never resolve)."""
+        if self.map_store is None or not self.map_updates:
+            return
+        self._map_drift_evidence.update(collect_map_drift_evidence(
+            report, set(report.replayed_streams)))
+
     def _map_counters(self) -> Optional[Dict[str, object]]:
         if self.map_store is None:
             return None
-        return {"hits": self.map_store.resolve_hits,
-                "misses": self.map_store.resolve_misses,
-                "merges": len(self.map_store.merge_ms),
-                "churn": dict(self.map_store.version_churn)}
+        counters = {"hits": self.map_store.resolve_hits,
+                    "misses": self.map_store.resolve_misses,
+                    "merges": len(self.map_store.merge_ms),
+                    "churn": dict(self.map_store.version_churn)}
+        if self.map_cache is not None:
+            counters["cache_hits"] = self.map_cache.hits
+            counters["cache_misses"] = self.map_cache.misses
+            counters["cache_stale"] = self.map_cache.stale_serves
+        return counters
 
     def _finish_map_telemetry(self, report: ShardedServingReport,
                               before: Optional[Dict[str, object]],
@@ -532,12 +639,21 @@ class ShardedServingEngine:
         report.map_resolve_hits = store.resolve_hits - before["hits"]
         report.map_resolve_misses = store.resolve_misses - before["misses"]
         report.map_merge_ms = list(store.merge_ms)[before["merges"]:]
+        if self.map_cache is not None and "cache_hits" in before:
+            report.map_cache_hits = self.map_cache.hits - before["cache_hits"]
+            report.map_cache_misses = (
+                self.map_cache.misses - before["cache_misses"])
+            report.map_staleness_served = (
+                self.map_cache.stale_serves - before["cache_stale"])
         for shard_report in shard_reports:
             if shard_report is None:
                 continue
             report.map_resolve_hits += shard_report.map_resolve_hits
             report.map_resolve_misses += shard_report.map_resolve_misses
             report.map_merge_ms.extend(shard_report.map_merge_ms)
+            report.map_cache_hits += shard_report.map_cache_hits
+            report.map_cache_misses += shard_report.map_cache_misses
+            report.map_staleness_served += shard_report.map_staleness_served
         churn: Dict[str, int] = {}
         for environment_id, count in store.version_churn.items():
             delta = count - before["churn"].get(environment_id, 0)
@@ -547,8 +663,9 @@ class ShardedServingEngine:
 
     def _resolve_fleet_maps(self, specs: Sequence[StreamSpec]
                             ) -> Dict[str, MapSnapshot]:
-        """Pre-wave canonical resolve through the coordinator's handle
-        (same quality gate as the plain engine's pre-dispatch resolve)."""
+        """Pre-wave canonical resolve through the coordinator's Tier-1
+        cache (same quality gate, staleness bound, and update-aware drift
+        gate as the plain engine's pre-dispatch resolve)."""
         if self.map_store is None:
             return {}
         resolved: Dict[str, MapSnapshot] = {}
@@ -556,11 +673,31 @@ class ShardedServingEngine:
             for environment_id in spec.environment_ids.values():
                 if environment_id in resolved:
                     continue
-                snapshot = self.map_store.resolve(
-                    environment_id, merger=self.map_merger,
-                    min_quality=self.min_map_quality)
-                if snapshot is not None:
-                    resolved[environment_id] = snapshot
+                if self.map_cache is not None:
+                    snapshot = self.map_cache.resolve(
+                        environment_id, merger=self.map_merger,
+                        min_quality=self.min_map_quality,
+                        staleness_bound=self.map_staleness_bound)
+                else:
+                    snapshot = self.map_store.resolve(
+                        environment_id, merger=self.map_merger,
+                        min_quality=self.min_map_quality)
+                if snapshot is None:
+                    continue
+                flagged = self._map_drift_evidence.get(environment_id)
+                if flagged is not None:
+                    if flagged == snapshot.version:
+                        # Still the condemned canonical: withhold until a
+                        # repair moves the version (see the plain engine).
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                "map.drift_gate", "maps",
+                                self.tracer.wall_now(), clock="wall",
+                                track="maps", environment=environment_id,
+                                version=snapshot.version[:12])
+                        continue
+                    del self._map_drift_evidence[environment_id]
+                resolved[environment_id] = snapshot
         return resolved
 
     # ------------------------------------------------------ SLO + forensics
@@ -704,6 +841,16 @@ class ShardedServingEngine:
             "waves_served": self.waves_served,
             "slot_moves": self.ring.moves,
             "rebalances": [asdict(d) for d in self.rebalance_log[-16:]],
+            "map_tier": self.map_tier_stats(),
+        }
+
+    def map_tier_stats(self) -> Dict[str, object]:
+        """Tier-1 cache + Tier-2 sync posture for the service endpoints."""
+        return {
+            "staleness_bound": self.map_staleness_bound,
+            "cache": (self.map_cache.as_dict()
+                      if self.map_cache is not None else None),
+            "sync": self.sync_accounting.as_dict(),
         }
 
     # ------------------------------------------------------- observability
@@ -754,6 +901,9 @@ class ShardedServingEngine:
         if self.map_store is not None:
             self.map_store.bind_metrics(registry)
             self.map_merger.bind_metrics(registry)
+        if self.map_cache is not None:
+            self.map_cache.bind_metrics(registry)
+        self.sync_accounting.bind_metrics(registry)
         if self.run_store is not None:
             self.run_store.bind_metrics(registry)
 
@@ -778,6 +928,12 @@ class ShardedServingEngine:
             self.tracer.instant("map.apply_updates", "maps", wall, clock="wall",
                                 track="maps", environment=environment_id,
                                 version=version[:12])
+        if (report.map_cache_hits or report.map_cache_misses
+                or report.map_staleness_served):
+            self.tracer.instant(
+                "map.tier_cache", "maps", wall, clock="wall", track="maps",
+                hits=report.map_cache_hits, misses=report.map_cache_misses,
+                stale=report.map_staleness_served)
 
     def _record_serve_metrics(self, report: ShardedServingReport) -> None:
         if self.metrics is None:

@@ -205,6 +205,47 @@ class MapStore(RunStore):
                 seen.add(prefix)
         return sorted(seen)
 
+    def version_stamp(self, environment_id: str) -> Tuple[str, ...]:
+        """The environment's content-version stamp, without unpickling.
+
+        The stamp is the sorted tuple of snapshot file stems
+        (``{environment_id}__{version}``): content addressing makes two
+        equal stamps mean byte-identical merge inputs, so a Tier-1 cache
+        can validate an entry with one directory scan — no snapshot load,
+        no merge.  An empty tuple means the environment has no history.
+        """
+        return tuple(self._snapshot_keys(environment_id))
+
+    def canonical(self, environment_id: str,
+                  merger: Optional[MapMerger] = None) -> Optional[MapSnapshot]:
+        """The ungated canonical map (memoized merge of the full history).
+
+        This is :meth:`resolve` without the quality gate: tier callers
+        (the per-engine :class:`~repro.maps.tier.SnapshotCache`) cache the
+        canonical itself and apply the serving gate per lookup, so one
+        cached merge can serve callers with different ``min_quality``.
+        """
+        return self._canonical_merge(environment_id, merger or MapMerger())
+
+    def canonical_provenance(
+            self, environment_id: str, merger: Optional[MapMerger] = None,
+    ) -> Tuple[Tuple[str, ...], Optional[MapSnapshot]]:
+        """``(stamp, canonical)`` as one consistent pair.
+
+        Deriving the stamp *from the memo entry* that produced the
+        canonical (rather than re-scanning the directory afterwards)
+        closes the publish race: a concurrent writer landing between the
+        merge and a second scan can never hand a Tier-1 cache a stamp the
+        merge never saw.
+        """
+        merger = merger or MapMerger()
+        canonical = self._canonical_merge(environment_id, merger)
+        cached = self._canonical.get(environment_id)
+        if (cached is not None and cached[0][1] == merger.signature()
+                and cached[1] is canonical):
+            return tuple(cached[0][0]), canonical
+        return self.version_stamp(environment_id), canonical
+
     def resolve(self, environment_id: str,
                 merger: Optional[MapMerger] = None,
                 min_quality: float = DEFAULT_MIN_MAP_QUALITY) -> Optional[MapSnapshot]:

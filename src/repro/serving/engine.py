@@ -70,7 +70,14 @@ from repro.experiments.runner import (
     fan_out,
     resolve_max_workers,
 )
-from repro.maps import DEFAULT_MIN_MAP_QUALITY, MapMerger, MapSnapshot, MapStore
+from repro.maps import (
+    DEFAULT_MIN_MAP_QUALITY,
+    MapMerger,
+    MapSnapshot,
+    MapStore,
+    SnapshotCache,
+    resolve_staleness_bound,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import (
     DECISION_TAIL,
@@ -82,7 +89,12 @@ from repro.obs.slo import SLOTracker
 from repro.obs.trace import Tracer, tracer_from_env
 from repro.obs.triage import SIG_OK, classify_session, signature_census
 from repro.scheduler.autoscaler import LatencyAutoscaler, ScaleDecision
-from repro.serving.session import DEFAULT_INGRESS_CAPACITY, Session, SessionResult
+from repro.serving.session import (
+    DEFAULT_INGRESS_CAPACITY,
+    MAP_STALE_RESIDUAL_M,
+    Session,
+    SessionResult,
+)
 from repro.serving.streams import (
     StreamSpec,
     expected_gps_denied_mode,
@@ -210,6 +222,14 @@ class ServingReport:
     map_resolve_misses: int = 0
     map_merge_ms: List[float] = field(default_factory=list)
     map_version_churn: Dict[str, int] = field(default_factory=dict)
+    # Tiered distribution (ROADMAP item 5): deltas of the engine's Tier-1
+    # SnapshotCache counters over this serve call — lookups answered
+    # without touching snapshot content vs misses that fell through to the
+    # store, and how many resolves served a bounded-staleness (behind-head)
+    # canonical.  Strict mode pins map_staleness_served to 0.
+    map_cache_hits: int = 0
+    map_cache_misses: int = 0
+    map_staleness_served: int = 0
 
     @property
     def session_count(self) -> int:
@@ -245,6 +265,17 @@ class ServingReport:
         """Fraction of canonical resolves served from the memo (0 when none)."""
         total = self.map_resolve_hits + self.map_resolve_misses
         return self.map_resolve_hits / total if total else 0.0
+
+    @property
+    def map_cache_hit_rate(self) -> float:
+        """Fraction of Tier-1 cache lookups served without snapshot content.
+
+        Hits and bounded-staleness serves both avoid the store (that is the
+        tier's job); misses fell through to the canonical merge path.
+        """
+        served = self.map_cache_hits + self.map_staleness_served
+        total = served + self.map_cache_misses
+        return served / total if total else 0.0
 
     def map_merge_percentile(self, percent: float) -> float:
         if not self.map_merge_ms:
@@ -395,6 +426,8 @@ class ServingReport:
             "map_resolve_hits": self.map_resolve_hits,
             "map_resolve_misses": self.map_resolve_misses,
             "map_resolve_hit_rate": self.map_resolve_hit_rate,
+            "map_cache_hit_rate": self.map_cache_hit_rate,
+            "map_staleness_served": self.map_staleness_served,
             "map_merge_p50_ms": self.map_merge_percentile(50.0),
             "map_version_churn": dict(sorted(self.map_version_churn.items())),
             "failure_census": self.failure_census(),
@@ -441,6 +474,8 @@ class ServingEngine:
                  min_map_quality: float = DEFAULT_MIN_MAP_QUALITY,
                  map_updates: bool = True,
                  map_aware_sizing: Optional[bool] = None,
+                 map_staleness_bound: Optional[int] = None,
+                 map_cache: Optional[SnapshotCache] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  slo: Optional[SLOTracker] = None,
@@ -456,6 +491,26 @@ class ServingEngine:
         self.map_store = map_store
         self.map_merger = map_merger or MapMerger()
         self.min_map_quality = float(min_map_quality)
+        # Tier 1: the per-engine read-through snapshot cache in front of the
+        # store, and the bounded-staleness budget its lookups may spend
+        # (explicit argument over EUDOXUS_MAP_STALENESS; 0 = strict, which
+        # is bit-identical to resolving through the store directly).
+        self.map_staleness_bound = resolve_staleness_bound(map_staleness_bound)
+        if map_cache is not None:
+            self.map_cache: Optional[SnapshotCache] = map_cache
+        else:
+            self.map_cache = SnapshotCache(map_store) if map_store is not None else None
+        # Update-aware quality gating: environments whose *observed*
+        # registration residuals flagged the served canonical as stale
+        # (high-residual MapUpdate evidence or a map_stale demotion), keyed
+        # on the exact canonical version observed.  While the canonical has
+        # not moved past that version, the resolve gate withholds the map —
+        # the next wave runs SLAM from segment entry (and republishes)
+        # instead of acquiring a known-bad map and demoting mid-segment.
+        # Maintained only when map updates are enabled: it is the update
+        # plane's knowledge, and the publish-only control arm must keep its
+        # PR-4 behavior.
+        self._map_drift_evidence: Dict[str, str] = {}
         # Closed map lifecycle: apply the fleet's MapUpdate deltas to the
         # store post-serve (False keeps the PR-4 publish-only behavior — the
         # control arm of the drifting-world benchmark).
@@ -607,6 +662,7 @@ class ServingEngine:
                     self._absorb(report, spec, result, maps_by_stream)
         self._publish_fleet_maps(report, replayed)
         self._apply_map_updates(report, replayed)
+        self._record_map_drift_evidence(report, replayed)
         self._finish_map_telemetry(report, map_counters)
         self._triage_sessions(report, maps_by_stream)
         self._emit_trace(report, trace_offset)
@@ -1005,6 +1061,8 @@ class ServingEngine:
         if self.map_store is not None:
             self.map_store.bind_metrics(registry)
             self.map_merger.bind_metrics(registry)
+        if self.map_cache is not None:
+            self.map_cache.bind_metrics(registry)
 
     def _maybe_wall_span(self, name: str, category: str, *, track: str,
                          **args: object):
@@ -1016,10 +1074,15 @@ class ServingEngine:
         """Snapshot of the map store's telemetry counters (None storeless)."""
         if self.map_store is None:
             return None
-        return {"hits": self.map_store.resolve_hits,
-                "misses": self.map_store.resolve_misses,
-                "merges": len(self.map_store.merge_ms),
-                "churn": dict(self.map_store.version_churn)}
+        counters = {"hits": self.map_store.resolve_hits,
+                    "misses": self.map_store.resolve_misses,
+                    "merges": len(self.map_store.merge_ms),
+                    "churn": dict(self.map_store.version_churn)}
+        if self.map_cache is not None:
+            counters["cache_hits"] = self.map_cache.hits
+            counters["cache_misses"] = self.map_cache.misses
+            counters["cache_stale"] = self.map_cache.stale_serves
+        return counters
 
     def _finish_map_telemetry(self, report: ServingReport,
                               before: Optional[Dict[str, object]]) -> None:
@@ -1036,6 +1099,12 @@ class ServingEngine:
             if delta:
                 churn[environment_id] = delta
         report.map_version_churn = churn
+        if self.map_cache is not None and "cache_hits" in before:
+            report.map_cache_hits = self.map_cache.hits - before["cache_hits"]
+            report.map_cache_misses = (
+                self.map_cache.misses - before["cache_misses"])
+            report.map_staleness_served = (
+                self.map_cache.stale_serves - before["cache_stale"])
 
     def _emit_trace(self, report: ServingReport, clock_offset: float) -> None:
         """Fold this call's deterministic span set into the tracer.
@@ -1059,6 +1128,12 @@ class ServingEngine:
                 track="autoscaler", workers_before=decision.workers_before,
                 workers_after=decision.workers_after, reason=decision.reason)
         wall = self.tracer.wall_now()
+        if report.map_cache_hits or report.map_cache_misses \
+                or report.map_staleness_served:
+            self.tracer.instant(
+                "map.tier_cache", "maps", wall, clock="wall", track="maps",
+                hits=report.map_cache_hits, misses=report.map_cache_misses,
+                stale_serves=report.map_staleness_served)
         for environment_id, version in sorted(report.fleet_maps.items()):
             self.tracer.instant("map.resolve", "maps", wall, clock="wall",
                                 track="maps", environment=environment_id,
@@ -1115,7 +1190,17 @@ class ServingEngine:
     # ------------------------------------------------------------ internals
 
     def _resolve_fleet_maps(self, specs: Sequence[StreamSpec]) -> Dict[str, MapSnapshot]:
-        """Canonical, quality-gated map per shared environment the fleet visits."""
+        """Canonical, quality-gated map per shared environment the fleet visits.
+
+        Resolution goes through the Tier-1 :class:`SnapshotCache`: a lookup
+        whose version stamp matches the store head costs one directory scan
+        (no unpickling, no merge), and with a positive
+        ``map_staleness_bound`` an entry up to that many canonical versions
+        behind head is served without revalidation.  On top of the quality
+        gate sits the update-aware drift gate: an environment whose served
+        canonical drew high-residual evidence last wave is withheld until
+        its canonical version moves.
+        """
         if self.map_store is None:
             return {}
         resolved: Dict[str, MapSnapshot] = {}
@@ -1123,12 +1208,49 @@ class ServingEngine:
             for environment_id in spec.environment_ids.values():
                 if environment_id in resolved:
                     continue
-                snapshot = self.map_store.resolve(
-                    environment_id, merger=self.map_merger,
-                    min_quality=self.min_map_quality)
-                if snapshot is not None:
-                    resolved[environment_id] = snapshot
+                if self.map_cache is not None:
+                    snapshot = self.map_cache.resolve(
+                        environment_id, merger=self.map_merger,
+                        min_quality=self.min_map_quality,
+                        staleness_bound=self.map_staleness_bound)
+                else:
+                    snapshot = self.map_store.resolve(
+                        environment_id, merger=self.map_merger,
+                        min_quality=self.min_map_quality)
+                if snapshot is None:
+                    continue
+                flagged = self._map_drift_evidence.get(environment_id)
+                if flagged is not None:
+                    if flagged == snapshot.version:
+                        # Observed residuals condemned exactly this version:
+                        # serving it again would only replay the mid-segment
+                        # demotion.  Keep the gate closed until the
+                        # canonical moves.
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                "map.drift_gate", "maps",
+                                self.tracer.wall_now(), clock="wall",
+                                track="maps", environment=environment_id,
+                                version=snapshot.version[:12])
+                        continue
+                    # The canonical moved past the condemned version — the
+                    # repair (update application or republish) lifts the gate.
+                    del self._map_drift_evidence[environment_id]
+                resolved[environment_id] = snapshot
         return resolved
+
+    def _record_map_drift_evidence(self, report: ServingReport,
+                                   replayed: Optional[set] = None) -> None:
+        """Remember which served canonical versions read as stale.
+
+        Evidence is only collected on engines that can *act* on it
+        (``map_updates`` enabled): a publish-only engine withholding maps
+        would silently change the control arms of the update experiments.
+        """
+        if self.map_store is None or not self.map_updates:
+            return
+        self._map_drift_evidence.update(
+            collect_map_drift_evidence(report, replayed or set()))
 
     @staticmethod
     def _maps_for(spec: StreamSpec,
@@ -1252,6 +1374,39 @@ class ServingEngine:
 
 
 # -------------------------------------------------------- flight recording
+
+
+def collect_map_drift_evidence(report: ServingReport,
+                               replayed: set) -> Dict[str, str]:
+    """Map versions this wave's computed sessions condemned as stale.
+
+    Two evidence sources: a :class:`MapUpdate` whose weighted mean residual
+    exceeds the ``map_stale`` demotion threshold, and a ``map_stale`` mode
+    switch (matched to the acquisition of the same segment — the update
+    gates may have kept such a session from producing a delta at all).
+    Environments this wave's update application already refreshed are
+    skipped: their canonical moved, the gate has nothing to hold.  Shared
+    by the plain engine and the cluster coordinator so both close the same
+    quality gate from the same observations.
+    """
+    evidence: Dict[str, str] = {}
+    for stream_id, result in report.results.items():
+        if stream_id in replayed:
+            continue
+        for update in result.map_updates:
+            if (update.environment_id not in report.maps_updated
+                    and update.mean_residual_m > MAP_STALE_RESIDUAL_M):
+                evidence[update.environment_id] = update.base_version
+        stale_segments = {switch.segment_index
+                          for switch in result.mode_switches
+                          if switch.reason == "map_stale"}
+        if not stale_segments:
+            continue
+        for acquisition in result.map_acquisitions:
+            if (acquisition.segment_index in stale_segments
+                    and acquisition.environment_id not in report.maps_updated):
+                evidence[acquisition.environment_id] = acquisition.version
+    return evidence
 
 
 def capture_report_forensics(recorder: FlightRecorder, report: ServingReport,

@@ -300,8 +300,9 @@ REPORT_KEYS = {
     "computed_sessions", "deadline_misses", "failure_census", "final_workers",
     "fleet_maps",
     "frame_count", "frames_per_second", "ingestion", "map_acquisition_count",
-    "map_merge_p50_ms", "map_resolve_hit_rate", "map_resolve_hits",
-    "map_resolve_misses", "map_update_count", "map_version_churn",
+    "map_cache_hit_rate", "map_merge_p50_ms", "map_resolve_hit_rate",
+    "map_resolve_hits", "map_resolve_misses", "map_staleness_served",
+    "map_update_count", "map_version_churn",
     "maps_published", "maps_updated", "mean_batch_size", "mode_census",
     "mode_switches", "p50_frame_ms", "p50_serving_ms", "p95_frame_ms",
     "p95_serving_ms", "parallel", "replayed_streams", "resizes",
